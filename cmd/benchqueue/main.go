@@ -1,0 +1,111 @@
+// Command benchqueue regenerates the reproduction tables (T1-T8 in
+// DESIGN.md) that validate the paper's analytical claims: CAS bounds
+// (Proposition 19), step complexity (Theorem 22), the CAS retry problem of
+// the baselines, space bounds (Theorem 31) and bounded-variant amortized
+// steps (Theorem 32), plus a wall-clock throughput comparison.
+//
+// Usage:
+//
+//	benchqueue -exp all                 # every experiment, paper-scale
+//	benchqueue -exp casbound -ops 4000  # one experiment, custom op count
+//	benchqueue -exp space -procs 8
+//
+// Experiments: casbound, enqsteps, deqsteps, retry, adversary, space,
+// boundedsteps, throughput, waitfree, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation all)")
+		ops    = flag.Int("ops", 2000, "operations per process per measurement")
+		procs  = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
+		psFlag = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
+	)
+	flag.Parse()
+	ps, err := parseInts(*psFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchqueue:", err)
+		os.Exit(2)
+	}
+	if err := run(*exp, ps, *ops, *procs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchqueue:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, ps []int, ops, procs int) error {
+	runners := map[string]func() error{
+		"casbound": func() error { return show(harness.ExpCASBound(ps, ops)) },
+		"enqsteps": func() error { return show(harness.ExpEnqueueSteps(ps, ops)) },
+		"deqsteps": func() error {
+			if err := show(harness.ExpDequeueStepsVsP(ps, 1024, ops)); err != nil {
+				return err
+			}
+			return show(harness.ExpDequeueStepsVsQ(procs,
+				[]int{16, 64, 256, 1024, 4096, 16384, 65536, 262144}, ops))
+		},
+		"retry":        func() error { return show(harness.ExpRetryProblem(ps, ops)) },
+		"adversary":    func() error { return show(harness.ExpAdversarial(ps, ops)) },
+		"space":        func() error { return show(harness.ExpSpaceBound(procs, 64, 4000)) },
+		"boundedsteps": func() error { return show(harness.ExpBoundedSteps(ps, ops)) },
+		"throughput":   func() error { return show(harness.ExpThroughput(ps, ops)) },
+		"waitfree":     func() error { return show(harness.ExpWaitFree(ps, ops)) },
+		"ablation": func() error {
+			if err := show(harness.ExpAblationSearch(4, 16, []int{0, 4, 16, 64, 256}, 500)); err != nil {
+				return err
+			}
+			if err := show(harness.ExpAblationRefresh(ps, ops)); err != nil {
+				return err
+			}
+			return show(harness.ExpAblationGC(procs, []int64{4, 16, 64, 256, 1024, 8192}, ops))
+		},
+	}
+	if exp == "all" {
+		for _, name := range []string{"casbound", "enqsteps", "deqsteps", "retry", "adversary",
+			"space", "boundedsteps", "throughput", "waitfree", "ablation"} {
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	r, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return r()
+}
+
+func show(t *harness.Table, err error) error {
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid process count %q", p)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("process count %d must be positive", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseInts = (%v, %v)", got, err)
+	}
+	for _, bad := range []string{"", "x", "1,,2", "0", "-3", "1,0"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", []int{2}, 10, 2); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperimentTiny(t *testing.T) {
+	// Smoke: drives the real experiment path with tiny parameters.
+	if err := run("enqsteps", []int{2, 4}, 50, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllExperimentNamesTiny(t *testing.T) {
+	// Each named experiment must execute end to end with tiny parameters.
+	for _, name := range []string{"casbound", "deqsteps", "retry", "adversary",
+		"boundedsteps", "throughput", "waitfree"} {
+		if err := run(name, []int{2}, 30, 2); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

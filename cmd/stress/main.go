@@ -1,0 +1,118 @@
+// Command stress soak-tests a queue implementation under concurrency and
+// checks the recorded history for linearizability violations (duplicate or
+// phantom dequeues, FIFO inversions, impossible empty dequeues). Exit code 1
+// means a violation was found — for the paper's queue that would be an
+// implementation bug.
+//
+// Usage:
+//
+//	stress -impl nr -procs 8 -ops 50000
+//	stress -impl nr-bounded -gc 4 -rounds 20
+//	stress -impl ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/baseline/faaqueue"
+	"repro/internal/baseline/kpqueue"
+	"repro/internal/baseline/msqueue"
+	"repro/internal/baseline/mutexqueue"
+	"repro/internal/baseline/twolock"
+	"repro/internal/lincheck"
+	"repro/internal/queues"
+)
+
+func main() {
+	var (
+		impl    = flag.String("impl", "nr", "implementation: nr, nr-bounded, ms, faa, kp, twolock, mutex")
+		procs   = flag.Int("procs", 8, "concurrent processes")
+		ops     = flag.Int("ops", 20000, "operations per process per round")
+		rounds  = flag.Int("rounds", 4, "independent rounds")
+		gc      = flag.Int64("gc", 0, "GC interval for nr-bounded (0 = paper default)")
+		enqFrac = flag.Float64("enq", 0.5, "enqueue fraction")
+		seed    = flag.Int64("seed", time.Now().UnixNano(), "random seed")
+	)
+	flag.Parse()
+	if err := run(*impl, *procs, *ops, *rounds, *gc, *enqFrac, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		os.Exit(1)
+	}
+}
+
+func newQueue(impl string, procs int, gc int64) (queues.Queue, error) {
+	switch impl {
+	case "nr":
+		return queues.NewNR(procs)
+	case "nr-bounded":
+		if gc > 0 {
+			return queues.NewBoundedGC(procs, gc)
+		}
+		return queues.NewBounded(procs)
+	case "ms":
+		return msqueue.New(procs)
+	case "faa":
+		return faaqueue.New(procs)
+	case "kp":
+		return kpqueue.New(procs)
+	case "twolock":
+		return twolock.New(procs)
+	case "mutex":
+		return mutexqueue.New(procs)
+	default:
+		return nil, fmt.Errorf("unknown implementation %q", impl)
+	}
+}
+
+func run(impl string, procs, ops, rounds int, gc int64, enqFrac float64, seed int64) error {
+	for round := 0; round < rounds; round++ {
+		q, err := newQueue(impl, procs, gc)
+		if err != nil {
+			return err
+		}
+		rec := lincheck.NewRecorder(procs)
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			raw, err := q.Handle(p)
+			if err != nil {
+				return err
+			}
+			h := rec.Wrap(raw, p)
+			wg.Add(1)
+			go func(p int, h queues.Handle) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(round*procs+p)))
+				next := int64(0)
+				for s := 0; s < ops; s++ {
+					if rng.Float64() < enqFrac {
+						// Distinct values: proc in high bits, round+seq low.
+						h.Enqueue(int64(p)<<40 | int64(round)<<32 | next)
+						next++
+					} else {
+						h.Dequeue()
+					}
+				}
+			}(p, h)
+		}
+		begin := time.Now()
+		wg.Wait()
+		events := rec.Events()
+		violations := lincheck.Check(events)
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "VIOLATION:", v)
+			}
+			return fmt.Errorf("round %d: %d linearizability violations in %d events",
+				round, len(violations), len(events))
+		}
+		fmt.Printf("round %d: %s ok — %d events, no violations (%v)\n",
+			round, q.Name(), len(events), time.Since(begin).Round(time.Millisecond))
+	}
+	fmt.Printf("stress: %s passed %d rounds x %d procs x %d ops\n", impl, rounds, procs, ops)
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestNewQueueKinds(t *testing.T) {
+	for _, impl := range []string{"nr", "nr-bounded", "ms", "faa", "kp", "twolock", "mutex"} {
+		q, err := newQueue(impl, 2, 0)
+		if err != nil {
+			t.Errorf("%s: %v", impl, err)
+			continue
+		}
+		if q.Procs() != 2 {
+			t.Errorf("%s: procs = %d", impl, q.Procs())
+		}
+	}
+	if _, err := newQueue("bogus", 2, 0); err == nil {
+		t.Error("bogus implementation accepted")
+	}
+	if q, err := newQueue("nr-bounded", 2, 8); err != nil || q == nil {
+		t.Errorf("nr-bounded with explicit gc: %v", err)
+	}
+}
+
+func TestRunTinyRounds(t *testing.T) {
+	if err := run("nr", 3, 200, 1, 0, 0.5, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("nr-bounded", 2, 150, 1, 3, 0.5, 42); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Command treedump renders ordering-tree states.
+//
+// With -figure (the default) it rebuilds the exact mid-execution state of
+// Figures 1 and 2 of the paper using the deterministic scheduling hooks and
+// prints both the explicit view (Figure 1: per-block operation sequences)
+// and the implicit view (Figure 2: prefix sums, child indices, sizes).
+//
+// With -random it runs a small concurrent workload and dumps the resulting
+// tree, which is useful for exploring how blocks aggregate under real
+// scheduling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/treeviz"
+)
+
+func main() {
+	var (
+		figure = flag.Bool("figure", true, "reproduce the paper's Figure 1/2 state")
+		random = flag.Bool("random", false, "dump a tree from a random concurrent run instead")
+		procs  = flag.Int("procs", 4, "processes for -random")
+		ops    = flag.Int("ops", 12, "operations per process for -random")
+	)
+	flag.Parse()
+	var err error
+	if *random {
+		err = dumpRandom(*procs, *ops)
+	} else if *figure {
+		err = dumpFigure()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "treedump:", err)
+		os.Exit(1)
+	}
+}
+
+// dumpFigure replays the schedule behind Figures 1 and 2 (see
+// internal/treeviz's golden test for the derivation) and prints both views.
+func dumpFigure() error {
+	q, err := core.New[string](4)
+	if err != nil {
+		return err
+	}
+	h := make([]*core.Handle[string], 4)
+	for i := range h {
+		h[i] = q.MustHandle(i)
+	}
+	refresh := func(path string) error {
+		ok, err := q.StepRefresh(h[0], path)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("refresh %q failed", path)
+		}
+		return nil
+	}
+	type deqKey struct {
+		leaf int
+		idx  int64
+	}
+	names := map[deqKey]string{}
+	deq := func(p int, name string) {
+		names[deqKey{p, h[p].StepDequeue()}] = name
+	}
+
+	h[0].StepEnqueue("a")
+	deq(1, "Deq2")
+	if err := refresh("L"); err != nil {
+		return err
+	}
+	h[2].StepEnqueue("e")
+	if err := refresh("R"); err != nil {
+		return err
+	}
+	if err := refresh(""); err != nil {
+		return err
+	}
+	h[0].StepEnqueue("b")
+	if err := refresh("L"); err != nil {
+		return err
+	}
+	deq(2, "Deq4")
+	deq(3, "Deq5")
+	if err := refresh("R"); err != nil {
+		return err
+	}
+	if err := refresh(""); err != nil {
+		return err
+	}
+	deq(0, "Deq1")
+	h[1].StepEnqueue("d")
+	if err := refresh("L"); err != nil {
+		return err
+	}
+	h[2].StepEnqueue("f")
+	h[3].StepEnqueue("h")
+	if err := refresh("R"); err != nil {
+		return err
+	}
+	if err := refresh(""); err != nil {
+		return err
+	}
+	h[0].StepEnqueue("c")
+	if err := refresh("L"); err != nil {
+		return err
+	}
+	deq(1, "Deq3")
+	if err := refresh("L"); err != nil {
+		return err
+	}
+	if err := refresh(""); err != nil {
+		return err
+	}
+	h[2].StepEnqueue("g")
+	if err := refresh("R"); err != nil {
+		return err
+	}
+	if err := refresh(""); err != nil {
+		return err
+	}
+	deq(3, "Deq6")
+
+	snap := q.Snapshot()
+	label := func(op treeviz.Op) string {
+		if op.IsEnqueue {
+			return fmt.Sprintf("Enq(%v)", op.Element)
+		}
+		if n, ok := names[deqKey{op.LeafID, op.LeafIndex}]; ok {
+			return n
+		}
+		return treeviz.DefaultLabeler(op)
+	}
+
+	fmt.Println("Figure 1 (explicit operation sequences per block):")
+	fmt.Println(treeviz.Render(snap, label))
+	lin, err := treeviz.RootLinearization(snap)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Linearization:", treeviz.FormatLinearization(lin, label))
+	fmt.Println()
+	fmt.Println("Figure 2 (implicit representation):")
+	fmt.Println(treeviz.RenderFields(snap))
+	return nil
+}
+
+func dumpRandom(procs, ops int) error {
+	q, err := core.New[int](procs)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := q.MustHandle(p)
+			rng := rand.New(rand.NewSource(int64(p)))
+			for s := 0; s < ops; s++ {
+				if rng.Intn(2) == 0 {
+					h.Enqueue(p*1000 + s)
+				} else {
+					h.Dequeue()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	snap := q.Snapshot()
+	fmt.Printf("Tree after %d procs x %d random ops:\n\n", procs, ops)
+	fmt.Println(treeviz.Render(snap, nil))
+	fmt.Println(treeviz.RenderFields(snap))
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestDumpFigure(t *testing.T) {
+	if err := dumpFigure(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpRandom(t *testing.T) {
+	if err := dumpRandom(3, 8); err != nil {
+		t.Fatal(err)
+	}
+}

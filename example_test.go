@@ -1,0 +1,86 @@
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+
+	"repro"
+)
+
+// ExampleNewQueue shows basic FIFO usage through a single handle.
+func ExampleNewQueue() {
+	q, err := repro.NewQueue[string](2)
+	if err != nil {
+		panic(err)
+	}
+	h := q.MustHandle(0)
+	h.Enqueue("first")
+	h.Enqueue("second")
+	v1, _ := h.Dequeue()
+	v2, _ := h.Dequeue()
+	_, ok := h.Dequeue()
+	fmt.Println(v1, v2, ok)
+	// Output: first second false
+}
+
+// ExampleNewQueue_concurrent shows the intended concurrent pattern: one
+// handle per goroutine.
+func ExampleNewQueue_concurrent() {
+	const workers = 4
+	q, err := repro.NewQueue[int](workers)
+	if err != nil {
+		panic(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.MustHandle(w)
+			h.Enqueue(w)
+		}(w)
+	}
+	wg.Wait()
+	sum := 0
+	h := q.MustHandle(0)
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		sum += v
+	}
+	fmt.Println(sum)
+	// Output: 6
+}
+
+// ExampleNewBoundedQueue shows the space-bounded variant; semantics are
+// identical, memory stays proportional to the live queue.
+func ExampleNewBoundedQueue() {
+	q, err := repro.NewBoundedQueue[int](2)
+	if err != nil {
+		panic(err)
+	}
+	h := q.MustHandle(0)
+	for i := 1; i <= 3; i++ {
+		h.Enqueue(i)
+	}
+	v, _ := h.Dequeue()
+	fmt.Println(v, q.Len())
+	// Output: 1 2
+}
+
+// ExampleNewVector shows the Section 7 append-only sequence.
+func ExampleNewVector() {
+	v, err := repro.NewVector[string](2)
+	if err != nil {
+		panic(err)
+	}
+	h := v.MustHandle(0)
+	h.Append("alpha")
+	ref := h.Append("beta")
+	pos, _ := h.Index(ref)
+	val, _ := h.Get(pos)
+	fmt.Println(pos, val)
+	// Output: 1 beta
+}

@@ -1,0 +1,93 @@
+// Command jobscheduler demonstrates the bounded-space queue as a shared run
+// queue — the OS-kernel / resource-sharing use case from the paper's
+// introduction. Workers pull jobs from one shared wait-free queue; finished
+// jobs may spawn follow-up jobs that are pushed back onto the same queue.
+// Because the run queue is long-lived, the bounded-space variant matters
+// here: its garbage collection keeps memory proportional to the live queue,
+// not to the total number of jobs ever scheduled.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+)
+
+const (
+	workers  = 6
+	rootJobs = 2_000
+	maxDepth = 3 // each job spawns two children until this depth
+)
+
+// job encoding: jobs are single int64 words (id<<8 | depth), keeping the
+// queue element a machine word as in the paper's model.
+func encode(id, depth int64) int64 { return id<<8 | depth }
+func decode(v int64) (id, depth int64) {
+	return v >> 8, v & 0xff
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jobscheduler:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	q, err := repro.NewBoundedQueue[int64](workers)
+	if err != nil {
+		return err
+	}
+
+	// Total jobs: each root job spawns a binary tree of depth maxDepth.
+	perRoot := int64(1)<<(maxDepth+1) - 1
+	totalJobs := int64(rootJobs) * perRoot
+
+	var executed atomic.Int64
+	var nextID atomic.Int64
+	nextID.Store(rootJobs)
+
+	// Seed the run queue through worker 0's handle.
+	seed := q.MustHandle(0)
+	for i := int64(0); i < rootJobs; i++ {
+		seed.Enqueue(encode(i, 0))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.MustHandle(w)
+			for executed.Load() < totalJobs {
+				v, ok := h.Dequeue()
+				if !ok {
+					continue // queue momentarily empty; other workers own the rest
+				}
+				_, depth := decode(v)
+				// "Run" the job: spawn children below the depth limit.
+				if depth < maxDepth {
+					h.Enqueue(encode(nextID.Add(1), depth+1))
+					h.Enqueue(encode(nextID.Add(1), depth+1))
+				}
+				executed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := executed.Load(); got != totalJobs {
+		return fmt.Errorf("executed %d jobs, want %d", got, totalJobs)
+	}
+	if l := q.Len(); l != 0 {
+		return fmt.Errorf("run queue not drained: %d jobs left", l)
+	}
+	fmt.Printf("jobscheduler: %d workers executed %d jobs (%d roots spawning trees of depth %d)\n",
+		workers, totalJobs, rootJobs, maxDepth)
+	fmt.Printf("jobscheduler: live blocks in the ordering tree after the run: %d (GC interval G=%d)\n",
+		q.TotalBlocks(), q.GCInterval())
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command pipeline demonstrates the queue as the backbone of a multi-stage
+// stream processor — the "sharing tasks" scenario the paper's introduction
+// motivates. Raw records flow through two wait-free queues:
+//
+//	parsers -> [queue A] -> enrichers -> [queue B] -> aggregator
+//
+// Each stage runs several workers; every worker owns one handle on each
+// queue it touches. Wait-freedom means a slow worker in one stage can never
+// block the others — demonstrated here by giving one enricher an artificial
+// slowdown.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// record is a message flowing through the pipeline. Stages communicate by
+// value index into a shared store, since queue elements are single words in
+// the paper's model; a pointer works equally well.
+type record struct {
+	ID       int
+	Raw      string
+	Enriched string
+}
+
+const (
+	parsers   = 2
+	enrichers = 3
+	records   = 30_000
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pipeline:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Shared record store; queues carry indices into it.
+	store := make([]record, records)
+
+	// Queue A: parsers (enqueue) + enrichers (dequeue).
+	qa, err := repro.NewQueue[int](parsers + enrichers)
+	if err != nil {
+		return err
+	}
+	// Queue B: enrichers (enqueue) + 1 aggregator (dequeue).
+	qb, err := repro.NewQueue[int](enrichers + 1)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	// Stage 1: parsers generate and parse raw records.
+	for p := 0; p < parsers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := qa.MustHandle(p)
+			for i := p; i < records; i += parsers {
+				store[i] = record{ID: i, Raw: fmt.Sprintf("raw-%d", i)}
+				h.Enqueue(i)
+			}
+		}(p)
+	}
+
+	// Stage 2: enrichers transform records and forward them.
+	var enriched sync.WaitGroup
+	enriched.Add(records)
+	stage2done := make(chan struct{})
+	go func() { enriched.Wait(); close(stage2done) }()
+	for e := 0; e < enrichers; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			in := qa.MustHandle(parsers + e)
+			out := qb.MustHandle(e)
+			for {
+				select {
+				case <-stage2done:
+					return
+				default:
+				}
+				i, ok := in.Dequeue()
+				if !ok {
+					continue
+				}
+				store[i].Enriched = store[i].Raw + "+meta"
+				if e == 0 && i%1024 == 0 {
+					// One deliberately slow worker: wait-freedom keeps the
+					// rest of the stage making progress.
+					time.Sleep(200 * time.Microsecond)
+				}
+				out.Enqueue(i)
+				enriched.Done()
+			}
+		}(e)
+	}
+
+	// Stage 3: single aggregator.
+	var processed int
+	var checksum int64
+	agg := qb.MustHandle(enrichers)
+	for processed < records {
+		i, ok := agg.Dequeue()
+		if !ok {
+			continue
+		}
+		if store[i].Enriched == "" {
+			return fmt.Errorf("record %d reached aggregation without enrichment", i)
+		}
+		checksum += int64(i)
+		processed++
+	}
+	wg.Wait()
+
+	wantSum := int64(records) * int64(records-1) / 2
+	if checksum != wantSum {
+		return fmt.Errorf("checksum %d, want %d (lost or duplicated records)", checksum, wantSum)
+	}
+	fmt.Printf("pipeline: %d records through 3 stages (%d parsers, %d enrichers, 1 aggregator) in %v\n",
+		records, parsers, enrichers, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("pipeline: checksum verified (%d); no record lost or duplicated despite a throttled enricher\n", checksum)
+	return nil
+}

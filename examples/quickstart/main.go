@@ -1,0 +1,91 @@
+// Command quickstart is the minimal end-to-end demo of the wait-free queue:
+// a handful of goroutines, one queue handle each, concurrently enqueueing
+// and dequeueing while the main goroutine verifies that everything sent was
+// received exactly once.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const producers, consumers = 3, 3
+	const perProducer = 10_000
+
+	q, err := repro.NewQueue[int](producers + consumers)
+	if err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	received := make([][]int, consumers)
+
+	// Producers: handles 0..producers-1.
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := q.MustHandle(i)
+			for s := 0; s < perProducer; s++ {
+				h.Enqueue(i*perProducer + s)
+			}
+		}(i)
+	}
+
+	// Consumers: handles producers..producers+consumers-1. Each pulls until
+	// its share is done; an empty dequeue just means producers are behind.
+	var consumed sync.WaitGroup
+	consumed.Add(producers * perProducer)
+	done := make(chan struct{})
+	go func() { consumed.Wait(); close(done) }()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h := q.MustHandle(producers + c)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v, ok := h.Dequeue(); ok {
+					received[c] = append(received[c], v)
+					consumed.Done()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Verify exactly-once delivery.
+	seen := make(map[int]bool, producers*perProducer)
+	for c := range received {
+		for _, v := range received[c] {
+			if seen[v] {
+				return fmt.Errorf("value %d delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != producers*perProducer {
+		return fmt.Errorf("delivered %d values, want %d", len(seen), producers*perProducer)
+	}
+	fmt.Printf("quickstart: %d producers sent %d values; %d consumers received each exactly once\n",
+		producers, producers*perProducer, consumers)
+	for c := range received {
+		fmt.Printf("  consumer %d received %d values\n", c, len(received[c]))
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command vectorlog demonstrates the wait-free vector from the paper's
+// Section 7 as a concurrent append-only audit log: many goroutines append
+// events, each keeping the Ref returned by Append; afterwards any event's
+// global position can be recovered with Index and the log can be read back
+// in order with Get.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro"
+)
+
+const (
+	writers   = 4
+	perWriter = 5_000
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vectorlog:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	log, err := repro.NewVector[string](writers)
+	if err != nil {
+		return err
+	}
+
+	refs := make([][]repro.VectorRef, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := log.MustHandle(w)
+			for s := 0; s < perWriter; s++ {
+				refs[w] = append(refs[w], h.Append(fmt.Sprintf("w%d:event%d", w, s)))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if log.Len() != writers*perWriter {
+		return fmt.Errorf("log has %d entries, want %d", log.Len(), writers*perWriter)
+	}
+
+	h := log.MustHandle(0)
+	// Each writer's events appear in order, and Index/Get agree.
+	for w := 0; w < writers; w++ {
+		prev := int64(-1)
+		for s, r := range refs[w] {
+			pos, err := h.Index(r)
+			if err != nil {
+				return fmt.Errorf("Index(writer %d, event %d): %w", w, s, err)
+			}
+			if pos <= prev {
+				return fmt.Errorf("writer %d: event %d at position %d, not after %d", w, s, pos, prev)
+			}
+			prev = pos
+			got, ok := h.Get(pos)
+			if !ok || got != fmt.Sprintf("w%d:event%d", w, s) {
+				return fmt.Errorf("Get(%d) = (%q, %v)", pos, got, ok)
+			}
+		}
+	}
+
+	first3 := make([]string, 3)
+	for i := range first3 {
+		first3[i], _ = h.Get(int64(i))
+	}
+	lastPos, err := h.Index(refs[writers-1][perWriter-1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vectorlog: %d writers appended %d events\n", writers, log.Len())
+	fmt.Printf("vectorlog: log starts with %v\n", first3)
+	fmt.Printf("vectorlog: writer %d's final event landed at position %d\n", writers-1, lastPos)
+	fmt.Println("vectorlog: per-writer order and Index/Get agreement verified")
+	return nil
+}

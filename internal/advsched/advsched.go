@@ -1,0 +1,129 @@
+// Package advsched builds the worst-case executions the paper's complexity
+// claims quantify over.
+//
+// Lock-free step-complexity bounds are statements about adversarial
+// schedules: the MS-queue's Theta(p) amortized cost arises when an adversary
+// lets p processes read the same tail pointer and then releases them one at
+// a time, so each successful CAS invalidates everyone else's attempt (the
+// CAS retry problem, paper Sections 1-2). Real multicore scheduling only
+// approximates this; on any machine the adversary can be simulated exactly
+// by running each operation as an explicit step machine under a
+// deterministic scheduler. This package provides that simulator together
+// with step machines for the Michael-Scott queue, and the CAS-storm
+// adversary used by experiment T4b.
+package advsched
+
+// Machine is one virtual process's current operation as a resumable
+// sequence of shared-memory steps. Step executes exactly one shared-memory
+// operation and reports whether the operation has completed.
+type Machine interface {
+	Step() (done bool)
+	// Steps returns the number of steps executed so far by this operation.
+	Steps() int
+}
+
+// Scheduler orders steps of a set of machines deterministically.
+type Scheduler interface {
+	// Next picks the index of the machine to step among live ones; machines
+	// report done through Run.
+	Next(live []int) int
+}
+
+// Run drives all machines to completion under the scheduler and returns the
+// total number of steps executed.
+func Run(ms []Machine, s Scheduler) int {
+	live := make([]int, 0, len(ms))
+	for i := range ms {
+		live = append(live, i)
+	}
+	total := 0
+	for len(live) > 0 {
+		pick := s.Next(live)
+		m := ms[live[pick]]
+		total++
+		if m.Step() {
+			live = append(live[:pick], live[pick+1:]...)
+		}
+	}
+	return total
+}
+
+// RoundRobin steps machines in rotation: the fairest schedule.
+type RoundRobin struct{ i int }
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next(live []int) int {
+	r.i++
+	return r.i % len(live)
+}
+
+// stormMachine is implemented by machines that know when their next step is
+// a CAS attempt.
+type stormMachine interface {
+	AtCAS() bool
+}
+
+// StormRun drives machines with the CAS-storm adversary — the schedule
+// behind the CAS retry problem. It repeatedly (1) advances every machine to
+// the brink of its CAS (machines expose that boundary via AtCAS), (2)
+// releases exactly one machine, whose CAS succeeds, and (3) fires everyone
+// else's now-doomed CAS. Machines that do not implement AtCAS are simply run
+// to completion. The return value is the total number of steps executed.
+func StormRun(ms []Machine) int {
+	live := make([]int, 0, len(ms))
+	for i := range ms {
+		live = append(live, i)
+	}
+	total := 0
+	for len(live) > 0 {
+		// Phase 1: advance every live machine until it is poised at a CAS
+		// (or finishes outright).
+		progressed := true
+		for progressed {
+			progressed = false
+			for k := 0; k < len(live); {
+				m := ms[live[k]]
+				sm, ok := m.(stormMachine)
+				if ok && sm.AtCAS() {
+					k++
+					continue
+				}
+				total++
+				progressed = true
+				if m.Step() {
+					live = append(live[:k], live[k+1:]...)
+					continue
+				}
+				k++
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		// Phase 2: release exactly one poised machine; its CAS succeeds and
+		// everyone else's pending attempt is now doomed.
+		total++
+		if ms[live[0]].Step() {
+			live = live[1:]
+		}
+		// Phase 3: fire every other poised machine's doomed CAS. Each fails
+		// and falls back to re-reading, which the next round's phase 1
+		// charges — this is precisely the CAS retry problem: one success
+		// invalidates p-1 concurrent attempts.
+		for k := 0; k < len(live); {
+			m := ms[live[k]]
+			sm, ok := m.(stormMachine)
+			if !ok || !sm.AtCAS() {
+				k++
+				continue
+			}
+			total++
+			if m.Step() {
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			k++
+		}
+	}
+	return total
+}

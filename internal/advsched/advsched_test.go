@@ -1,0 +1,222 @@
+package advsched
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMSEnqueueDequeueSequential(t *testing.T) {
+	q := NewMSQueue()
+	for i := int64(0); i < 5; i++ {
+		m := NewMSEnqueue(q, i)
+		for !m.Step() {
+		}
+	}
+	got := q.Drain()
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("Drain[%d] = %d", i, v)
+		}
+	}
+	for i := int64(0); i < 5; i++ {
+		d := NewMSDequeue(q)
+		for !d.Step() {
+		}
+		if !d.OK || d.Val != i {
+			t.Fatalf("dequeue %d = (%d, %v)", i, d.Val, d.OK)
+		}
+	}
+	d := NewMSDequeue(q)
+	for !d.Step() {
+	}
+	if d.OK {
+		t.Fatal("dequeue on empty queue returned a value")
+	}
+}
+
+func TestRoundRobinCompletesAll(t *testing.T) {
+	q := NewMSQueue()
+	ms := make([]Machine, 8)
+	for i := range ms {
+		ms[i] = NewMSEnqueue(q, int64(i))
+	}
+	total := Run(ms, &RoundRobin{})
+	if total <= 0 {
+		t.Fatal("no steps executed")
+	}
+	if got := len(q.Drain()); got != 8 {
+		t.Fatalf("%d values enqueued, want 8", got)
+	}
+}
+
+// TestCASStormQuadratic verifies the CAS retry problem: p concurrent
+// enqueues under the storm adversary cost Theta(p^2) total steps, i.e.
+// Theta(p) amortized — the paper's lower-bound scenario for the MS-queue.
+func TestCASStormQuadratic(t *testing.T) {
+	stepsAt := func(p int) int {
+		q := NewMSQueue()
+		ms := make([]Machine, p)
+		for i := range ms {
+			ms[i] = NewMSEnqueue(q, int64(i))
+		}
+		total := StormRun(ms)
+		if got := len(q.Drain()); got != p {
+			t.Fatalf("p=%d: %d values enqueued", p, got)
+		}
+		return total
+	}
+	for _, p := range []int{4, 8, 16, 32} {
+		small, big := stepsAt(p), stepsAt(2*p)
+		ratio := float64(big) / float64(small)
+		// Quadratic growth doubles amortized cost when p doubles: the total
+		// should grow ~4x (allow slack for lower-order terms).
+		if ratio < 3.0 {
+			t.Errorf("p=%d->%d: total steps %d -> %d (ratio %.2f), want ~4x for Theta(p^2)",
+				p, 2*p, small, big, ratio)
+		}
+		perOp := float64(small) / float64(p)
+		if perOp < float64(p)/2 {
+			t.Errorf("p=%d: %.1f steps/op, want Omega(p)", p, perOp)
+		}
+	}
+}
+
+func TestStormPreservesFIFOPerMachineOrder(t *testing.T) {
+	// All values must be present exactly once after the storm.
+	q := NewMSQueue()
+	const p = 10
+	ms := make([]Machine, p)
+	for i := range ms {
+		ms[i] = NewMSEnqueue(q, int64(i))
+	}
+	StormRun(ms)
+	seen := map[int64]bool{}
+	for _, v := range q.Drain() {
+		if seen[v] {
+			t.Fatalf("value %d enqueued twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != p {
+		t.Fatalf("%d values, want %d", len(seen), p)
+	}
+}
+
+func TestStormDequeues(t *testing.T) {
+	q := NewMSQueue()
+	const n = 16
+	for i := int64(0); i < n; i++ {
+		m := NewMSEnqueue(q, i)
+		for !m.Step() {
+		}
+	}
+	ms := make([]Machine, n)
+	for i := range ms {
+		ms[i] = NewMSDequeue(q)
+	}
+	StormRun(ms)
+	seen := map[int64]bool{}
+	for _, m := range ms {
+		d := m.(*MSDequeue)
+		if !d.OK {
+			t.Fatal("dequeue returned empty on full queue")
+		}
+		if seen[d.Val] {
+			t.Fatalf("value %d dequeued twice", d.Val)
+		}
+		seen[d.Val] = true
+	}
+	if len(q.Drain()) != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestMixedRoundRobinLinearizable(t *testing.T) {
+	// Interleave enqueues and dequeues under round robin; the multiset of
+	// dequeued + remaining values must equal the enqueued ones.
+	for _, p := range []int{2, 6, 12} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			q := NewMSQueue()
+			ms := make([]Machine, 0, 2*p)
+			for i := 0; i < p; i++ {
+				ms = append(ms, NewMSEnqueue(q, int64(i)))
+				ms = append(ms, NewMSDequeue(q))
+			}
+			Run(ms, &RoundRobin{})
+			got := map[int64]int{}
+			for _, v := range q.Drain() {
+				got[v]++
+			}
+			for _, m := range ms {
+				if d, ok := m.(*MSDequeue); ok && d.OK {
+					got[d.Val]++
+				}
+			}
+			for i := 0; i < p; i++ {
+				if got[int64(i)] != 1 {
+					t.Fatalf("value %d seen %d times", i, got[int64(i)])
+				}
+			}
+		})
+	}
+}
+
+func TestFAASequential(t *testing.T) {
+	q := NewFAAQueue(4)
+	for i := int64(0); i < 20; i++ {
+		m := NewFAAEnqueue(q, i)
+		for !m.Step() {
+		}
+	}
+	got := q.Drain()
+	if len(got) != 20 {
+		t.Fatalf("drained %d values", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("Drain[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestFAAFastPathImmuneToStorm: with large segments the FAA fast path never
+// retries, so the storm costs O(1) amortized — the paper's point about why
+// fetch&add queues are fast in the common case.
+func TestFAAFastPathImmuneToStorm(t *testing.T) {
+	const p = 32
+	q := NewFAAQueue(1024)
+	ms := make([]Machine, p)
+	for i := range ms {
+		ms[i] = NewFAAEnqueue(q, int64(i))
+	}
+	total := StormRun(ms)
+	if perOp := float64(total) / p; perOp > 6 {
+		t.Fatalf("fast path cost %.1f steps/op under storm, want O(1)", perOp)
+	}
+	if len(q.Drain()) != p {
+		t.Fatal("lost values")
+	}
+}
+
+// TestFAASlowPathQuadraticUnderStorm: with segment size 1 every enqueue
+// takes the slow path and the CAS retry problem reappears (Section 2).
+func TestFAASlowPathQuadraticUnderStorm(t *testing.T) {
+	stepsAt := func(p int) int {
+		q := NewFAAQueue(1)
+		ms := make([]Machine, p)
+		for i := range ms {
+			ms[i] = NewFAAEnqueue(q, int64(i))
+		}
+		total := StormRun(ms)
+		if got := len(q.Drain()); got != p {
+			t.Fatalf("p=%d: drained %d values", p, got)
+		}
+		return total
+	}
+	for _, p := range []int{8, 16, 32} {
+		small, big := stepsAt(p), stepsAt(2*p)
+		if ratio := float64(big) / float64(small); ratio < 3.0 {
+			t.Errorf("p=%d->%d: steps %d -> %d (ratio %.2f), want ~4x", p, 2*p, small, big, ratio)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package advsched
+
+// Step machine for the fetch&add segment queue's enqueue, with a
+// configurable segment size. With large segments the FAA fast path never
+// retries; with segment size 1 every operation takes the slow path (append
+// a new segment with CAS), where the CAS retry problem reappears — exactly
+// the behaviour the paper describes for the LCRQ family (Section 2,
+// "Array-Based Queues").
+
+// FAASegment is one simulated segment.
+type FAASegment struct {
+	cells  []int64
+	filled []bool
+	enqIdx int
+	next   *FAASegment
+}
+
+// FAAQueue is the simulated segment-queue state.
+type FAAQueue struct {
+	segSize int
+	head    *FAASegment
+	tail    *FAASegment
+}
+
+// NewFAAQueue creates an empty simulated FAA queue with the given segment
+// size (>= 1).
+func NewFAAQueue(segSize int) *FAAQueue {
+	if segSize < 1 {
+		segSize = 1
+	}
+	seg := &FAASegment{cells: make([]int64, segSize), filled: make([]bool, segSize)}
+	return &FAAQueue{segSize: segSize, head: seg, tail: seg}
+}
+
+// Drain returns the enqueued values in order (for test verification).
+func (q *FAAQueue) Drain() []int64 {
+	var out []int64
+	for s := q.head; s != nil; s = s.next {
+		for i := 0; i < s.enqIdx && i < q.segSize; i++ {
+			if s.filled[i] {
+				out = append(out, s.cells[i])
+			}
+		}
+	}
+	return out
+}
+
+// Enqueue phases.
+const (
+	faaReadTail = iota
+	faaFAA
+	faaWriteCell
+	faaReadNext
+	faaCASNext // slow path: the contended CAS
+	faaCASTail
+	faaDone
+)
+
+// FAAEnqueue is one enqueue as a step machine.
+type FAAEnqueue struct {
+	q     *FAAQueue
+	value int64
+	phase int
+	steps int
+
+	tail *FAASegment
+	idx  int
+	next *FAASegment
+	seg  *FAASegment // prepared replacement segment
+}
+
+// NewFAAEnqueue prepares an Enqueue(v) machine on q.
+func NewFAAEnqueue(q *FAAQueue, v int64) *FAAEnqueue {
+	return &FAAEnqueue{q: q, value: v}
+}
+
+// Steps implements Machine.
+func (m *FAAEnqueue) Steps() int { return m.steps }
+
+// AtCAS reports whether the next step is the slow path's contended CAS.
+func (m *FAAEnqueue) AtCAS() bool { return m.phase == faaCASNext }
+
+// Step implements Machine.
+func (m *FAAEnqueue) Step() bool {
+	m.steps++
+	switch m.phase {
+	case faaReadTail:
+		m.tail = m.q.tail
+		m.phase = faaFAA
+	case faaFAA:
+		// fetch&add claims a cell index; never retried on the fast path.
+		m.idx = m.tail.enqIdx
+		m.tail.enqIdx++
+		if m.idx < m.q.segSize {
+			m.phase = faaWriteCell
+		} else {
+			m.phase = faaReadNext
+		}
+	case faaWriteCell:
+		m.tail.cells[m.idx] = m.value
+		m.tail.filled[m.idx] = true
+		m.phase = faaDone
+	case faaReadNext:
+		m.next = m.tail.next
+		if m.next != nil {
+			// Segment already replaced; help swing tail and retry.
+			if m.q.tail == m.tail {
+				m.q.tail = m.next
+			}
+			m.phase = faaReadTail
+		} else {
+			// Prepare a fresh segment carrying our value in cell 0.
+			m.seg = &FAASegment{
+				cells:  make([]int64, m.q.segSize),
+				filled: make([]bool, m.q.segSize),
+				enqIdx: 1,
+			}
+			m.seg.cells[0] = m.value
+			m.seg.filled[0] = true
+			m.phase = faaCASNext
+		}
+	case faaCASNext:
+		if m.tail.next == nil { // CAS(tail.next, nil, seg)
+			m.tail.next = m.seg
+			m.phase = faaCASTail
+		} else {
+			m.phase = faaReadTail // failed CAS: the retry problem
+		}
+	case faaCASTail:
+		if m.q.tail == m.tail {
+			m.q.tail = m.seg
+		}
+		m.phase = faaDone
+	}
+	return m.phase == faaDone
+}

@@ -1,0 +1,159 @@
+package advsched
+
+// Step machines for the Michael-Scott queue. The shared state is the same
+// linked structure as internal/baseline/msqueue, but every shared-memory
+// access is a separate Step so a deterministic adversary can interleave at
+// the granularity the paper's lower-bound arguments use. No atomics are
+// needed: the simulator is single-threaded by construction.
+type msNode struct {
+	value int64
+	next  *msNode
+}
+
+// MSQueue is the simulated Michael-Scott queue state.
+type MSQueue struct {
+	head *msNode
+	tail *msNode
+}
+
+// NewMSQueue creates an empty simulated MS-queue.
+func NewMSQueue() *MSQueue {
+	dummy := &msNode{}
+	return &MSQueue{head: dummy, tail: dummy}
+}
+
+// Drain returns the queue's contents (for test verification).
+func (q *MSQueue) Drain() []int64 {
+	var out []int64
+	for n := q.head.next; n != nil; n = n.next {
+		out = append(out, n.value)
+	}
+	return out
+}
+
+// Enqueue phases.
+const (
+	msEnqReadTail = iota
+	msEnqReadNext
+	msEnqCASNext // the linearizing CAS
+	msEnqCASTail
+	msEnqDone
+)
+
+// MSEnqueue is one enqueue operation as a step machine.
+type MSEnqueue struct {
+	q     *MSQueue
+	node  *msNode
+	phase int
+	steps int
+
+	tail *msNode // local snapshot from msEnqReadTail
+	next *msNode // local snapshot from msEnqReadNext
+}
+
+// NewMSEnqueue prepares an Enqueue(v) machine on q.
+func NewMSEnqueue(q *MSQueue, v int64) *MSEnqueue {
+	return &MSEnqueue{q: q, node: &msNode{value: v}}
+}
+
+// Steps implements Machine.
+func (m *MSEnqueue) Steps() int { return m.steps }
+
+// AtCAS reports whether the next step is the linearizing CAS attempt.
+func (m *MSEnqueue) AtCAS() bool { return m.phase == msEnqCASNext }
+
+// Step implements Machine: one shared-memory operation of the MS enqueue
+// loop.
+func (m *MSEnqueue) Step() bool {
+	m.steps++
+	switch m.phase {
+	case msEnqReadTail:
+		m.tail = m.q.tail
+		m.phase = msEnqReadNext
+	case msEnqReadNext:
+		m.next = m.tail.next
+		if m.next != nil {
+			// Tail lagging: help swing it, then retry from the top. The
+			// help itself is a CAS; charge it to this step.
+			if m.q.tail == m.tail {
+				m.q.tail = m.next
+			}
+			m.phase = msEnqReadTail
+		} else {
+			m.phase = msEnqCASNext
+		}
+	case msEnqCASNext:
+		if m.tail.next == m.next { // CAS(tail.next, nil, node)
+			m.tail.next = m.node
+			m.phase = msEnqCASTail
+		} else {
+			m.phase = msEnqReadTail // failed CAS: retry
+		}
+	case msEnqCASTail:
+		if m.q.tail == m.tail { // CAS(q.tail, tail, node)
+			m.q.tail = m.node
+		}
+		m.phase = msEnqDone
+	}
+	return m.phase == msEnqDone
+}
+
+// Dequeue phases.
+const (
+	msDeqReadHead = iota
+	msDeqReadNext
+	msDeqCASHead
+	msDeqDone
+)
+
+// MSDequeue is one dequeue operation as a step machine.
+type MSDequeue struct {
+	q     *MSQueue
+	phase int
+	steps int
+
+	head *msNode
+	next *msNode
+
+	// Val and OK hold the response once the machine completes.
+	Val int64
+	OK  bool
+}
+
+// NewMSDequeue prepares a Dequeue machine on q.
+func NewMSDequeue(q *MSQueue) *MSDequeue {
+	return &MSDequeue{q: q}
+}
+
+// Steps implements Machine.
+func (m *MSDequeue) Steps() int { return m.steps }
+
+// AtCAS reports whether the next step is the linearizing CAS attempt.
+func (m *MSDequeue) AtCAS() bool { return m.phase == msDeqCASHead }
+
+// Step implements Machine.
+func (m *MSDequeue) Step() bool {
+	m.steps++
+	switch m.phase {
+	case msDeqReadHead:
+		m.head = m.q.head
+		m.phase = msDeqReadNext
+	case msDeqReadNext:
+		m.next = m.head.next
+		if m.next == nil {
+			m.OK = false
+			m.phase = msDeqDone
+		} else {
+			m.phase = msDeqCASHead
+		}
+	case msDeqCASHead:
+		if m.q.head == m.head { // CAS(q.head, head, next)
+			m.q.head = m.next
+			m.Val, m.OK = m.next.value, true
+			m.phase = msDeqDone
+		} else {
+			m.phase = msDeqReadHead // failed CAS: retry
+		}
+	}
+	return m.phase == msDeqDone
+}

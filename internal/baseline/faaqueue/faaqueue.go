@@ -1,0 +1,161 @@
+// Package faaqueue implements a segmented fetch&add queue in the LCRQ family
+// (Morrison-Afek 2013; the specific shape follows the FAA-array queue of
+// Ramalhete and Correia). Operations claim cells with fetch&add on per-segment
+// indices; when a segment is exhausted, processes fall back to a CAS on the
+// segment list — the slow path where the CAS retry problem reappears, which
+// is exactly the behaviour the paper describes for this family (Section 2,
+// "Array-Based Queues").
+package faaqueue
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/queues"
+)
+
+// segSize is the number of cells per segment. Large enough to make the FAA
+// fast path dominate, small enough to exercise segment transitions in tests.
+const segSize = 256
+
+// taken is the sentinel installed by dequeuers; a poisoned or consumed cell
+// points at it.
+var taken int64
+
+type segment struct {
+	cells  [segSize]atomic.Pointer[int64]
+	enqIdx atomic.Int64
+	deqIdx atomic.Int64
+	next   atomic.Pointer[segment]
+}
+
+// Queue is a segmented FAA queue.
+type Queue struct {
+	head    atomic.Pointer[segment]
+	tail    atomic.Pointer[segment]
+	procs   int
+	handles []Handle
+}
+
+var _ queues.Queue = (*Queue)(nil)
+
+// New creates a queue with procs handles.
+func New(procs int) (*Queue, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("faaqueue: process count must be at least 1 (got %d)", procs)
+	}
+	seg := &segment{}
+	q := &Queue{procs: procs}
+	q.head.Store(seg)
+	q.tail.Store(seg)
+	q.handles = make([]Handle, procs)
+	for i := range q.handles {
+		q.handles[i] = Handle{queue: q}
+	}
+	return q, nil
+}
+
+// Name implements queues.Queue.
+func (q *Queue) Name() string { return "faa-seg" }
+
+// Procs implements queues.Queue.
+func (q *Queue) Procs() int { return q.procs }
+
+// Handle implements queues.Queue.
+func (q *Queue) Handle(i int) (queues.Handle, error) {
+	if i < 0 || i >= q.procs {
+		return nil, fmt.Errorf("faaqueue: handle index %d out of range [0,%d)", i, q.procs)
+	}
+	return &q.handles[i], nil
+}
+
+// Handle is one process's instrumented access point.
+type Handle struct {
+	queue   *Queue
+	counter *metrics.Counter
+}
+
+var _ queues.Handle = (*Handle)(nil)
+
+// SetCounter implements queues.Handle.
+func (h *Handle) SetCounter(c *metrics.Counter) { h.counter = c }
+
+// Enqueue implements queues.Handle.
+func (h *Handle) Enqueue(v int64) {
+	h.counter.BeginOp()
+	q := h.queue
+	val := &v
+	for {
+		h.counter.Read(1)
+		tail := q.tail.Load()
+		// Fetch&add claims a cell; count it as one CAS-class RMW.
+		h.counter.CAS(true)
+		idx := tail.enqIdx.Add(1) - 1
+		if idx >= segSize {
+			// Segment full: slow path, append a fresh segment.
+			h.counter.Read(1)
+			if q.tail.Load() != tail {
+				continue
+			}
+			h.counter.Read(1)
+			next := tail.next.Load()
+			if next == nil {
+				seg := &segment{}
+				seg.cells[0].Store(val)
+				seg.enqIdx.Store(1)
+				if ok := tail.next.CompareAndSwap(nil, seg); ok {
+					h.counter.CAS(true)
+					h.counter.CAS(q.tail.CompareAndSwap(tail, seg))
+					h.counter.EndOp(metrics.OpEnqueue)
+					return
+				}
+				h.counter.CAS(false)
+			} else {
+				h.counter.CAS(q.tail.CompareAndSwap(tail, next))
+			}
+			continue
+		}
+		if ok := tail.cells[idx].CompareAndSwap(nil, val); ok {
+			h.counter.CAS(true)
+			h.counter.EndOp(metrics.OpEnqueue)
+			return
+		}
+		// Cell was poisoned by a racing dequeuer; try another cell.
+		h.counter.CAS(false)
+	}
+}
+
+// Dequeue implements queues.Handle.
+func (h *Handle) Dequeue() (int64, bool) {
+	q := h.queue
+	h.counter.BeginOp()
+	for {
+		h.counter.Read(3)
+		head := q.head.Load()
+		if head.deqIdx.Load() >= head.enqIdx.Load() && head.next.Load() == nil {
+			h.counter.EndOp(metrics.OpNullDequeue)
+			return 0, false
+		}
+		h.counter.CAS(true)
+		idx := head.deqIdx.Add(1) - 1
+		if idx >= segSize {
+			// Segment drained: advance to the next one.
+			h.counter.Read(1)
+			next := head.next.Load()
+			if next == nil {
+				h.counter.EndOp(metrics.OpNullDequeue)
+				return 0, false
+			}
+			h.counter.CAS(q.head.CompareAndSwap(head, next))
+			continue
+		}
+		h.counter.CAS(true) // the swap below is one RMW
+		old := head.cells[idx].Swap(&taken)
+		if old != nil && old != &taken {
+			h.counter.EndOp(metrics.OpDequeue)
+			return *old, true
+		}
+		// Poisoned an in-flight enqueue's cell; take the next index.
+	}
+}

@@ -1,0 +1,16 @@
+package faaqueue_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline/faaqueue"
+	"repro/internal/queues"
+	"repro/internal/queues/queuetest"
+)
+
+func TestConformance(t *testing.T) {
+	queuetest.Run(t, queues.Factory{
+		Name: "faa-seg",
+		New:  func(p int) (queues.Queue, error) { return faaqueue.New(p) },
+	})
+}

@@ -1,0 +1,290 @@
+// Package kpqueue implements the wait-free queue of Kogan and Petrank
+// ("Wait-free queues with multiple enqueuers and dequeuers", PPoPP 2011) —
+// the canonical wait-free baseline the paper discusses in Section 2. It
+// makes the MS-queue wait-free with Herlihy-style helping: every operation
+// announces itself in a per-process state array with a monotone phase
+// number, and each operation helps all pending operations with phases at
+// most its own before returning. Helping scans the whole state array, so
+// the step complexity is Omega(p) per operation even without contention —
+// the cost the Naderibeni-Ruppert queue eliminates.
+package kpqueue
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/queues"
+)
+
+type node struct {
+	value  int64
+	next   atomic.Pointer[node]
+	enqTid int32
+	deqTid atomic.Int32
+}
+
+func newNode(value int64, enqTid int32) *node {
+	n := &node{value: value, enqTid: enqTid}
+	n.deqTid.Store(-1)
+	return n
+}
+
+// opDesc announces one process's pending or completed operation. Descriptors
+// are immutable; the state array is updated by CAS to a fresh descriptor.
+type opDesc struct {
+	phase   int64
+	pending bool
+	enqueue bool
+	node    *node
+}
+
+// Queue is a Kogan-Petrank wait-free FIFO queue.
+type Queue struct {
+	head    atomic.Pointer[node]
+	tail    atomic.Pointer[node]
+	state   []atomic.Pointer[opDesc]
+	procs   int
+	handles []Handle
+}
+
+var _ queues.Queue = (*Queue)(nil)
+
+// New creates a queue with procs handles.
+func New(procs int) (*Queue, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("kpqueue: process count must be at least 1 (got %d)", procs)
+	}
+	dummy := newNode(0, -1)
+	q := &Queue{procs: procs, state: make([]atomic.Pointer[opDesc], procs)}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	for i := range q.state {
+		q.state[i].Store(&opDesc{phase: -1, pending: false})
+	}
+	q.handles = make([]Handle, procs)
+	for i := range q.handles {
+		q.handles[i] = Handle{queue: q, tid: int32(i)}
+	}
+	return q, nil
+}
+
+// Name implements queues.Queue.
+func (q *Queue) Name() string { return "kp-queue" }
+
+// Procs implements queues.Queue.
+func (q *Queue) Procs() int { return q.procs }
+
+// Handle implements queues.Queue.
+func (q *Queue) Handle(i int) (queues.Handle, error) {
+	if i < 0 || i >= q.procs {
+		return nil, fmt.Errorf("kpqueue: handle index %d out of range [0,%d)", i, q.procs)
+	}
+	return &q.handles[i], nil
+}
+
+// Handle is one process's instrumented access point.
+type Handle struct {
+	queue   *Queue
+	tid     int32
+	counter *metrics.Counter
+}
+
+var _ queues.Handle = (*Handle)(nil)
+
+// SetCounter implements queues.Handle.
+func (h *Handle) SetCounter(c *metrics.Counter) { h.counter = c }
+
+// maxPhase scans the state array for the largest announced phase.
+func (h *Handle) maxPhase() int64 {
+	var max int64 = -1
+	for i := range h.queue.state {
+		h.counter.Read(1)
+		if p := h.queue.state[i].Load().phase; p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+func (h *Handle) isStillPending(tid int32, phase int64) bool {
+	h.counter.Read(1)
+	desc := h.queue.state[tid].Load()
+	return desc.pending && desc.phase <= phase
+}
+
+// Enqueue implements queues.Handle.
+func (h *Handle) Enqueue(v int64) {
+	h.counter.BeginOp()
+	phase := h.maxPhase() + 1
+	h.counter.Write()
+	h.queue.state[h.tid].Store(&opDesc{
+		phase: phase, pending: true, enqueue: true, node: newNode(v, h.tid),
+	})
+	h.help(phase)
+	h.helpFinishEnq()
+	h.counter.EndOp(metrics.OpEnqueue)
+}
+
+// Dequeue implements queues.Handle.
+func (h *Handle) Dequeue() (int64, bool) {
+	h.counter.BeginOp()
+	phase := h.maxPhase() + 1
+	h.counter.Write()
+	h.queue.state[h.tid].Store(&opDesc{
+		phase: phase, pending: true, enqueue: false, node: nil,
+	})
+	h.help(phase)
+	h.helpFinishDeq()
+	h.counter.Read(1)
+	node := h.queue.state[h.tid].Load().node
+	if node == nil {
+		h.counter.EndOp(metrics.OpNullDequeue)
+		return 0, false
+	}
+	h.counter.Read(2)
+	v := node.next.Load().value
+	h.counter.EndOp(metrics.OpDequeue)
+	return v, true
+}
+
+// help assists every pending operation with phase at most the caller's —
+// the Herlihy helping loop that guarantees wait-freedom at Omega(p) cost.
+func (h *Handle) help(phase int64) {
+	for i := range h.queue.state {
+		h.counter.Read(1)
+		desc := h.queue.state[i].Load()
+		if desc.pending && desc.phase <= phase {
+			if desc.enqueue {
+				h.helpEnq(int32(i), phase)
+			} else {
+				h.helpDeq(int32(i), phase)
+			}
+		}
+	}
+}
+
+func (h *Handle) helpEnq(tid int32, phase int64) {
+	for h.isStillPending(tid, phase) {
+		h.counter.Read(2)
+		last := h.queue.tail.Load()
+		next := last.next.Load()
+		h.counter.Read(1)
+		if last != h.queue.tail.Load() {
+			continue
+		}
+		if next != nil {
+			h.helpFinishEnq()
+			continue
+		}
+		if !h.isStillPending(tid, phase) {
+			return
+		}
+		h.counter.Read(1)
+		node := h.queue.state[tid].Load().node
+		if node == nil {
+			return
+		}
+		if ok := last.next.CompareAndSwap(nil, node); ok {
+			h.counter.CAS(true)
+			h.helpFinishEnq()
+			return
+		}
+		h.counter.CAS(false)
+	}
+}
+
+func (h *Handle) helpFinishEnq() {
+	h.counter.Read(2)
+	last := h.queue.tail.Load()
+	next := last.next.Load()
+	if next == nil {
+		return
+	}
+	tid := next.enqTid
+	if tid < 0 {
+		// The dummy node is never a pending enqueue's node; just swing tail.
+		h.counter.CAS(h.queue.tail.CompareAndSwap(last, next))
+		return
+	}
+	h.counter.Read(2)
+	curDesc := h.queue.state[tid].Load()
+	if last != h.queue.tail.Load() {
+		return
+	}
+	if curDesc.node == next {
+		newDesc := &opDesc{phase: curDesc.phase, pending: false, enqueue: true, node: next}
+		h.counter.CAS(h.queue.state[tid].CompareAndSwap(curDesc, newDesc))
+	}
+	h.counter.CAS(h.queue.tail.CompareAndSwap(last, next))
+}
+
+func (h *Handle) helpDeq(tid int32, phase int64) {
+	for h.isStillPending(tid, phase) {
+		h.counter.Read(3)
+		first := h.queue.head.Load()
+		last := h.queue.tail.Load()
+		next := first.next.Load()
+		h.counter.Read(1)
+		if first != h.queue.head.Load() {
+			continue
+		}
+		if first == last {
+			if next == nil {
+				// Queue empty: record a null response.
+				h.counter.Read(2)
+				curDesc := h.queue.state[tid].Load()
+				if last != h.queue.tail.Load() {
+					continue
+				}
+				if !h.isStillPending(tid, phase) {
+					return
+				}
+				newDesc := &opDesc{phase: curDesc.phase, pending: false, enqueue: false, node: nil}
+				h.counter.CAS(h.queue.state[tid].CompareAndSwap(curDesc, newDesc))
+				continue
+			}
+			// Tail lagging behind a concurrent enqueue.
+			h.helpFinishEnq()
+			continue
+		}
+		h.counter.Read(1)
+		curDesc := h.queue.state[tid].Load()
+		node := curDesc.node
+		if !h.isStillPending(tid, phase) {
+			return
+		}
+		if node != first {
+			h.counter.Read(1)
+			if first != h.queue.head.Load() {
+				continue
+			}
+			newDesc := &opDesc{phase: curDesc.phase, pending: true, enqueue: false, node: first}
+			if ok := h.queue.state[tid].CompareAndSwap(curDesc, newDesc); !ok {
+				h.counter.CAS(false)
+				continue
+			}
+			h.counter.CAS(true)
+		}
+		h.counter.CAS(first.deqTid.CompareAndSwap(-1, tid))
+		h.helpFinishDeq()
+	}
+}
+
+func (h *Handle) helpFinishDeq() {
+	h.counter.Read(3)
+	first := h.queue.head.Load()
+	next := first.next.Load()
+	tid := first.deqTid.Load()
+	if tid == -1 {
+		return
+	}
+	h.counter.Read(2)
+	curDesc := h.queue.state[tid].Load()
+	if first != h.queue.head.Load() || next == nil {
+		return
+	}
+	newDesc := &opDesc{phase: curDesc.phase, pending: false, enqueue: false, node: curDesc.node}
+	h.counter.CAS(h.queue.state[tid].CompareAndSwap(curDesc, newDesc))
+	h.counter.CAS(h.queue.head.CompareAndSwap(first, next))
+}

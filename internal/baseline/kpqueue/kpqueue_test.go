@@ -1,0 +1,16 @@
+package kpqueue_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline/kpqueue"
+	"repro/internal/queues"
+	"repro/internal/queues/queuetest"
+)
+
+func TestConformance(t *testing.T) {
+	queuetest.Run(t, queues.Factory{
+		Name: "kp-queue",
+		New:  func(p int) (queues.Queue, error) { return kpqueue.New(p) },
+	})
+}

@@ -1,0 +1,124 @@
+// Package msqueue implements the classic Michael-Scott lock-free queue
+// (PODC 1996), the baseline the paper positions itself against. It is
+// linearizable and lock-free but suffers the CAS retry problem: under p-way
+// contention a successful CAS on the tail (or head) can make the other p-1
+// processes retry, so amortized step complexity is Theta(p) per operation in
+// worst-case executions (paper, Sections 1-2).
+package msqueue
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/queues"
+)
+
+type node struct {
+	value int64
+	next  atomic.Pointer[node]
+}
+
+// Queue is a Michael-Scott lock-free FIFO queue.
+type Queue struct {
+	head    atomic.Pointer[node] // points at the dummy node
+	tail    atomic.Pointer[node]
+	procs   int
+	handles []Handle
+}
+
+var _ queues.Queue = (*Queue)(nil)
+
+// New creates a queue with procs handles.
+func New(procs int) (*Queue, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("msqueue: process count must be at least 1 (got %d)", procs)
+	}
+	dummy := &node{}
+	q := &Queue{procs: procs}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	q.handles = make([]Handle, procs)
+	for i := range q.handles {
+		q.handles[i] = Handle{queue: q}
+	}
+	return q, nil
+}
+
+// Name implements queues.Queue.
+func (q *Queue) Name() string { return "ms-queue" }
+
+// Procs implements queues.Queue.
+func (q *Queue) Procs() int { return q.procs }
+
+// Handle implements queues.Queue.
+func (q *Queue) Handle(i int) (queues.Handle, error) {
+	if i < 0 || i >= q.procs {
+		return nil, fmt.Errorf("msqueue: handle index %d out of range [0,%d)", i, q.procs)
+	}
+	return &q.handles[i], nil
+}
+
+// Handle is one process's instrumented access point.
+type Handle struct {
+	queue   *Queue
+	counter *metrics.Counter
+}
+
+var _ queues.Handle = (*Handle)(nil)
+
+// SetCounter implements queues.Handle.
+func (h *Handle) SetCounter(c *metrics.Counter) { h.counter = c }
+
+// Enqueue implements queues.Handle (the MS-queue enqueue loop).
+func (h *Handle) Enqueue(v int64) {
+	h.counter.BeginOp()
+	n := &node{value: v}
+	for {
+		h.counter.Read(2)
+		tail := h.queue.tail.Load()
+		next := tail.next.Load()
+		if next != nil {
+			// Tail is lagging; help swing it and retry.
+			h.counter.CAS(h.queue.tail.CompareAndSwap(tail, next))
+			continue
+		}
+		if ok := tail.next.CompareAndSwap(nil, n); ok {
+			h.counter.CAS(true)
+			h.counter.CAS(h.queue.tail.CompareAndSwap(tail, n))
+			break
+		}
+		h.counter.CAS(false)
+	}
+	h.counter.EndOp(metrics.OpEnqueue)
+}
+
+// Dequeue implements queues.Handle (the MS-queue dequeue loop).
+func (h *Handle) Dequeue() (int64, bool) {
+	for {
+		h.counter.BeginOp()
+		h.counter.Read(3)
+		head := h.queue.head.Load()
+		tail := h.queue.tail.Load()
+		next := head.next.Load()
+		if head == tail {
+			if next == nil {
+				h.counter.EndOp(metrics.OpNullDequeue)
+				return 0, false
+			}
+			// Tail lagging behind a half-finished enqueue; help.
+			h.counter.CAS(h.queue.tail.CompareAndSwap(tail, next))
+			continue
+		}
+		// Read the value before the CAS: after the CAS another dequeuer
+		// could recycle the node (Go's GC makes the read safe regardless).
+		h.counter.Read(1)
+		v := next.value
+		if ok := h.queue.head.CompareAndSwap(head, next); ok {
+			h.counter.CAS(true)
+			h.counter.EndOp(metrics.OpDequeue)
+			return v, true
+		}
+		h.counter.CAS(false)
+	}
+}

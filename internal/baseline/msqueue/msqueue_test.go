@@ -1,0 +1,16 @@
+package msqueue_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline/msqueue"
+	"repro/internal/queues"
+	"repro/internal/queues/queuetest"
+)
+
+func TestConformance(t *testing.T) {
+	queuetest.Run(t, queues.Factory{
+		Name: "ms-queue",
+		New:  func(p int) (queues.Queue, error) { return msqueue.New(p) },
+	})
+}

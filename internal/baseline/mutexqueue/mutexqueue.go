@@ -1,0 +1,115 @@
+// Package mutexqueue implements the simplest correct shared queue: a growable
+// ring buffer guarded by a single mutex. It is the floor baseline: trivially
+// linearizable, blocking, and fully serialized.
+package mutexqueue
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/queues"
+)
+
+// Queue is a mutex-guarded ring-buffer FIFO queue.
+type Queue struct {
+	mu      sync.Mutex
+	buf     []int64
+	start   int // index of front element
+	n       int // number of elements
+	procs   int
+	handles []Handle
+}
+
+var _ queues.Queue = (*Queue)(nil)
+
+// New creates a queue with procs handles.
+func New(procs int) (*Queue, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("mutexqueue: process count must be at least 1 (got %d)", procs)
+	}
+	q := &Queue{procs: procs, buf: make([]int64, 16)}
+	q.handles = make([]Handle, procs)
+	for i := range q.handles {
+		q.handles[i] = Handle{queue: q}
+	}
+	return q, nil
+}
+
+// Name implements queues.Queue.
+func (q *Queue) Name() string { return "mutex" }
+
+// Procs implements queues.Queue.
+func (q *Queue) Procs() int { return q.procs }
+
+// Handle implements queues.Queue.
+func (q *Queue) Handle(i int) (queues.Handle, error) {
+	if i < 0 || i >= q.procs {
+		return nil, fmt.Errorf("mutexqueue: handle index %d out of range [0,%d)", i, q.procs)
+	}
+	return &q.handles[i], nil
+}
+
+// grow doubles the buffer. Caller holds the mutex.
+func (q *Queue) grow() {
+	bigger := make([]int64, 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		bigger[i] = q.buf[(q.start+i)%len(q.buf)]
+	}
+	q.buf = bigger
+	q.start = 0
+}
+
+// Handle is one process's instrumented access point.
+type Handle struct {
+	queue   *Queue
+	counter *metrics.Counter
+}
+
+var _ queues.Handle = (*Handle)(nil)
+
+// SetCounter implements queues.Handle.
+func (h *Handle) SetCounter(c *metrics.Counter) { h.counter = c }
+
+// Enqueue implements queues.Handle.
+func (h *Handle) Enqueue(v int64) {
+	h.counter.BeginOp()
+	q := h.queue
+	h.counter.CAS(true) // lock acquisition
+	q.mu.Lock()
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.start+q.n)%len(q.buf)] = v
+	q.n++
+	h.counter.Write()
+	h.counter.Write()
+	q.mu.Unlock()
+	h.counter.Write()
+	h.counter.EndOp(metrics.OpEnqueue)
+}
+
+// Dequeue implements queues.Handle.
+func (h *Handle) Dequeue() (int64, bool) {
+	h.counter.BeginOp()
+	q := h.queue
+	h.counter.CAS(true)
+	q.mu.Lock()
+	if q.n == 0 {
+		q.mu.Unlock()
+		h.counter.Read(1)
+		h.counter.Write()
+		h.counter.EndOp(metrics.OpNullDequeue)
+		return 0, false
+	}
+	v := q.buf[q.start]
+	q.start = (q.start + 1) % len(q.buf)
+	q.n--
+	h.counter.Read(2)
+	h.counter.Write()
+	h.counter.Write()
+	q.mu.Unlock()
+	h.counter.Write()
+	h.counter.EndOp(metrics.OpDequeue)
+	return v, true
+}

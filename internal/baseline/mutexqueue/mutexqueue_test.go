@@ -1,0 +1,16 @@
+package mutexqueue_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline/mutexqueue"
+	"repro/internal/queues"
+	"repro/internal/queues/queuetest"
+)
+
+func TestConformance(t *testing.T) {
+	queuetest.Run(t, queues.Factory{
+		Name: "mutex",
+		New:  func(p int) (queues.Queue, error) { return mutexqueue.New(p) },
+	})
+}

@@ -1,0 +1,116 @@
+// Package twolock implements Michael and Scott's two-lock queue: a linked
+// list with a dummy node, one mutex guarding the head and another guarding
+// the tail, so an enqueue and a dequeue can run in parallel. It is blocking
+// (not lock-free) and serves as a low-tech baseline in the experiments.
+package twolock
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/queues"
+)
+
+// node.next is atomic: when the queue is empty, head and tail point at the
+// same dummy node, so an enqueue's next-write under the tail lock races a
+// dequeue's next-read under the head lock. Michael and Scott's algorithm
+// assumes that word is read/written atomically; in Go that means
+// atomic.Pointer.
+type node struct {
+	value int64
+	next  atomic.Pointer[node]
+}
+
+// Queue is a two-lock Michael-Scott queue.
+type Queue struct {
+	headMu  sync.Mutex
+	head    *node // dummy node
+	tailMu  sync.Mutex
+	tail    *node
+	procs   int
+	handles []Handle
+}
+
+var _ queues.Queue = (*Queue)(nil)
+
+// New creates a queue with procs handles.
+func New(procs int) (*Queue, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("twolock: process count must be at least 1 (got %d)", procs)
+	}
+	dummy := &node{}
+	q := &Queue{head: dummy, tail: dummy, procs: procs}
+	q.handles = make([]Handle, procs)
+	for i := range q.handles {
+		q.handles[i] = Handle{queue: q}
+	}
+	return q, nil
+}
+
+// Name implements queues.Queue.
+func (q *Queue) Name() string { return "two-lock" }
+
+// Procs implements queues.Queue.
+func (q *Queue) Procs() int { return q.procs }
+
+// Handle implements queues.Queue.
+func (q *Queue) Handle(i int) (queues.Handle, error) {
+	if i < 0 || i >= q.procs {
+		return nil, fmt.Errorf("twolock: handle index %d out of range [0,%d)", i, q.procs)
+	}
+	return &q.handles[i], nil
+}
+
+// Handle is one process's instrumented access point.
+type Handle struct {
+	queue   *Queue
+	counter *metrics.Counter
+}
+
+var _ queues.Handle = (*Handle)(nil)
+
+// SetCounter implements queues.Handle.
+func (h *Handle) SetCounter(c *metrics.Counter) { h.counter = c }
+
+// Enqueue implements queues.Handle.
+func (h *Handle) Enqueue(v int64) {
+	h.counter.BeginOp()
+	n := &node{value: v}
+	q := h.queue
+	// A lock acquisition is at least one atomic RMW; charge it as one CAS.
+	h.counter.CAS(true)
+	q.tailMu.Lock()
+	q.tail.next.Store(n)
+	q.tail = n
+	h.counter.Write()
+	h.counter.Write()
+	q.tailMu.Unlock()
+	h.counter.Write() // unlock release store
+	h.counter.EndOp(metrics.OpEnqueue)
+}
+
+// Dequeue implements queues.Handle.
+func (h *Handle) Dequeue() (int64, bool) {
+	h.counter.BeginOp()
+	q := h.queue
+	h.counter.CAS(true)
+	q.headMu.Lock()
+	next := q.head.next.Load()
+	h.counter.Read(2)
+	if next == nil {
+		q.headMu.Unlock()
+		h.counter.Write()
+		h.counter.EndOp(metrics.OpNullDequeue)
+		return 0, false
+	}
+	v := next.value
+	q.head = next
+	h.counter.Read(1)
+	h.counter.Write()
+	q.headMu.Unlock()
+	h.counter.Write()
+	h.counter.EndOp(metrics.OpDequeue)
+	return v, true
+}

@@ -1,0 +1,16 @@
+package twolock_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline/twolock"
+	"repro/internal/queues"
+	"repro/internal/queues/queuetest"
+)
+
+func TestConformance(t *testing.T) {
+	queuetest.Run(t, queues.Factory{
+		Name: "two-lock",
+		New:  func(p int) (queues.Queue, error) { return twolock.New(p) },
+	})
+}

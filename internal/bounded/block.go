@@ -1,0 +1,60 @@
+package bounded
+
+import "sync/atomic"
+
+// block is one entry of a node's persistent block tree (Figure 5 of the
+// paper). Compared with the unbounded version it carries an explicit index
+// (its position in the conceptual blocks array, which is also its tree key)
+// and drops the super field: superblocks are found by searching the parent's
+// tree on endleft/endright. Leaf blocks representing a dequeue additionally
+// carry a response slot so that helpers can complete the operation during
+// garbage collection (Appendix B).
+type block[T any] struct {
+	index int64
+
+	// sumEnq and sumDeq are the prefix sums of Invariant 7: operations in
+	// the node's blocks 1..index.
+	sumEnq int64
+	sumDeq int64
+
+	// endLeft and endRight delimit direct subblocks (internal nodes only).
+	endLeft  int64
+	endRight int64
+
+	// size is the queue length after this block's operations (root only).
+	size int64
+
+	// element is the enqueued value (leaf enqueue blocks only).
+	element T
+
+	// isDeq marks a leaf block that represents a dequeue. (The paper marks
+	// dequeues with element = null; an explicit flag avoids reserving a
+	// sentinel value of T.)
+	isDeq bool
+
+	// response is the dequeue's result, written once by whoever computes it
+	// first (the owner or a GC helper). nil means not yet computed.
+	response atomic.Pointer[response[T]]
+}
+
+// response is a dequeue result: ok is false for a null dequeue.
+type response[T any] struct {
+	val T
+	ok  bool
+}
+
+// end returns endLeft or endRight according to dir.
+func (b *block[T]) end(dir direction) int64 {
+	if dir == left {
+		return b.endLeft
+	}
+	return b.endRight
+}
+
+// direction distinguishes the two children of an internal node.
+type direction int
+
+const (
+	left direction = iota + 1
+	right
+)

@@ -1,0 +1,73 @@
+package bounded
+
+// Garbage collection (paper Section 6, Appendix B): every G-th block added
+// to a node triggers a GC phase that (1) determines the oldest block the
+// node must keep, by tracing the last array's maximum down from the root
+// along endleft/endright indices, (2) helps every pending propagated dequeue
+// compute its response so discarded blocks can no longer be needed, and
+// (3) splits the obsolete prefix off the node's tree (done by the caller,
+// addBlock).
+
+// splitIndex returns the index of the oldest block node v must keep; blocks
+// with smaller indices are discarded by the caller (SplitBlock, lines
+// 234-248, which returns the block whose index the caller splits at).
+func (h *Handle[T]) splitIndex(v *node[T]) int64 {
+	return h.splitBlock(v).index
+}
+
+// splitBlock walks up to the root to find the most recent certainly-finished
+// root block, then maps it back down to v via end(dir) indices. If any
+// lookup on the way finds the block already discarded by another GC phase,
+// the node's oldest surviving block is used instead (line 247): that GC
+// already determined everything older is disposable.
+func (h *Handle[T]) splitBlock(v *node[T]) *block[T] {
+	t := h.loadTree(v)
+	if v.isRoot() {
+		var m int64
+		for k := range h.queue.last {
+			h.counter.Read(1)
+			if x := h.queue.last[k].Load(); x > m {
+				m = x
+			}
+		}
+		if m < 1 {
+			_, mb := h.treeMin(t)
+			return mb
+		}
+		b, err := h.treeGet(t, m-1)
+		if err != nil {
+			_, mb := h.treeMin(t)
+			return mb
+		}
+		return b
+	}
+	sup := h.splitBlock(v.parent)
+	dir := v.childDir()
+	b, err := h.treeGet(t, sup.end(dir))
+	if err != nil {
+		_, mb := h.treeMin(t)
+		return mb
+	}
+	return b
+}
+
+// help completes every pending dequeue that has been propagated to the root
+// by computing its response and publishing it on the leaf block (Help, lines
+// 298-306). Only each leaf's newest block can be pending: earlier blocks
+// belong to operations their process finished before invoking the next one.
+func (h *Handle[T]) help() {
+	for _, leaf := range h.queue.leaves {
+		t := h.loadTree(leaf)
+		_, b := h.treeMax(t)
+		if !b.isDeq || b.index == 0 || !h.propagated(leaf, b.index) {
+			continue
+		}
+		res, err := h.completeDeq(leaf, b.index)
+		if err != nil {
+			// Another GC already discarded this dequeue's blocks, so its
+			// response was published then.
+			continue
+		}
+		h.counter.CAS(b.response.CompareAndSwap(nil, &res))
+	}
+}

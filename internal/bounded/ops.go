@@ -1,0 +1,242 @@
+package bounded
+
+// This file implements the write path of the bounded-space queue: Enqueue,
+// Dequeue, Append, Propagate, Refresh, CreateBlock and AddBlock (Figure 5,
+// lines 201-267 and 307-324). Garbage collection and helping live in gc.go,
+// the dequeue read path in search.go.
+
+import (
+	"math/bits"
+	"runtime"
+
+	"repro/internal/metrics"
+)
+
+// Enqueue adds e to the back of the queue.
+func (h *Handle[T]) Enqueue(e T) {
+	h.counter.BeginOp()
+	t := h.loadTree(h.leaf)
+	_, prev := h.treeMax(t)
+	b := &block[T]{
+		index:   prev.index + 1,
+		element: e,
+		sumEnq:  prev.sumEnq + 1,
+		sumDeq:  prev.sumDeq,
+	}
+	h.append(t, b)
+	h.counter.EndOp(metrics.OpEnqueue)
+}
+
+// Dequeue removes and returns the element at the front of the queue; ok is
+// false if the queue was empty at the linearization point.
+func (h *Handle[T]) Dequeue() (T, bool) {
+	h.counter.BeginOp()
+	t := h.loadTree(h.leaf)
+	_, prev := h.treeMax(t)
+	b := &block[T]{
+		index:  prev.index + 1,
+		isDeq:  true,
+		sumEnq: prev.sumEnq,
+		sumDeq: prev.sumDeq + 1,
+	}
+	h.append(t, b)
+
+	res, err := h.completeDeq(h.leaf, b.index)
+	if err != nil {
+		// A needed block was garbage collected, which (Invariant 27 /
+		// Lemma 28) implies a helper already computed our response and
+		// wrote it into our leaf block. The loop guards against the
+		// tiny window between the GC's helping pass and its tree install
+		// becoming visible to us.
+		res = h.awaitResponse(b)
+	}
+	if res.ok {
+		h.counter.EndOp(metrics.OpDequeue)
+	} else {
+		h.counter.EndOp(metrics.OpNullDequeue)
+	}
+	return res.val, res.ok
+}
+
+// awaitResponse fetches the dequeue response written by a helper. By
+// Invariant 27 the response is written before any tree missing our blocks is
+// installed, so the fast path is a single load; the bounded spin tolerates
+// nothing and exists purely to convert an algorithmic bug into a clear
+// failure rather than a wrong answer.
+func (h *Handle[T]) awaitResponse(b *block[T]) response[T] {
+	for spin := 0; ; spin++ {
+		h.counter.Read(1)
+		if r := b.response.Load(); r != nil {
+			return *r
+		}
+		if spin > 1<<26 {
+			panic("bounded: dequeue response missing after GC discarded its blocks (invariant violation)")
+		}
+		runtime.Gosched()
+	}
+}
+
+// append installs b as the next block of the handle's leaf (single writer)
+// and propagates it to the root (Append, lines 218-221). t is the leaf tree
+// the block was built against.
+func (h *Handle[T]) append(t *blockTree[T], b *block[T]) {
+	t2 := h.addBlock(h.leaf, t, b)
+	h.storeTree(h.leaf, t2)
+	h.propagate(h.leaf.parent)
+}
+
+// propagate ensures blocks in v's children reach the root via double
+// Refresh (Propagate, lines 249-257).
+func (h *Handle[T]) propagate(v *node[T]) {
+	for v != nil {
+		if !h.refresh(v) {
+			h.refresh(v)
+		}
+		v = v.parent
+	}
+}
+
+// refresh tries to install a new block tree on v containing one new block
+// that represents the children's unpropagated operations (Refresh, lines
+// 258-267).
+func (h *Handle[T]) refresh(v *node[T]) bool {
+	t := h.loadTree(v)
+	_, last := h.treeMax(t)
+	b := h.createBlock(v, t, last)
+	if b == nil {
+		return true
+	}
+	t2 := h.addBlock(v, t, b)
+	return h.casTree(v, t, t2)
+}
+
+// createBlock builds the candidate block with index last.index+1
+// (CreateBlock, lines 307-324). It returns nil if the children hold no new
+// operations. Each child's tree is loaded once so the max lookup and the
+// prefix-sum reads see one consistent snapshot.
+func (h *Handle[T]) createBlock(v *node[T], t *blockTree[T], prev *block[T]) *block[T] {
+	lt := h.loadTree(v.left)
+	rt := h.loadTree(v.right)
+	_, lastLeft := h.treeMax(lt)
+	_, lastRight := h.treeMax(rt)
+	b := &block[T]{
+		index:    prev.index + 1,
+		endLeft:  lastLeft.index,
+		endRight: lastRight.index,
+		sumEnq:   lastLeft.sumEnq + lastRight.sumEnq,
+		sumDeq:   lastLeft.sumDeq + lastRight.sumDeq,
+	}
+	numEnq := b.sumEnq - prev.sumEnq
+	numDeq := b.sumDeq - prev.sumDeq
+	if v.isRoot() {
+		b.size = prev.size + numEnq - numDeq
+		if b.size < 0 {
+			b.size = 0
+		}
+	}
+	if numEnq+numDeq == 0 {
+		return nil
+	}
+	return b
+}
+
+// addBlock inserts b into t, first running a garbage-collection phase if
+// b.index is a multiple of G (AddBlock, lines 222-233).
+func (h *Handle[T]) addBlock(v *node[T], t *blockTree[T], b *block[T]) *blockTree[T] {
+	if b.index%h.queue.gcEvery == 0 {
+		s := h.splitIndex(v)
+		h.help()
+		t = h.treeDropBelow(t, s)
+	}
+	return h.treeInsert(t, b)
+}
+
+// --- instrumented shared-memory / tree accessors ---
+//
+// Tree searches, inserts and splits are charged ceil(log2(size))+1 steps:
+// the number of tree-node reads a balanced-BST operation performs, matching
+// the cost model of Theorem 32.
+
+func treeOpCost[T any](t *blockTree[T]) int64 {
+	return int64(bits.Len64(uint64(t.Size()))) + 1
+}
+
+// loadTree reads v's current block tree pointer.
+func (h *Handle[T]) loadTree(v *node[T]) *blockTree[T] {
+	h.counter.Read(1)
+	return v.blocks.Load()
+}
+
+// storeTree publishes t on the handle's own leaf (single writer).
+func (h *Handle[T]) storeTree(v *node[T], t *blockTree[T]) {
+	h.counter.Write()
+	v.blocks.Store(t)
+}
+
+// casTree tries to swing v's tree pointer from old to new.
+func (h *Handle[T]) casTree(v *node[T], old, new *blockTree[T]) bool {
+	ok := v.blocks.CompareAndSwap(old, new)
+	h.counter.CAS(ok)
+	return ok
+}
+
+// treeMax returns the block with the largest index (never absent: trees
+// always contain at least one block, Corollary 25).
+func (h *Handle[T]) treeMax(t *blockTree[T]) (int64, *block[T]) {
+	h.counter.Read(1)
+	k, b, ok := t.Max()
+	if !ok {
+		panic("bounded: empty block tree (invariant violation)")
+	}
+	return k, b
+}
+
+// treeMin returns the block with the smallest index.
+func (h *Handle[T]) treeMin(t *blockTree[T]) (int64, *block[T]) {
+	h.counter.Read(1)
+	k, b, ok := t.Min()
+	if !ok {
+		panic("bounded: empty block tree (invariant violation)")
+	}
+	return k, b
+}
+
+// treeGet looks up the block with the given index; a miss means GC
+// discarded it.
+func (h *Handle[T]) treeGet(t *blockTree[T], index int64) (*block[T], error) {
+	h.counter.Read(treeOpCost(t))
+	b, ok := t.Get(index)
+	if !ok {
+		return nil, errDiscarded
+	}
+	return b, nil
+}
+
+// treeInsert returns t with b added.
+func (h *Handle[T]) treeInsert(t *blockTree[T], b *block[T]) *blockTree[T] {
+	h.counter.Read(treeOpCost(t))
+	return t.Insert(b.index, b)
+}
+
+// treeDropBelow returns t without blocks of index < bound (the paper's
+// Split).
+func (h *Handle[T]) treeDropBelow(t *blockTree[T], bound int64) *blockTree[T] {
+	h.counter.Read(treeOpCost(t))
+	return t.DropBelow(bound)
+}
+
+// treeFindFirst returns the lowest-indexed block satisfying the monotone
+// predicate.
+func (h *Handle[T]) treeFindFirst(t *blockTree[T], pred func(*block[T]) bool) (*block[T], bool) {
+	h.counter.Read(treeOpCost(t))
+	_, b, ok := t.FindFirst(func(_ int64, b *block[T]) bool { return pred(b) })
+	return b, ok
+}
+
+// treeFindLast returns the highest-indexed block satisfying the monotone
+// predicate.
+func (h *Handle[T]) treeFindLast(t *blockTree[T], pred func(*block[T]) bool) (*block[T], bool) {
+	h.counter.Read(treeOpCost(t))
+	_, b, ok := t.FindLast(func(_ int64, b *block[T]) bool { return pred(b) })
+	return b, ok
+}

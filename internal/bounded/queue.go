@@ -1,0 +1,249 @@
+// Package bounded implements the bounded-space variant of the Naderibeni-
+// Ruppert wait-free queue (paper Section 6 and Appendix B).
+//
+// Each ordering-tree node stores its blocks in a persistent balanced search
+// tree instead of an infinite array; a Refresh builds the next tree
+// functionally and installs it with one CAS on the node's tree pointer.
+// Every G-th block added to a node triggers a garbage-collection phase: the
+// process determines the oldest block still needed (via the shared last
+// array), helps every pending dequeue that has reached the root compute its
+// response, and then splits the obsolete prefix off the tree. Live blocks
+// per node stay O(q_max + p^2 log p) (Theorem 31) and amortized step
+// complexity is O(log p log(p+q_max)) per operation (Theorem 32).
+package bounded
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/pbst"
+)
+
+// ErrBadProcs reports an invalid process count passed to New.
+var ErrBadProcs = errors.New("bounded: process count must be at least 1")
+
+// errDiscarded is returned (internally) when a search fails because garbage
+// collection removed a needed block. Per Lemma 28 this implies the
+// operation's result is already available: an enqueue may simply terminate
+// and a dequeue reads its helped response.
+var errDiscarded = errors.New("bounded: block discarded by GC")
+
+// blockTree is the persistent tree of blocks each node stores.
+type blockTree[T any] = pbst.Tree[*block[T]]
+
+// node is one node of the static ordering tree.
+type node[T any] struct {
+	left, right, parent *node[T]
+
+	// blocks points at the node's current persistent block tree. Updated
+	// only by CAS; readers operate on an immutable snapshot.
+	blocks atomic.Pointer[blockTree[T]]
+
+	leafID int
+}
+
+func (n *node[T]) isLeaf() bool { return n.left == nil }
+
+func (n *node[T]) isRoot() bool { return n.parent == nil }
+
+func (n *node[T]) childDir() direction {
+	if n.parent.left == n {
+		return left
+	}
+	return right
+}
+
+func (n *node[T]) sibling() *node[T] {
+	if n.parent.left == n {
+		return n.parent.right
+	}
+	return n.parent.left
+}
+
+// Queue is the bounded-space wait-free FIFO queue.
+type Queue[T any] struct {
+	root   *node[T]
+	leaves []*node[T]
+	// last[k] is the largest root-block index process k has observed to
+	// contain a null dequeue or an enqueue whose value was dequeued; GC uses
+	// the maximum entry to find the oldest block still needed (Appendix B).
+	last    []atomic.Int64
+	handles []Handle[T]
+	procs   int
+	gcEvery int64
+}
+
+// Option configures a Queue.
+type Option func(*config)
+
+type config struct {
+	gcEvery int64
+}
+
+// WithGCInterval overrides the garbage-collection interval G (a GC phase
+// runs when a block whose index is a multiple of G is added to a node). The
+// default is the paper's G = p^2 * ceil(log2 p). Small values stress GC in
+// tests; non-positive values are rejected.
+func WithGCInterval(g int64) Option {
+	return func(c *config) { c.gcEvery = g }
+}
+
+// New creates a bounded-space queue for up to procs processes.
+func New[T any](procs int, opts ...Option) (*Queue[T], error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadProcs, procs)
+	}
+	cfg := config{gcEvery: defaultGCInterval(procs)}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.gcEvery < 1 {
+		return nil, fmt.Errorf("bounded: GC interval must be positive (got %d)", cfg.gcEvery)
+	}
+	numLeaves := nextPow2(procs)
+	if numLeaves < 2 {
+		numLeaves = 2
+	}
+	root, leaves := buildTree[T](numLeaves)
+	q := &Queue[T]{
+		root:    root,
+		leaves:  leaves,
+		last:    make([]atomic.Int64, procs),
+		procs:   procs,
+		gcEvery: cfg.gcEvery,
+	}
+	q.handles = make([]Handle[T], procs)
+	for i := 0; i < procs; i++ {
+		q.handles[i] = Handle[T]{queue: q, leaf: leaves[i], id: i}
+	}
+	return q, nil
+}
+
+// defaultGCInterval is the paper's G = p^2 ceil(log2 p), floored at 16: the
+// formula targets large p and degenerates to G <= 4 for p <= 2, where a GC
+// phase per couple of operations would dominate the cost without any space
+// benefit (the bound already includes a +G slack).
+func defaultGCInterval(procs int) int64 {
+	logP := int64(bits.Len(uint(procs - 1)))
+	g := int64(procs) * int64(procs) * logP
+	if g < 16 {
+		g = 16
+	}
+	return g
+}
+
+// buildTree constructs a complete binary tree with numLeaves leaves, each
+// node's tree initialized with the empty block at index 0.
+func buildTree[T any](numLeaves int) (*node[T], []*node[T]) {
+	mk := func() *node[T] {
+		n := &node[T]{leafID: -1}
+		var t *blockTree[T]
+		t = t.Insert(0, &block[T]{})
+		n.blocks.Store(t)
+		return n
+	}
+	level := make([]*node[T], 0, numLeaves)
+	for i := 0; i < numLeaves; i++ {
+		leaf := mk()
+		leaf.leafID = i
+		level = append(level, leaf)
+	}
+	leaves := level
+	for len(level) > 1 {
+		next := make([]*node[T], 0, len(level)/2)
+		for i := 0; i < len(level); i += 2 {
+			parent := mk()
+			parent.left = level[i]
+			parent.right = level[i+1]
+			level[i].parent = parent
+			level[i+1].parent = parent
+			next = append(next, parent)
+		}
+		level = next
+	}
+	return level[0], leaves
+}
+
+// Procs returns the process count the queue was built for.
+func (q *Queue[T]) Procs() int { return q.procs }
+
+// GCInterval returns the configured GC interval G.
+func (q *Queue[T]) GCInterval() int64 { return q.gcEvery }
+
+// Handle returns the handle for process i, 0 <= i < Procs(). At most one
+// goroutine may use a handle at a time.
+func (q *Queue[T]) Handle(i int) (*Handle[T], error) {
+	if i < 0 || i >= q.procs {
+		return nil, fmt.Errorf("bounded: handle index %d out of range [0,%d)", i, q.procs)
+	}
+	return &q.handles[i], nil
+}
+
+// MustHandle is Handle for statically valid indices.
+func (q *Queue[T]) MustHandle(i int) *Handle[T] {
+	h, err := q.Handle(i)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Len returns the queue's size as of the last block propagated to the root;
+// see core.Queue.Len for the caveat on concurrent use.
+func (q *Queue[T]) Len() int {
+	_, b, ok := q.root.blocks.Load().Max()
+	if !ok {
+		return 0
+	}
+	return int(b.size)
+}
+
+// BlockCounts returns the number of live blocks in each tree node's block
+// tree, in preorder. It drives the Theorem 31 space experiments.
+func (q *Queue[T]) BlockCounts() []int64 {
+	var out []int64
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		out = append(out, n.blocks.Load().Size())
+		if !n.isLeaf() {
+			walk(n.left)
+			walk(n.right)
+		}
+	}
+	walk(q.root)
+	return out
+}
+
+// TotalBlocks returns the total number of live blocks across all nodes.
+func (q *Queue[T]) TotalBlocks() int64 {
+	var sum int64
+	for _, c := range q.BlockCounts() {
+		sum += c
+	}
+	return sum
+}
+
+// Handle is a process's capability to operate on the queue.
+type Handle[T any] struct {
+	queue   *Queue[T]
+	leaf    *node[T]
+	id      int
+	counter *metrics.Counter
+}
+
+// SetCounter attaches a step/CAS counter to the handle (nil disables).
+func (h *Handle[T]) SetCounter(c *metrics.Counter) { h.counter = c }
+
+// Counter returns the handle's current counter (possibly nil).
+func (h *Handle[T]) Counter() *metrics.Counter { return h.counter }
+
+// nextPow2 returns the smallest power of two >= n, for n >= 1.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

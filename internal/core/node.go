@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/infarray"
+)
+
+// node is one node of the static ordering tree. The tree is built once at
+// queue construction and never changes shape; only the blocks arrays and
+// head indices evolve.
+type node[T any] struct {
+	left, right, parent *node[T]
+
+	// blocks is the node's logically infinite array of blocks. blocks[0] is
+	// a pre-installed empty block whose integer fields are all zero, so the
+	// code never needs an index-zero special case.
+	blocks *infarray.Array[block[T]]
+
+	// head is the position to use for the next append attempt: blocks[i] is
+	// non-nil for all i < head, and blocks[i] is nil for all i > head
+	// (Invariant 3). head only moves forward, via CAS in advance.
+	head atomic.Int64
+
+	// leafID is the process index for leaves, -1 for internal nodes.
+	leafID int
+}
+
+func (n *node[T]) isLeaf() bool { return n.left == nil }
+
+func (n *node[T]) isRoot() bool { return n.parent == nil }
+
+// childDir reports which child of n's parent n is. Must not be called on the
+// root.
+func (n *node[T]) childDir() direction {
+	if n.parent.left == n {
+		return left
+	}
+	return right
+}
+
+// sibling returns the other child of n's parent. Must not be called on the
+// root.
+func (n *node[T]) sibling() *node[T] {
+	if n.parent.left == n {
+		return n.parent.right
+	}
+	return n.parent.left
+}
+
+// newNode allocates a node with its empty block installed and head set to 1.
+func newNode[T any]() *node[T] {
+	n := &node[T]{
+		blocks: infarray.New[block[T]](),
+		leafID: -1,
+	}
+	n.blocks.Store(0, &block[T]{})
+	n.head.Store(1)
+	return n
+}
+
+// buildTree constructs a complete binary tree with numLeaves leaves (a power
+// of two, at least two) and returns the root plus the leaves in left-to-right
+// order. Using at least two leaves removes any root==leaf special case; extra
+// leaves beyond p simply never receive blocks and contribute zero sums.
+func buildTree[T any](numLeaves int) (root *node[T], leaves []*node[T]) {
+	level := make([]*node[T], 0, numLeaves)
+	for i := 0; i < numLeaves; i++ {
+		leaf := newNode[T]()
+		leaf.leafID = i
+		level = append(level, leaf)
+	}
+	leaves = level
+	for len(level) > 1 {
+		next := make([]*node[T], 0, len(level)/2)
+		for i := 0; i < len(level); i += 2 {
+			parent := newNode[T]()
+			parent.left = level[i]
+			parent.right = level[i+1]
+			level[i].parent = parent
+			level[i+1].parent = parent
+			next = append(next, parent)
+		}
+		level = next
+	}
+	return level[0], leaves
+}

@@ -1,0 +1,197 @@
+package core
+
+// This file implements the write path of the queue: Enqueue, Dequeue,
+// Append, Propagate, Refresh, CreateBlock and Advance (Figure 4 of the
+// paper, lines 1-64).
+//
+// All shared-memory accesses go through the small helpers at the bottom of
+// the file so that step counting (the paper's cost model) is exact and
+// uniform.
+
+import "repro/internal/metrics"
+
+// Enqueue adds e to the back of the queue. It completes in O(log p)
+// shared-memory steps and O(log p) CAS instructions regardless of
+// scheduling.
+func (h *Handle[T]) Enqueue(e T) {
+	h.counter.BeginOp()
+	prev := h.readBlock(h.leaf, h.readHead(h.leaf)-1)
+	b := &block[T]{
+		element: e,
+		sumEnq:  prev.sumEnq + 1,
+		sumDeq:  prev.sumDeq,
+	}
+	h.append(b)
+	h.counter.EndOp(metrics.OpEnqueue)
+}
+
+// Dequeue removes and returns the element at the front of the queue. The
+// second result is false if the queue was empty at the dequeue's
+// linearization point (the paper's "null dequeue"), in which case the first
+// result is the zero value of T.
+func (h *Handle[T]) Dequeue() (T, bool) {
+	h.counter.BeginOp()
+	hd := h.readHead(h.leaf)
+	prev := h.readBlock(h.leaf, hd-1)
+	b := &block[T]{
+		sumEnq: prev.sumEnq,
+		sumDeq: prev.sumDeq + 1,
+	}
+	h.append(b)
+	rootIdx, rank := h.indexDequeue(h.leaf, hd, 1)
+	v, ok := h.findResponse(rootIdx, rank)
+	if ok {
+		h.counter.EndOp(metrics.OpDequeue)
+	} else {
+		h.counter.EndOp(metrics.OpNullDequeue)
+	}
+	return v, ok
+}
+
+// append installs b in the next slot of the handle's leaf and propagates it
+// to the root (Append, lines 11-15). The leaf is single-writer, so a plain
+// store suffices for the install; the head advance still goes through
+// advance so that the block's super field is set before the head moves past
+// it, which Invariant 3 and Lemma 12 rely on.
+func (h *Handle[T]) append(b *block[T]) {
+	leaf := h.leaf
+	hd := h.readHead(leaf)
+	h.storeBlock(leaf, hd, b)
+	h.advance(leaf, hd)
+	h.propagate(leaf.parent)
+}
+
+// propagate ensures all blocks present in v's children are propagated to the
+// root (Propagate, lines 16-23). If the first Refresh fails, a second one is
+// enough: any Refresh that succeeded in between has propagated our block
+// (Lemma 10).
+func (h *Handle[T]) propagate(v *node[T]) {
+	spin := h.queue.spinningRefresh
+	for v != nil {
+		if spin {
+			// Ablation: naive retry loop (lock-free, not wait-free).
+			for !h.refresh(v) {
+			}
+		} else if !h.refresh(v) {
+			h.refresh(v)
+		}
+		v = v.parent
+	}
+}
+
+// refresh tries to append to v a new block representing all blocks in v's
+// children not yet in v (Refresh, lines 24-39). It returns true if no new
+// block was needed or its CAS succeeded.
+func (h *Handle[T]) refresh(v *node[T]) bool {
+	hd := h.readHead(v)
+	// Help advance a child whose head lags behind an installed block, so
+	// that createBlock sees up-to-date child heads (lines 26-31).
+	for _, child := range [2]*node[T]{v.left, v.right} {
+		childHead := h.readHead(child)
+		if h.readBlockOrNil(child, childHead) != nil {
+			h.advance(child, childHead)
+		}
+	}
+	b := h.createBlock(v, hd)
+	if b == nil {
+		return true
+	}
+	ok := h.casBlock(v, hd, b)
+	h.advance(v, hd)
+	return ok
+}
+
+// createBlock builds the block a Refresh will try to install in v.blocks[i]
+// (CreateBlock, lines 40-57). It returns nil if the children contain no
+// operations that are not already in v.
+func (h *Handle[T]) createBlock(v *node[T], i int64) *block[T] {
+	b := &block[T]{
+		endLeft:  h.readHead(v.left) - 1,
+		endRight: h.readHead(v.right) - 1,
+	}
+	lastLeft := h.readBlock(v.left, b.endLeft)
+	lastRight := h.readBlock(v.right, b.endRight)
+	b.sumEnq = lastLeft.sumEnq + lastRight.sumEnq
+	b.sumDeq = lastLeft.sumDeq + lastRight.sumDeq
+	prev := h.readBlock(v, i-1)
+	numEnq := b.sumEnq - prev.sumEnq
+	numDeq := b.sumDeq - prev.sumDeq
+	if v.isRoot() {
+		b.size = prev.size + numEnq - numDeq
+		if b.size < 0 {
+			b.size = 0
+		}
+	}
+	if numEnq+numDeq == 0 {
+		return nil
+	}
+	return b
+}
+
+// advance sets v.blocks[hd].super (so the block can be traced to its
+// superblock) and then moves v.head from hd to hd+1 (Advance, lines 58-64).
+// Both CASes are idempotent: concurrent helpers agree on the transition.
+func (h *Handle[T]) advance(v *node[T], hd int64) {
+	if !v.isRoot() {
+		parentHead := h.readHead(v.parent)
+		b := h.readBlock(v, hd)
+		h.casSuper(b, parentHead)
+	}
+	h.casHead(v, hd)
+}
+
+// --- instrumented shared-memory accessors ---
+//
+// Each helper performs exactly one shared-memory operation and charges it to
+// the handle's counter, implementing the paper's step-complexity cost model.
+
+// readHead loads v.head.
+func (h *Handle[T]) readHead(v *node[T]) int64 {
+	h.counter.Read(1)
+	return v.head.Load()
+}
+
+// readBlock loads v.blocks[i], which the caller asserts is non-nil
+// (Invariant 3 guarantees this for all i < v.head).
+func (h *Handle[T]) readBlock(v *node[T], i int64) *block[T] {
+	h.counter.Read(1)
+	return v.blocks.Get(i)
+}
+
+// readBlockOrNil loads v.blocks[i] where nil is an expected outcome.
+func (h *Handle[T]) readBlockOrNil(v *node[T], i int64) *block[T] {
+	h.counter.Read(1)
+	return v.blocks.Get(i)
+}
+
+// storeBlock publishes b at v.blocks[i]. Only used on the handle's own leaf,
+// which has a single writer.
+func (h *Handle[T]) storeBlock(v *node[T], i int64, b *block[T]) {
+	h.counter.Write()
+	v.blocks.Store(i, b)
+}
+
+// casBlock tries to install b at v.blocks[i], expecting the slot to be nil.
+func (h *Handle[T]) casBlock(v *node[T], i int64, b *block[T]) bool {
+	ok := v.blocks.CompareAndSwap(i, nil, b)
+	h.counter.CAS(ok)
+	return ok
+}
+
+// casHead tries to advance v.head from hd to hd+1.
+func (h *Handle[T]) casHead(v *node[T], hd int64) {
+	ok := v.head.CompareAndSwap(hd, hd+1)
+	h.counter.CAS(ok)
+}
+
+// casSuper sets b.super from 0 to val once.
+func (h *Handle[T]) casSuper(b *block[T], val int64) {
+	ok := b.super.CompareAndSwap(0, val)
+	h.counter.CAS(ok)
+}
+
+// readSuper loads b.super.
+func (h *Handle[T]) readSuper(b *block[T]) int64 {
+	h.counter.Read(1)
+	return b.super.Load()
+}

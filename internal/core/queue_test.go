@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int](0); err == nil {
+		t.Error("New(0) succeeded, want error")
+	}
+	if _, err := New[int](-3); err == nil {
+		t.Error("New(-3) succeeded, want error")
+	}
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 9, 64} {
+		q, err := New[int](p)
+		if err != nil {
+			t.Fatalf("New(%d): %v", p, err)
+		}
+		if got := q.Procs(); got != p {
+			t.Errorf("Procs() = %d, want %d", got, p)
+		}
+	}
+}
+
+func TestHandleRange(t *testing.T) {
+	q, err := New[int](3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := q.Handle(i); err != nil {
+			t.Errorf("Handle(%d): %v", i, err)
+		}
+	}
+	for _, i := range []int{-1, 3, 100} {
+		if _, err := q.Handle(i); err == nil {
+			t.Errorf("Handle(%d) succeeded, want error", i)
+		}
+	}
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	q, _ := New[string](2)
+	h := q.MustHandle(0)
+	v, ok := h.Dequeue()
+	if ok {
+		t.Fatalf("Dequeue on empty queue returned (%q, true)", v)
+	}
+	if v != "" {
+		t.Fatalf("null dequeue returned non-zero value %q", v)
+	}
+}
+
+func TestFIFOSingleHandle(t *testing.T) {
+	q, _ := New[int](4)
+	h := q.MustHandle(0)
+	for i := 0; i < 100; i++ {
+		h.Enqueue(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := h.Dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d: queue unexpectedly empty", i)
+		}
+		if v != i {
+			t.Fatalf("dequeue %d returned %d", i, v)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("queue should be empty after draining")
+	}
+}
+
+func TestInterleavedEmptiness(t *testing.T) {
+	q, _ := New[int](2)
+	h := q.MustHandle(0)
+	for round := 0; round < 50; round++ {
+		if _, ok := h.Dequeue(); ok {
+			t.Fatalf("round %d: dequeue on empty queue succeeded", round)
+		}
+		h.Enqueue(round)
+		v, ok := h.Dequeue()
+		if !ok || v != round {
+			t.Fatalf("round %d: got (%d, %v)", round, v, ok)
+		}
+	}
+}
+
+func TestTwoHandlesAlternating(t *testing.T) {
+	// Sequential use of two different leaves: exercises propagation and
+	// merge ordering without concurrency.
+	q, _ := New[int](2)
+	a, b := q.MustHandle(0), q.MustHandle(1)
+	a.Enqueue(1)
+	b.Enqueue(2)
+	a.Enqueue(3)
+	b.Enqueue(4)
+	want := []int{1, 2, 3, 4}
+	for i, w := range want {
+		v, ok := b.Dequeue()
+		if !ok || v != w {
+			t.Fatalf("dequeue %d = (%d, %v), want %d", i, v, ok, w)
+		}
+	}
+}
+
+// modelQueue is the sequential reference implementation.
+type modelQueue struct{ items []int }
+
+func (m *modelQueue) enqueue(v int) { m.items = append(m.items, v) }
+
+func (m *modelQueue) dequeue() (int, bool) {
+	if len(m.items) == 0 {
+		return 0, false
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+func TestRandomAgainstModelSequential(t *testing.T) {
+	for _, procs := range []int{1, 2, 3, 7, 16} {
+		procs := procs
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			q, _ := New[int](procs)
+			model := &modelQueue{}
+			rng := rand.New(rand.NewSource(int64(procs) * 17))
+			next := 0
+			for step := 0; step < 5000; step++ {
+				h := q.MustHandle(rng.Intn(procs))
+				if rng.Intn(2) == 0 {
+					h.Enqueue(next)
+					model.enqueue(next)
+					next++
+				} else {
+					got, gotOK := h.Dequeue()
+					want, wantOK := model.dequeue()
+					if gotOK != wantOK || (gotOK && got != want) {
+						t.Fatalf("step %d: Dequeue = (%d, %v), model = (%d, %v)",
+							step, got, gotOK, want, wantOK)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLenTracksSize(t *testing.T) {
+	q, _ := New[int](2)
+	h := q.MustHandle(0)
+	if got := q.Len(); got != 0 {
+		t.Fatalf("empty queue Len() = %d", got)
+	}
+	for i := 0; i < 10; i++ {
+		h.Enqueue(i)
+	}
+	if got := q.Len(); got != 10 {
+		t.Fatalf("Len() = %d after 10 enqueues", got)
+	}
+	for i := 0; i < 4; i++ {
+		h.Dequeue()
+	}
+	if got := q.Len(); got != 6 {
+		t.Fatalf("Len() = %d after 4 dequeues", got)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const procs = 8
+	const perProducer = 2000
+	q, _ := New[int](procs)
+
+	// Handles 0-3 produce, 4-7 consume. Values encode producer and sequence
+	// so FIFO-per-producer can be validated.
+	var wg sync.WaitGroup
+	results := make([][]int, procs)
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := q.MustHandle(i)
+			if i < 4 {
+				for s := 0; s < perProducer; s++ {
+					h.Enqueue(i*1_000_000 + s)
+				}
+				return
+			}
+			for {
+				v, ok := h.Dequeue()
+				if !ok {
+					if len(results[i]) >= perProducer {
+						return
+					}
+					continue
+				}
+				results[i] = append(results[i], v)
+				if len(results[i]) == perProducer {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	seen := make(map[int]bool)
+	lastSeq := map[int]int{0: -1, 1: -1, 2: -1, 3: -1}
+	perConsumerLast := make(map[int]map[int]int) // consumer -> producer -> last seq
+	total := 0
+	for c := 4; c < procs; c++ {
+		perConsumerLast[c] = map[int]int{}
+		for _, v := range results[c] {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+			total++
+			prod, seq := v/1_000_000, v%1_000_000
+			if last, ok := perConsumerLast[c][prod]; ok && seq < last {
+				t.Fatalf("consumer %d saw producer %d out of order: %d after %d", c, prod, seq, last)
+			}
+			perConsumerLast[c][prod] = seq
+			_ = lastSeq
+		}
+	}
+	if total != 4*perProducer {
+		t.Fatalf("dequeued %d values, want %d", total, 4*perProducer)
+	}
+}
+
+func TestConcurrentAllRoles(t *testing.T) {
+	// Every handle both enqueues and dequeues; at the end, drain and verify
+	// the multiset of values.
+	const procs = 6
+	const perHandle = 1000
+	q, _ := New[int](procs)
+	var wg sync.WaitGroup
+	dequeued := make([][]int, procs)
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := q.MustHandle(i)
+			rng := rand.New(rand.NewSource(int64(i)))
+			enq := 0
+			for enq < perHandle {
+				if rng.Intn(2) == 0 {
+					h.Enqueue(i*1_000_000 + enq)
+					enq++
+				} else if v, ok := h.Dequeue(); ok {
+					dequeued[i] = append(dequeued[i], v)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Drain the remainder.
+	h := q.MustHandle(0)
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		dequeued[0] = append(dequeued[0], v)
+	}
+
+	seen := make(map[int]bool)
+	total := 0
+	for _, ds := range dequeued {
+		for _, v := range ds {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != procs*perHandle {
+		t.Fatalf("dequeued %d values, want %d", total, procs*perHandle)
+	}
+	for i := 0; i < procs; i++ {
+		for s := 0; s < perHandle; s++ {
+			if !seen[i*1_000_000+s] {
+				t.Fatalf("value from handle %d seq %d never dequeued", i, s)
+			}
+		}
+	}
+}
+
+func TestAblationVariantsStillCorrect(t *testing.T) {
+	// Both ablation variants must preserve FIFO semantics; only their cost
+	// profile changes.
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"plain-root-search", []Option{WithPlainRootSearch()}},
+		{"spinning-refresh", []Option{WithSpinningRefresh()}},
+		{"both", []Option{WithPlainRootSearch(), WithSpinningRefresh()}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := New[int](3, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var model []int
+			rng := rand.New(rand.NewSource(11))
+			next := 0
+			for step := 0; step < 3000; step++ {
+				h := q.MustHandle(rng.Intn(3))
+				if rng.Intn(2) == 0 {
+					h.Enqueue(next)
+					model = append(model, next)
+					next++
+					continue
+				}
+				got, gotOK := h.Dequeue()
+				var want int
+				wantOK := len(model) > 0
+				if wantOK {
+					want, model = model[0], model[1:]
+				}
+				if gotOK != wantOK || (gotOK && got != want) {
+					t.Fatalf("step %d: (%d,%v) vs model (%d,%v)", step, got, gotOK, want, wantOK)
+				}
+			}
+		})
+	}
+}
+
+func TestAblationVariantsConcurrent(t *testing.T) {
+	for _, opts := range [][]Option{
+		{WithPlainRootSearch()},
+		{WithSpinningRefresh()},
+	} {
+		q, err := New[int](4, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		seen := make([]map[int]bool, 4)
+		for p := 0; p < 4; p++ {
+			seen[p] = map[int]bool{}
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				h := q.MustHandle(p)
+				for s := 0; s < 800; s++ {
+					h.Enqueue(p*10_000 + s)
+					if v, ok := h.Dequeue(); ok {
+						seen[p][v] = true
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		total := 0
+		union := map[int]bool{}
+		for p := range seen {
+			for v := range seen[p] {
+				if union[v] {
+					t.Fatalf("value %d dequeued twice", v)
+				}
+				union[v] = true
+				total++
+			}
+		}
+		h := q.MustHandle(0)
+		for {
+			if _, ok := h.Dequeue(); !ok {
+				break
+			}
+			total++
+		}
+		if total != 4*800 {
+			t.Fatalf("dequeued %d values, want %d", total, 4*800)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+// Snapshot support: a structural dump of the ordering tree used by the
+// treeviz renderer, the Figure 1/2 reproduction, and white-box tests. A
+// snapshot is not atomic with respect to concurrent operations; take it
+// while the queue is quiescent for exact results.
+
+// BlockKind classifies what a leaf block represents.
+type BlockKind int
+
+// Block kinds. Internal and root blocks are KindInternal.
+const (
+	KindDummy BlockKind = iota + 1
+	KindEnqueue
+	KindDequeue
+	KindInternal
+)
+
+// BlockSnapshot is an immutable copy of one block's fields.
+type BlockSnapshot struct {
+	Index    int64
+	SumEnq   int64
+	SumDeq   int64
+	EndLeft  int64
+	EndRight int64
+	Size     int64
+	Super    int64
+	Kind     BlockKind
+	Element  any
+}
+
+// NodeSnapshot is a copy of one tree node's observable state.
+type NodeSnapshot struct {
+	// Path locates the node: "" is the root, then "L"/"R" steps, e.g. "LR".
+	Path   string
+	IsLeaf bool
+	IsRoot bool
+	LeafID int // -1 for internal nodes
+	Head   int64
+	Blocks []BlockSnapshot
+}
+
+// TreeSnapshot is a full structural dump of the ordering tree, in preorder.
+type TreeSnapshot struct {
+	Procs int
+	Nodes []NodeSnapshot
+}
+
+// Snapshot captures the current state of every node's blocks array. Blocks
+// are read up to and including any block installed at the head position.
+func (q *Queue[T]) Snapshot() TreeSnapshot {
+	snap := TreeSnapshot{Procs: q.procs}
+	var walk func(n *node[T], path string)
+	walk = func(n *node[T], path string) {
+		ns := NodeSnapshot{
+			Path:   path,
+			IsLeaf: n.isLeaf(),
+			IsRoot: n.isRoot(),
+			LeafID: n.leafID,
+			Head:   n.head.Load(),
+		}
+		// Read past head while blocks exist: a block may be installed at
+		// head before any advance runs.
+		for i := int64(0); ; i++ {
+			b := n.blocks.Get(i)
+			if b == nil {
+				break
+			}
+			bs := BlockSnapshot{
+				Index:    i,
+				SumEnq:   b.sumEnq,
+				SumDeq:   b.sumDeq,
+				EndLeft:  b.endLeft,
+				EndRight: b.endRight,
+				Size:     b.size,
+				Super:    b.super.Load(),
+			}
+			switch {
+			case i == 0:
+				bs.Kind = KindDummy
+			case !n.isLeaf():
+				bs.Kind = KindInternal
+			default:
+				prev := n.blocks.Get(i - 1)
+				if b.sumEnq > prev.sumEnq {
+					bs.Kind = KindEnqueue
+					bs.Element = b.element
+				} else {
+					bs.Kind = KindDequeue
+				}
+			}
+			ns.Blocks = append(ns.Blocks, bs)
+		}
+		snap.Nodes = append(snap.Nodes, ns)
+		if !n.isLeaf() {
+			walk(n.left, path+"L")
+			walk(n.right, path+"R")
+		}
+	}
+	walk(q.root, "")
+	return snap
+}

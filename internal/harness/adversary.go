@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"repro/internal/advsched"
+	"repro/internal/queues"
+)
+
+// ExpAdversarial (T4b, Sections 1-2): the CAS retry problem under the exact
+// worst-case schedule rather than whatever the machine's scheduler happens
+// to produce. p simulated processes enqueue concurrently on the MS-queue; a
+// deterministic adversary releases one poised CAS at a time, so every
+// success invalidates the other processes' attempts: Theta(p) amortized
+// steps per operation. The NR-queue's cost is schedule-independent: its
+// worst observed single-operation step count under concurrent execution is
+// reported next to its O(log p) CAS budget (Proposition 19), and the ratio
+// column shows the separation growing with p.
+func ExpAdversarial(ps []int, opsPerProc int) (*Table, error) {
+	t := &Table{
+		ID:    "T4b",
+		Title: "Worst-case schedules: MS-queue under CAS-storm adversary vs NR-queue",
+		Columns: []string{"p", "ms storm steps/op", "faa fast steps/op", "faa slow steps/op",
+			"nr worst-op steps", "nr cas bound 5lg(p)+2", "ms/nr ratio"},
+		Notes: []string{
+			"ms storm steps/op: total steps of p concurrent enqueues under the deterministic CAS-storm adversary, divided by p (Theta(p)).",
+			"nr worst-op steps: maximum steps of any single operation in a concurrent run — wait-freedom bounds this for every schedule (Theorem 22).",
+			"faa columns: same storm on the fetch&add segment queue; the fast path (huge segments) is immune, the slow path (segment transitions) re-exposes the retry problem (Section 2).",
+		},
+	}
+	for _, p := range ps {
+		// Simulated adversarial MS-queue enqueues.
+		q := advsched.NewMSQueue()
+		machines := make([]advsched.Machine, p)
+		var total int
+		rounds := opsPerProc
+		if rounds > 64 {
+			rounds = 64 // each round is a full p-process storm
+		}
+		for r := 0; r < rounds; r++ {
+			for i := range machines {
+				machines[i] = advsched.NewMSEnqueue(q, int64(r*p+i))
+			}
+			total += advsched.StormRun(machines)
+		}
+		msPerOp := float64(total) / float64(p*rounds)
+
+		// FAA queue under the same storm: fast path (large segments) is
+		// immune, slow path (segment per op) re-exposes the retry problem.
+		faaFast := faaStormPerOp(p, rounds, 1<<20)
+		faaSlow := faaStormPerOp(p, rounds, 1)
+
+		nrQ, err := queues.NewNR(p)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunPairs(nrQ, p, opsPerProc, 1)
+		if err != nil {
+			return nil, err
+		}
+		nrWorst := float64(res.Summary.MaxOpSteps)
+		ratio := 0.0
+		if nrWorst > 0 {
+			ratio = msPerOp / nrWorst
+		}
+		t.AddRow(p, msPerOp, faaFast, faaSlow, res.Summary.MaxOpSteps, 5*ceilLog2(p)+2, ratio)
+	}
+	return t, nil
+}
+
+// faaStormPerOp runs rounds of p concurrent FAA enqueues under the storm
+// adversary and returns amortized steps per operation.
+func faaStormPerOp(p, rounds, segSize int) float64 {
+	total := 0
+	for r := 0; r < rounds; r++ {
+		q := advsched.NewFAAQueue(segSize)
+		machines := make([]advsched.Machine, p)
+		for i := range machines {
+			machines[i] = advsched.NewFAAEnqueue(q, int64(r*p+i))
+		}
+		total += advsched.StormRun(machines)
+	}
+	return float64(total) / float64(p*rounds)
+}

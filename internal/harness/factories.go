@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/faaqueue"
+	"repro/internal/baseline/kpqueue"
+	"repro/internal/baseline/msqueue"
+	"repro/internal/baseline/mutexqueue"
+	"repro/internal/baseline/twolock"
+	"repro/internal/queues"
+)
+
+// newAdapter constructs a baseline queue by short name.
+func newAdapter(procs int, kind string) (queues.Queue, error) {
+	switch kind {
+	case "ms":
+		return msqueue.New(procs)
+	case "faa":
+		return faaqueue.New(procs)
+	case "kp":
+		return kpqueue.New(procs)
+	case "twolock":
+		return twolock.New(procs)
+	case "mutex":
+		return mutexqueue.New(procs)
+	default:
+		return nil, fmt.Errorf("harness: unknown baseline %q", kind)
+	}
+}
+
+// FactoryByName returns the registered factory with the given name.
+func FactoryByName(name string) (queues.Factory, error) {
+	for _, f := range DefaultFactories() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return queues.Factory{}, fmt.Errorf("harness: no queue factory named %q", name)
+}

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/queues"
+)
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{
+		ID:      "TX",
+		Title:   "demo",
+		Columns: []string{"a", "bbbb"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("long-cell", 3)
+	out := tbl.String()
+	for _, want := range []string{"TX", "demo", "a note", "long-cell", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPairsCountsOps(t *testing.T) {
+	q, err := queues.NewNR(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPairs(q, 4, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Ops != 4*100 {
+		t.Fatalf("Ops = %d, want 400", res.Summary.Ops)
+	}
+	if res.Summary.TotalEnqs != 200 {
+		t.Fatalf("enqueues = %d, want 200", res.Summary.TotalEnqs)
+	}
+	if res.Summary.StepsPerOp <= 0 {
+		t.Fatal("no steps recorded")
+	}
+	if res.ThroughputOps() <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	q, _ := queues.NewNR(2)
+	if _, err := RunPairs(q, 5, 10, 1); err == nil {
+		t.Error("procs > queue procs accepted")
+	}
+	if _, err := RunPairs(q, 0, 10, 1); err == nil {
+		t.Error("procs = 0 accepted")
+	}
+}
+
+func TestPrefillSetsQueueSize(t *testing.T) {
+	q, _ := queues.NewNR(2)
+	if err := Prefill(q, 50); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := q.Handle(0)
+	seen := 0
+	for {
+		if _, ok := h.Dequeue(); !ok {
+			break
+		}
+		seen++
+	}
+	if seen != 50 {
+		t.Fatalf("drained %d values after Prefill(50)", seen)
+	}
+}
+
+func TestRunEnqueueOnlyAndDequeueOnly(t *testing.T) {
+	q, _ := queues.NewNR(3)
+	res, err := RunEnqueueOnly(q, 3, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.TotalEnqs != 120 || res.Summary.TotalDeqs != 0 {
+		t.Fatalf("enqueue-only mix: %+v", res.Summary)
+	}
+	res, err = RunDequeueOnly(q, 3, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.TotalDeqs != 120 {
+		t.Fatalf("dequeue-only: %d non-null dequeues, want 120", res.Summary.TotalDeqs)
+	}
+}
+
+func TestRunMixedRespectsFraction(t *testing.T) {
+	q, _ := queues.NewNR(2)
+	res, err := RunMixed(q, 2, 2000, 0.75, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Summary.TotalEnqs) / float64(res.Summary.Ops)
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("enqueue fraction = %.2f, want ~0.75", frac)
+	}
+}
+
+func TestRunWithStallsValidation(t *testing.T) {
+	q, _ := queues.NewNR(2)
+	if _, err := RunWithStalls(q, 2, 10, 2, time.Microsecond, 1); err == nil {
+		t.Error("stalled == procs accepted")
+	}
+}
+
+func TestExperimentsSmoke(t *testing.T) {
+	// Tiny parameters: these are correctness smoke tests for the drivers,
+	// not measurements.
+	ps := []int{2, 4}
+	if tbl, err := ExpCASBound(ps, 200); err != nil || len(tbl.Rows) != 2 {
+		t.Errorf("ExpCASBound: %v", err)
+	}
+	if tbl, err := ExpEnqueueSteps(ps, 200); err != nil || len(tbl.Rows) != 2 {
+		t.Errorf("ExpEnqueueSteps: %v", err)
+	}
+	if tbl, err := ExpDequeueStepsVsP(ps, 64, 200); err != nil || len(tbl.Rows) != 2 {
+		t.Errorf("ExpDequeueStepsVsP: %v", err)
+	}
+	if tbl, err := ExpDequeueStepsVsQ(2, []int{16, 256}, 200); err != nil || len(tbl.Rows) != 2 {
+		t.Errorf("ExpDequeueStepsVsQ: %v", err)
+	}
+	if tbl, err := ExpRetryProblem(ps, 200); err != nil || len(tbl.Rows) != 2 {
+		t.Errorf("ExpRetryProblem: %v", err)
+	}
+	if tbl, err := ExpAdversarial(ps, 200); err != nil || len(tbl.Rows) != 2 {
+		t.Errorf("ExpAdversarial: %v", err)
+	}
+	if tbl, err := ExpSpaceBound(2, 8, 64); err != nil || len(tbl.Rows) == 0 {
+		t.Errorf("ExpSpaceBound: %v", err)
+	}
+	if tbl, err := ExpBoundedSteps(ps, 200); err != nil || len(tbl.Rows) != 2 {
+		t.Errorf("ExpBoundedSteps: %v", err)
+	}
+	if tbl, err := ExpThroughput([]int{2}, 200); err != nil || len(tbl.Rows) != 1 {
+		t.Errorf("ExpThroughput: %v", err)
+	}
+	if tbl, err := ExpWaitFree([]int{2}, 200); err != nil || len(tbl.Rows) != 1 {
+		t.Errorf("ExpWaitFree: %v", err)
+	}
+}
+
+func TestDefaultFactoriesConstruct(t *testing.T) {
+	for _, f := range DefaultFactories() {
+		q, err := f.New(3)
+		if err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+			continue
+		}
+		if q.Procs() != 3 {
+			t.Errorf("%s: Procs = %d", f.Name, q.Procs())
+		}
+		h, err := q.Handle(0)
+		if err != nil {
+			t.Errorf("%s: Handle: %v", f.Name, err)
+			continue
+		}
+		h.Enqueue(1)
+		if v, ok := h.Dequeue(); !ok || v != 1 {
+			t.Errorf("%s: round trip = (%d, %v)", f.Name, v, ok)
+		}
+	}
+}
+
+func TestNewAdapterUnknown(t *testing.T) {
+	if _, err := newAdapter(2, "nope"); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestAblationExperimentsSmoke(t *testing.T) {
+	if tbl, err := ExpAblationSearch(2, 8, []int{0, 2}, 100); err != nil || len(tbl.Rows) != 2 {
+		t.Errorf("ExpAblationSearch: %v", err)
+	}
+	if tbl, err := ExpAblationRefresh([]int{2, 4}, 150); err != nil || len(tbl.Rows) != 2 {
+		t.Errorf("ExpAblationRefresh: %v", err)
+	}
+	if tbl, err := ExpAblationGC(2, []int64{4, 64}, 150); err != nil || len(tbl.Rows) != 2 {
+		t.Errorf("ExpAblationGC: %v", err)
+	}
+}

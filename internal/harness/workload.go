@@ -1,0 +1,165 @@
+package harness
+
+// Workload runners: spawn one goroutine per handle, synchronize the start
+// with a barrier so contention is maximal (the paper's worst-case
+// executions are adversarial schedules; a simultaneous start is the closest
+// portable approximation), and collect per-handle step counters.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/queues"
+)
+
+// Result is the outcome of one workload run.
+type Result struct {
+	Counters []*metrics.Counter
+	Elapsed  time.Duration
+	Summary  metrics.Summary
+}
+
+// summarize fills in the aggregate view.
+func newResult(counters []*metrics.Counter, elapsed time.Duration) Result {
+	return Result{
+		Counters: counters,
+		Elapsed:  elapsed,
+		Summary:  metrics.Summarize(counters...),
+	}
+}
+
+// ThroughputOps returns completed operations per second.
+func (r Result) ThroughputOps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Summary.Ops) / r.Elapsed.Seconds()
+}
+
+// Prefill enqueues n distinct values through handle 0 before a measured run.
+// Prefill values are negative so they never collide with workload values.
+func Prefill(q queues.Queue, n int) error {
+	if n == 0 {
+		return nil
+	}
+	h, err := q.Handle(0)
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= n; i++ {
+		h.Enqueue(int64(-i))
+	}
+	return nil
+}
+
+// runParallel starts one goroutine per handle, each executing body(proc,
+// handle, rng) after a common start barrier, and returns per-handle
+// counters and the wall-clock time of the parallel phase.
+func runParallel(q queues.Queue, procs int, seed int64,
+	body func(proc int, h queues.Handle, rng *rand.Rand)) (Result, error) {
+	if procs < 1 || procs > q.Procs() {
+		return Result{}, fmt.Errorf("harness: procs %d out of range [1,%d]", procs, q.Procs())
+	}
+	counters := make([]*metrics.Counter, procs)
+	handles := make([]queues.Handle, procs)
+	for i := 0; i < procs; i++ {
+		h, err := q.Handle(i)
+		if err != nil {
+			return Result{}, err
+		}
+		counters[i] = &metrics.Counter{}
+		h.SetCounter(counters[i])
+		handles[i] = h
+	}
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(procs)
+	for i := 0; i < procs; i++ {
+		go func(i int) {
+			defer done.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			start.Wait()
+			body(i, handles[i], rng)
+		}(i)
+	}
+	begin := time.Now()
+	start.Done()
+	done.Wait()
+	elapsed := time.Since(begin)
+	return newResult(counters, elapsed), nil
+}
+
+// RunPairs runs the symmetric pairs workload: every process alternates
+// enqueue and dequeue opsPerProc/2 times each. The queue size stays within
+// ±procs of its prefill level, making this the standard workload for
+// step-complexity measurements at a controlled queue size.
+func RunPairs(q queues.Queue, procs, opsPerProc int, seed int64) (Result, error) {
+	return runParallel(q, procs, seed, func(proc int, h queues.Handle, _ *rand.Rand) {
+		base := int64(proc) << 32
+		for s := 0; s < opsPerProc/2; s++ {
+			h.Enqueue(base + int64(s))
+			h.Dequeue()
+		}
+	})
+}
+
+// RunEnqueueOnly runs opsPerProc enqueues on every process.
+func RunEnqueueOnly(q queues.Queue, procs, opsPerProc int, seed int64) (Result, error) {
+	return runParallel(q, procs, seed, func(proc int, h queues.Handle, _ *rand.Rand) {
+		base := int64(proc) << 32
+		for s := 0; s < opsPerProc; s++ {
+			h.Enqueue(base + int64(s))
+		}
+	})
+}
+
+// RunDequeueOnly runs opsPerProc dequeues on every process (the queue should
+// be prefilled).
+func RunDequeueOnly(q queues.Queue, procs, opsPerProc int, seed int64) (Result, error) {
+	return runParallel(q, procs, seed, func(proc int, h queues.Handle, _ *rand.Rand) {
+		for s := 0; s < opsPerProc; s++ {
+			h.Dequeue()
+		}
+	})
+}
+
+// RunMixed runs a randomized workload where each operation is an enqueue
+// with probability enqFrac.
+func RunMixed(q queues.Queue, procs, opsPerProc int, enqFrac float64, seed int64) (Result, error) {
+	return runParallel(q, procs, seed, func(proc int, h queues.Handle, rng *rand.Rand) {
+		base := int64(proc) << 32
+		next := int64(0)
+		for s := 0; s < opsPerProc; s++ {
+			if rng.Float64() < enqFrac {
+				h.Enqueue(base + next)
+				next++
+			} else {
+				h.Dequeue()
+			}
+		}
+	})
+}
+
+// RunWithStalls runs the pairs workload while stall of the processes
+// repeatedly stop for pauseEvery operations, modelling slow or preempted
+// processes. Wait-freedom predicts the remaining processes' per-operation
+// step counts are unaffected.
+func RunWithStalls(q queues.Queue, procs, opsPerProc, stalled int, pause time.Duration, seed int64) (Result, error) {
+	if stalled >= procs {
+		return Result{}, fmt.Errorf("harness: stalled %d must be < procs %d", stalled, procs)
+	}
+	return runParallel(q, procs, seed, func(proc int, h queues.Handle, _ *rand.Rand) {
+		base := int64(proc) << 32
+		slow := proc < stalled
+		for s := 0; s < opsPerProc/2; s++ {
+			h.Enqueue(base + int64(s))
+			if slow && s%8 == 0 {
+				time.Sleep(pause)
+			}
+			h.Dequeue()
+		}
+	})
+}

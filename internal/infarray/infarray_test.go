@@ -1,0 +1,229 @@
+package infarray
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocateBijective(t *testing.T) {
+	// The (level, offset) pair must be unique per index and stay within the
+	// level's bounds.
+	seen := make(map[[2]int64]int64)
+	for i := int64(0); i < 1<<16; i++ {
+		level, offset := locate(i)
+		if level < 0 || level >= maxLevels {
+			t.Fatalf("index %d: level %d out of range", i, level)
+		}
+		size := int64(1) << (defaultBaseBits + level)
+		if offset < 0 || offset >= size {
+			t.Fatalf("index %d: offset %d out of level size %d", i, offset, size)
+		}
+		key := [2]int64{int64(level), offset}
+		if prev, ok := seen[key]; ok {
+			t.Fatalf("indices %d and %d map to same slot %v", prev, i, key)
+		}
+		seen[key] = i
+	}
+}
+
+func TestLocateContiguous(t *testing.T) {
+	// Consecutive indices inside one level must map to consecutive offsets,
+	// and level boundaries must be crossed exactly when the previous level
+	// fills up.
+	prevLevel, prevOffset := locate(0)
+	if prevLevel != 0 || prevOffset != 0 {
+		t.Fatalf("locate(0) = (%d, %d), want (0, 0)", prevLevel, prevOffset)
+	}
+	for i := int64(1); i < 1<<15; i++ {
+		level, offset := locate(i)
+		switch {
+		case level == prevLevel:
+			if offset != prevOffset+1 {
+				t.Fatalf("index %d: offset %d does not follow %d", i, offset, prevOffset)
+			}
+		case level == prevLevel+1:
+			if offset != 0 {
+				t.Fatalf("index %d: new level %d starts at offset %d", i, level, offset)
+			}
+			prevSize := int64(1) << (defaultBaseBits + prevLevel)
+			if prevOffset != prevSize-1 {
+				t.Fatalf("index %d: left level %d before it filled (offset %d of %d)", i, prevLevel, prevOffset, prevSize)
+			}
+		default:
+			t.Fatalf("index %d: jumped from level %d to %d", i, prevLevel, level)
+		}
+		prevLevel, prevOffset = level, offset
+	}
+}
+
+func TestLocateProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		i := int64(raw)
+		level, offset := locate(i)
+		// Reconstruct the logical index from (level, offset): the level's
+		// first logical index is base*(2^level - 1).
+		start := int64(1)<<(defaultBaseBits+level) - int64(1)<<defaultBaseBits
+		return start+offset == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGetBeforeStore(t *testing.T) {
+	a := New[int]()
+	for _, i := range []int64{0, 1, 63, 64, 100, 1 << 20, 1 << 40} {
+		if got := a.Get(i); got != nil {
+			t.Errorf("Get(%d) = %v before any store, want nil", i, got)
+		}
+	}
+}
+
+func TestStoreGetRoundTrip(t *testing.T) {
+	a := New[int]()
+	vals := make([]*int, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		v := i * 7
+		vals = append(vals, &v)
+		a.Store(int64(i), &v)
+	}
+	for i, want := range vals {
+		if got := a.Get(int64(i)); got != want {
+			t.Fatalf("Get(%d) = %p, want %p", i, got, want)
+		}
+	}
+}
+
+func TestCompareAndSwapOnce(t *testing.T) {
+	a := New[string]()
+	first, second := "first", "second"
+	if !a.CompareAndSwap(5, nil, &first) {
+		t.Fatal("initial CAS failed on empty slot")
+	}
+	if a.CompareAndSwap(5, nil, &second) {
+		t.Fatal("second CAS from nil succeeded on occupied slot")
+	}
+	if got := a.Get(5); got != &first {
+		t.Fatalf("Get(5) = %v, want pointer to %q", got, first)
+	}
+}
+
+func TestSparseIndices(t *testing.T) {
+	a := New[int]()
+	// Levels are allocated whole on first touch (sized for append-dominated
+	// use), so sparse probes stay below 1<<22 to keep allocations modest.
+	idx := []int64{0, 1, 2, 1000, 1 << 18, 1 << 21}
+	for k, i := range idx {
+		v := k
+		a.Store(i, &v)
+	}
+	for k, i := range idx {
+		got := a.Get(i)
+		if got == nil || *got != k {
+			t.Fatalf("Get(%d) = %v, want %d", i, got, k)
+		}
+	}
+}
+
+func TestConcurrentCASSingleWinner(t *testing.T) {
+	// Many goroutines race to install into the same fresh slots, including
+	// slots on never-before-touched levels; exactly one must win each slot.
+	const goroutines = 16
+	const slots = 512
+	a := New[int]()
+	wins := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for s := 0; s < slots; s++ {
+				// Mix dense and sparse indices to force level allocation races.
+				i := int64(s)
+				if s%7 == 0 {
+					i = int64(s) << 12
+				}
+				v := g
+				if a.CompareAndSwap(i, nil, &v) {
+					wins[g] = append(wins[g], i)
+				}
+				_ = rng.Int()
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	seen := make(map[int64]bool)
+	for _, w := range wins {
+		for _, i := range w {
+			if seen[i] {
+				t.Fatalf("slot %d won twice", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	wantSlots := make(map[int64]bool)
+	for s := 0; s < slots; s++ {
+		i := int64(s)
+		if s%7 == 0 {
+			i = int64(s) << 12
+		}
+		wantSlots[i] = true
+	}
+	if total != len(wantSlots) {
+		t.Fatalf("won %d slots, want %d", total, len(wantSlots))
+	}
+}
+
+func TestConcurrentReadersSeeWrites(t *testing.T) {
+	a := New[int64]()
+	const n = 4096
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < n; i++ {
+			v := i
+			a.Store(i, &v)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		// Readers may observe nil (not yet written) but never a torn or
+		// wrong value.
+		for pass := 0; pass < 4; pass++ {
+			for i := int64(0); i < n; i++ {
+				if got := a.Get(i); got != nil && *got != i {
+					t.Errorf("Get(%d) = %d", i, *got)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func BenchmarkGet(b *testing.B) {
+	a := New[int]()
+	v := 42
+	a.Store(1<<18, &v)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.Get(1<<18) == nil {
+			b.Fatal("missing value")
+		}
+	}
+}
+
+func BenchmarkStoreSequential(b *testing.B) {
+	a := New[int]()
+	v := 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Store(int64(i), &v)
+	}
+}

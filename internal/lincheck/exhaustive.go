@@ -1,0 +1,90 @@
+package lincheck
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExhaustive decides linearizability of a small complete history by
+// explicit search over linearization orders (Wing-Gong style), with
+// memoization on (set of linearized ops, queue contents). It is exponential
+// in the worst case and intended for histories of at most ~20 operations in
+// tests; it reports whether the history is linearizable with respect to a
+// sequential FIFO queue.
+func CheckExhaustive(events []Event) bool {
+	n := len(events)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		// Bitmask representation limit; the exhaustive checker is a test
+		// oracle for tiny histories only.
+		panic("lincheck: CheckExhaustive limited to 63 events")
+	}
+	evs := make([]Event, n)
+	copy(evs, events)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+
+	visited := make(map[string]bool)
+	var dfs func(mask uint64, queue []int64) bool
+	dfs = func(mask uint64, queue []int64) bool {
+		if mask == (uint64(1)<<n)-1 {
+			return true
+		}
+		key := stateKey(mask, queue)
+		if visited[key] {
+			return false
+		}
+		visited[key] = true
+
+		// An operation may linearize next only if no unlinearized operation
+		// finished before it started (otherwise that operation would have to
+		// precede it).
+		minEnd := int64(1)<<62 - 1
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 && evs[i].End < minEnd {
+				minEnd = evs[i].End
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 || evs[i].Start > minEnd {
+				continue
+			}
+			e := evs[i]
+			switch {
+			case e.Kind == KindEnqueue:
+				if dfs(mask|1<<i, append(queue[:len(queue):len(queue)], e.Value)) {
+					return true
+				}
+			case e.OK:
+				if len(queue) > 0 && queue[0] == e.Value {
+					if dfs(mask|1<<i, queue[1:]) {
+						return true
+					}
+				}
+			default:
+				if len(queue) == 0 {
+					if dfs(mask|1<<i, queue) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return dfs(0, nil)
+}
+
+// stateKey encodes the DFS memo key. Queue contents must be part of the key
+// because different linearization prefixes with the same operation set can
+// produce different queue orders.
+func stateKey(mask uint64, queue []int64) string {
+	var sb strings.Builder
+	sb.WriteString(strconv.FormatUint(mask, 16))
+	for _, v := range queue {
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatInt(v, 10))
+	}
+	return sb.String()
+}

@@ -1,0 +1,60 @@
+package lincheck
+
+// Fuzz target cross-validating the fast bad-pattern checker against the
+// exhaustive oracle on arbitrary small histories: the fast checker must
+// never flag a history the oracle accepts (soundness).
+
+import "testing"
+
+func FuzzCheckSoundness(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 1, 1, 2, 2})
+	f.Add([]byte{2, 0, 0, 1, 1, 2, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := decodeHistory(data)
+		if len(events) == 0 || len(events) > 10 {
+			return
+		}
+		if len(Check(events)) == 0 {
+			return // nothing flagged: nothing to validate
+		}
+		if CheckExhaustive(events) {
+			t.Fatalf("fast checker flagged linearizable history %v", events)
+		}
+	})
+}
+
+// decodeHistory turns fuzz bytes into a structurally well-formed history
+// (per-process non-overlapping intervals, bounded values) so that the fuzz
+// explores semantic violations rather than malformed input.
+func decodeHistory(data []byte) []Event {
+	var events []Event
+	procEnd := map[int]int64{}
+	nextVal := int64(1)
+	var pool []int64
+	for i := 0; i+2 < len(data); i += 3 {
+		proc := int(data[i]) % 2
+		kind := data[i+1] % 4
+		gap := int64(data[i+2]%4) + 1
+		start := procEnd[proc] + gap
+		end := start + int64(data[i+2]%7) + 1
+		procEnd[proc] = end
+		switch kind {
+		case 0, 1:
+			events = append(events, Event{Proc: proc, Kind: KindEnqueue, Value: nextVal, Start: start, End: end})
+			pool = append(pool, nextVal)
+			nextVal++
+		case 2:
+			if len(pool) == 0 {
+				events = append(events, Event{Proc: proc, Kind: KindDequeue, Start: start, End: end})
+				continue
+			}
+			k := int(data[i+2]) % len(pool)
+			v := pool[k]
+			pool = append(pool[:k], pool[k+1:]...)
+			events = append(events, Event{Proc: proc, Kind: KindDequeue, Value: v, OK: true, Start: start, End: end})
+		default:
+			events = append(events, Event{Proc: proc, Kind: KindDequeue, Start: start, End: end})
+		}
+	}
+	return events
+}

@@ -1,0 +1,269 @@
+// Package lincheck checks recorded concurrent queue histories for
+// linearizability violations.
+//
+// The fast checker (Check) detects the bad patterns that characterize
+// FIFO-queue linearizability for complete histories over distinct values,
+// following the violation taxonomy of Bouajjani, Emmi, Enea and Hamza
+// ("Verifying Concurrent Programs against Sequential Specifications"):
+//
+//   - value integrity: a dequeue returns a value never enqueued, or a value
+//     is dequeued twice;
+//   - future read: a dequeue completes before the enqueue of its value
+//     begins;
+//   - FIFO inversion: a was enqueued strictly before b, yet b was dequeued
+//     strictly before a's dequeue began;
+//   - impossible empty: a dequeue reports empty although some value was
+//     enqueued before it started and not dequeued until after it finished.
+//
+// Each pattern check is sound (never flags a linearizable history). The
+// exhaustive checker (CheckExhaustive) decides linearizability exactly by
+// search and is intended for small histories in tests, including validating
+// the fast checker against randomized schedules.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind distinguishes operations in a history.
+type Kind int
+
+// Operation kinds.
+const (
+	KindEnqueue Kind = iota + 1
+	KindDequeue
+)
+
+// Event is one completed operation in a history. Timestamps are logical:
+// any strictly monotone global clock works. Start must be <= End, and two
+// events of the same process must not overlap.
+type Event struct {
+	Proc  int
+	Kind  Kind
+	Value int64 // value enqueued, or returned by a non-empty dequeue
+	OK    bool  // for dequeues: false means "queue empty"
+	Start int64
+	End   int64
+}
+
+func (e Event) String() string {
+	switch {
+	case e.Kind == KindEnqueue:
+		return fmt.Sprintf("P%d.Enq(%d)@[%d,%d]", e.Proc, e.Value, e.Start, e.End)
+	case e.OK:
+		return fmt.Sprintf("P%d.Deq()=%d@[%d,%d]", e.Proc, e.Value, e.Start, e.End)
+	default:
+		return fmt.Sprintf("P%d.Deq()=empty@[%d,%d]", e.Proc, e.Start, e.End)
+	}
+}
+
+// Violation describes one detected bad pattern.
+type Violation struct {
+	Pattern string
+	Detail  string
+}
+
+func (v Violation) String() string { return v.Pattern + ": " + v.Detail }
+
+// Check runs all bad-pattern detectors and returns every violation found
+// (nil for a history that passes). Histories must be complete (every started
+// operation finished) and enqueue values must be distinct; duplicate
+// enqueues are reported as violations of the precondition.
+func Check(events []Event) []Violation {
+	var out []Violation
+	out = append(out, checkWellFormed(events)...)
+	enqOf, deqOf, vs := indexValues(events)
+	out = append(out, checkValueIntegrity(events, enqOf)...)
+	out = append(out, checkFutureRead(enqOf, deqOf, vs)...)
+	out = append(out, checkFIFOInversion(enqOf, deqOf, vs)...)
+	out = append(out, checkImpossibleEmpty(events, enqOf, deqOf, vs)...)
+	return out
+}
+
+// checkWellFormed validates timestamps and per-process non-overlap.
+func checkWellFormed(events []Event) []Violation {
+	var out []Violation
+	byProc := make(map[int][]Event)
+	for _, e := range events {
+		if e.Start > e.End {
+			out = append(out, Violation{"malformed", fmt.Sprintf("%v has Start > End", e)})
+		}
+		byProc[e.Proc] = append(byProc[e.Proc], e)
+	}
+	for proc, evs := range byProc {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start <= evs[i-1].End {
+				out = append(out, Violation{"malformed",
+					fmt.Sprintf("process %d operations overlap: %v and %v", proc, evs[i-1], evs[i])})
+			}
+		}
+	}
+	return out
+}
+
+// indexValues builds per-value enqueue/dequeue indices. vs lists values that
+// have both an enqueue and a dequeue.
+func indexValues(events []Event) (enqOf, deqOf map[int64]Event, vs []int64) {
+	enqOf = make(map[int64]Event)
+	deqOf = make(map[int64]Event)
+	for _, e := range events {
+		if e.Kind == KindEnqueue {
+			enqOf[e.Value] = e
+		}
+	}
+	for _, e := range events {
+		if e.Kind == KindDequeue && e.OK {
+			deqOf[e.Value] = e
+		}
+	}
+	for v := range deqOf {
+		if _, ok := enqOf[v]; ok {
+			vs = append(vs, v)
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return enqOf, deqOf, vs
+}
+
+// checkValueIntegrity flags duplicate enqueues, duplicate dequeues, and
+// dequeues of values never enqueued.
+func checkValueIntegrity(events []Event, enqOf map[int64]Event) []Violation {
+	var out []Violation
+	seenEnq := make(map[int64]int)
+	seenDeq := make(map[int64]int)
+	for _, e := range events {
+		switch {
+		case e.Kind == KindEnqueue:
+			seenEnq[e.Value]++
+		case e.OK:
+			seenDeq[e.Value]++
+		}
+	}
+	for v, n := range seenEnq {
+		if n > 1 {
+			out = append(out, Violation{"precondition",
+				fmt.Sprintf("value %d enqueued %d times (values must be distinct)", v, n)})
+		}
+	}
+	for v, n := range seenDeq {
+		if n > 1 {
+			out = append(out, Violation{"duplicate-dequeue", fmt.Sprintf("value %d dequeued %d times", v, n)})
+		}
+		if _, ok := enqOf[v]; !ok {
+			out = append(out, Violation{"phantom-dequeue", fmt.Sprintf("value %d dequeued but never enqueued", v)})
+		}
+	}
+	return out
+}
+
+// checkFutureRead flags dequeues that finish before their enqueue starts.
+func checkFutureRead(enqOf, deqOf map[int64]Event, vs []int64) []Violation {
+	var out []Violation
+	for _, v := range vs {
+		if deqOf[v].End < enqOf[v].Start {
+			out = append(out, Violation{"future-read",
+				fmt.Sprintf("%v completed before %v began", deqOf[v], enqOf[v])})
+		}
+	}
+	return out
+}
+
+// checkFIFOInversion detects a pair (a, b) with enq(a) happening strictly
+// before enq(b) while deq(b) happens strictly before deq(a). It is a sweep
+// over values ordered by enqueue start; among values whose enqueue finished
+// before the current one started, it keeps the one whose dequeue starts
+// latest, which is the only candidate that can witness an inversion.
+func checkFIFOInversion(enqOf, deqOf map[int64]Event, vs []int64) []Violation {
+	var out []Violation
+	type rec struct {
+		v                int64
+		enqStart, enqEnd int64
+		deqStart, deqEnd int64
+	}
+	recs := make([]rec, 0, len(vs))
+	for _, v := range vs {
+		recs = append(recs, rec{
+			v:        v,
+			enqStart: enqOf[v].Start, enqEnd: enqOf[v].End,
+			deqStart: deqOf[v].Start, deqEnd: deqOf[v].End,
+		})
+	}
+	// byEnd feeds the sweep with values whose enqueue completed earliest.
+	byEnd := make([]rec, len(recs))
+	copy(byEnd, recs)
+	sort.Slice(byEnd, func(i, j int) bool { return byEnd[i].enqEnd < byEnd[j].enqEnd })
+	byStart := recs
+	sort.Slice(byStart, func(i, j int) bool { return byStart[i].enqStart < byStart[j].enqStart })
+
+	var maxDeqStart int64 = -1
+	var witness rec
+	feed := 0
+	for _, b := range byStart {
+		for feed < len(byEnd) && byEnd[feed].enqEnd < b.enqStart {
+			if byEnd[feed].deqStart > maxDeqStart {
+				maxDeqStart = byEnd[feed].deqStart
+				witness = byEnd[feed]
+			}
+			feed++
+		}
+		if maxDeqStart >= 0 && b.deqEnd < maxDeqStart && witness.v != b.v {
+			out = append(out, Violation{"fifo-inversion",
+				fmt.Sprintf("%v happened before %v, yet %v completed before %v began",
+					enqOf[witness.v], enqOf[b.v], deqOf[b.v], deqOf[witness.v])})
+		}
+	}
+	return out
+}
+
+// checkImpossibleEmpty flags empty dequeues that overlap no moment at which
+// the queue could have been empty: some value was enqueued entirely before
+// the dequeue began and its own dequeue did not begin until after the empty
+// dequeue finished.
+func checkImpossibleEmpty(events []Event, enqOf, deqOf map[int64]Event, vs []int64) []Violation {
+	var out []Violation
+	type spanRec struct {
+		v                int64
+		enqEnd, deqStart int64
+	}
+	// Every enqueued value contributes a span [enqEnd, deqStart) during
+	// which it is definitely present; undequeued values are present forever.
+	const forever = int64(1) << 62
+	spans := make([]spanRec, 0, len(enqOf))
+	for v, e := range enqOf {
+		ds := forever
+		if d, ok := deqOf[v]; ok {
+			ds = d.Start
+		}
+		spans = append(spans, spanRec{v: v, enqEnd: e.End, deqStart: ds})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].enqEnd < spans[j].enqEnd })
+
+	var empties []Event
+	for _, e := range events {
+		if e.Kind == KindDequeue && !e.OK {
+			empties = append(empties, e)
+		}
+	}
+	sort.Slice(empties, func(i, j int) bool { return empties[i].Start < empties[j].Start })
+
+	var maxDeqStart int64 = -1
+	var witness spanRec
+	feed := 0
+	for _, e := range empties {
+		for feed < len(spans) && spans[feed].enqEnd < e.Start {
+			if spans[feed].deqStart > maxDeqStart {
+				maxDeqStart = spans[feed].deqStart
+				witness = spans[feed]
+			}
+			feed++
+		}
+		if maxDeqStart > e.End {
+			out = append(out, Violation{"impossible-empty",
+				fmt.Sprintf("%v reported empty but value %d was enqueued before it began (enq end %d) and not dequeued until after it finished (deq start %d)",
+					e, witness.v, witness.enqEnd, witness.deqStart)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package lincheck
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// enq/deq helpers build events tersely.
+func enq(proc int, v, start, end int64) Event {
+	return Event{Proc: proc, Kind: KindEnqueue, Value: v, Start: start, End: end}
+}
+
+func deq(proc int, v, start, end int64) Event {
+	return Event{Proc: proc, Kind: KindDequeue, Value: v, OK: true, Start: start, End: end}
+}
+
+func deqEmpty(proc int, start, end int64) Event {
+	return Event{Proc: proc, Kind: KindDequeue, OK: false, Start: start, End: end}
+}
+
+func hasPattern(vs []Violation, pattern string) bool {
+	for _, v := range vs {
+		if v.Pattern == pattern {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckCleanSequentialHistory(t *testing.T) {
+	events := []Event{
+		enq(0, 1, 1, 2),
+		enq(0, 2, 3, 4),
+		deq(1, 1, 5, 6),
+		deq(1, 2, 7, 8),
+		deqEmpty(1, 9, 10),
+	}
+	if vs := Check(events); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+	if !CheckExhaustive(events) {
+		t.Fatal("exhaustive checker rejected clean history")
+	}
+}
+
+func TestCheckPhantomDequeue(t *testing.T) {
+	events := []Event{deq(0, 99, 1, 2)}
+	if vs := Check(events); !hasPattern(vs, "phantom-dequeue") {
+		t.Fatalf("phantom dequeue not flagged: %v", vs)
+	}
+}
+
+func TestCheckDuplicateDequeue(t *testing.T) {
+	events := []Event{
+		enq(0, 7, 1, 2),
+		deq(1, 7, 3, 4),
+		deq(2, 7, 5, 6),
+	}
+	if vs := Check(events); !hasPattern(vs, "duplicate-dequeue") {
+		t.Fatalf("duplicate dequeue not flagged: %v", vs)
+	}
+}
+
+func TestCheckFutureRead(t *testing.T) {
+	events := []Event{
+		deq(1, 5, 1, 2),
+		enq(0, 5, 3, 4),
+	}
+	if vs := Check(events); !hasPattern(vs, "future-read") {
+		t.Fatalf("future read not flagged: %v", vs)
+	}
+	if CheckExhaustive(events) {
+		t.Fatal("exhaustive checker accepted future read")
+	}
+}
+
+func TestCheckFIFOInversion(t *testing.T) {
+	// a enqueued strictly before b, but b dequeued strictly before a.
+	events := []Event{
+		enq(0, 1, 1, 2), // a
+		enq(0, 2, 3, 4), // b
+		deq(1, 2, 5, 6), // deq(b) completes...
+		deq(1, 1, 7, 8), // ...before deq(a) begins
+	}
+	if vs := Check(events); !hasPattern(vs, "fifo-inversion") {
+		t.Fatalf("FIFO inversion not flagged: %v", vs)
+	}
+	if CheckExhaustive(events) {
+		t.Fatal("exhaustive checker accepted FIFO inversion")
+	}
+}
+
+func TestCheckFIFOInversionNotFlaggedWhenConcurrent(t *testing.T) {
+	// Concurrent enqueues may linearize in either order: no violation.
+	events := []Event{
+		enq(0, 1, 1, 5),
+		enq(1, 2, 2, 6),
+		deq(2, 2, 7, 8),
+		deq(2, 1, 9, 10),
+	}
+	if vs := Check(events); len(vs) != 0 {
+		t.Fatalf("legal concurrent history flagged: %v", vs)
+	}
+	if !CheckExhaustive(events) {
+		t.Fatal("exhaustive checker rejected legal history")
+	}
+}
+
+func TestCheckImpossibleEmpty(t *testing.T) {
+	events := []Event{
+		enq(0, 1, 1, 2),
+		deqEmpty(1, 3, 4), // 1 is in the queue for this whole interval
+		deq(0, 1, 5, 6),
+	}
+	if vs := Check(events); !hasPattern(vs, "impossible-empty") {
+		t.Fatalf("impossible empty not flagged: %v", vs)
+	}
+	if CheckExhaustive(events) {
+		t.Fatal("exhaustive checker accepted impossible empty")
+	}
+}
+
+func TestCheckEmptyOverlappingPendingDequeueAccepted(t *testing.T) {
+	// The empty dequeue overlaps deq(1), so emptiness is possible.
+	events := []Event{
+		enq(0, 1, 1, 2),
+		deq(0, 1, 3, 6),
+		deqEmpty(1, 4, 7),
+	}
+	if vs := Check(events); len(vs) != 0 {
+		t.Fatalf("legal history flagged: %v", vs)
+	}
+	if !CheckExhaustive(events) {
+		t.Fatal("exhaustive checker rejected legal history")
+	}
+}
+
+func TestCheckOverlappingProcOps(t *testing.T) {
+	events := []Event{
+		enq(0, 1, 1, 5),
+		enq(0, 2, 3, 7), // same process, overlapping
+	}
+	if vs := Check(events); !hasPattern(vs, "malformed") {
+		t.Fatalf("overlapping same-process ops not flagged: %v", vs)
+	}
+}
+
+func TestCheckDistinctValuePrecondition(t *testing.T) {
+	events := []Event{
+		enq(0, 1, 1, 2),
+		enq(0, 1, 3, 4),
+	}
+	if vs := Check(events); !hasPattern(vs, "precondition") {
+		t.Fatalf("duplicate enqueue not flagged: %v", vs)
+	}
+}
+
+// TestFastCheckerSoundnessVsExhaustive generates random small histories and
+// verifies the fast checker never flags a history the exhaustive checker
+// accepts (soundness of the bad patterns).
+func TestFastCheckerSoundnessVsExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2023))
+	for trial := 0; trial < 3000; trial++ {
+		events := randomHistory(rng)
+		fast := Check(events)
+		if len(fast) == 0 {
+			continue
+		}
+		if CheckExhaustive(events) {
+			t.Fatalf("trial %d: fast checker flagged linearizable history %v: %v",
+				trial, events, fast)
+		}
+	}
+}
+
+// TestFastCheckerCatchesMostViolations measures that the bad patterns catch
+// a healthy fraction of random non-linearizable histories. The patterns are
+// not complete in theory for every adversarial interleaving, but on random
+// histories they should catch the clear majority; a large miss rate would
+// indicate a broken detector.
+func TestFastCheckerCatchesMostViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nonLin, caught := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		events := randomHistory(rng)
+		if CheckExhaustive(events) {
+			continue
+		}
+		nonLin++
+		if len(Check(events)) > 0 {
+			caught++
+		}
+	}
+	if nonLin == 0 {
+		t.Skip("no non-linearizable histories generated")
+	}
+	if ratio := float64(caught) / float64(nonLin); ratio < 0.5 {
+		t.Errorf("fast checker caught only %d/%d (%.0f%%) of violations", caught, nonLin, 100*ratio)
+	}
+}
+
+// randomHistory builds a small random complete history over 2 processes:
+// usually semantically plausible but with random interval structure, so both
+// linearizable and non-linearizable cases occur.
+func randomHistory(rng *rand.Rand) []Event {
+	nOps := 4 + rng.Intn(5)
+	var events []Event
+	var clock int64
+	procEnd := map[int]int64{}
+	nextVal := int64(1)
+	var pool []int64 // values enqueued so far
+	for i := 0; i < nOps; i++ {
+		proc := rng.Intn(2)
+		start := procEnd[proc] + 1 + int64(rng.Intn(3))
+		dur := 1 + int64(rng.Intn(6))
+		end := start + dur
+		clock = max64(clock, end)
+		switch rng.Intn(3) {
+		case 0: // enqueue
+			events = append(events, enq(proc, nextVal, start, end))
+			pool = append(pool, nextVal)
+			nextVal++
+		case 1: // dequeue of some enqueued value (possibly out of order)
+			if len(pool) == 0 {
+				events = append(events, deqEmpty(proc, start, end))
+				break
+			}
+			k := rng.Intn(len(pool))
+			v := pool[k]
+			pool = append(pool[:k], pool[k+1:]...)
+			events = append(events, deq(proc, v, start, end))
+		default: // empty dequeue
+			events = append(events, deqEmpty(proc, start, end))
+		}
+		procEnd[proc] = end
+	}
+	return events
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

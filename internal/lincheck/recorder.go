@@ -1,0 +1,68 @@
+package lincheck
+
+import (
+	"sync/atomic"
+
+	"repro/internal/queues"
+)
+
+// Recorder collects a concurrent history with a shared logical clock. Each
+// process records into its own slice, so recording adds no synchronization
+// beyond the clock increments that define the happens-before order being
+// checked.
+type Recorder struct {
+	clock atomic.Int64
+	procs [][]Event
+}
+
+// NewRecorder creates a recorder for procs processes.
+func NewRecorder(procs int) *Recorder {
+	return &Recorder{procs: make([][]Event, procs)}
+}
+
+// now advances and returns the logical clock.
+func (r *Recorder) now() int64 { return r.clock.Add(1) }
+
+// Wrap returns a queues.Handle that forwards to h and records every
+// operation as process proc. The wrapped handle, like the underlying one,
+// must be used by a single goroutine.
+func (r *Recorder) Wrap(h queues.Handle, proc int) queues.Handle {
+	return &recordingHandle{Handle: h, rec: r, proc: proc}
+}
+
+// Events returns all recorded events. Call only after the goroutines using
+// wrapped handles have been joined.
+func (r *Recorder) Events() []Event {
+	var out []Event
+	for _, evs := range r.procs {
+		out = append(out, evs...)
+	}
+	return out
+}
+
+type recordingHandle struct {
+	queues.Handle
+	rec  *Recorder
+	proc int
+}
+
+// Enqueue implements queues.Handle, recording the operation's interval.
+func (h *recordingHandle) Enqueue(v int64) {
+	start := h.rec.now()
+	h.Handle.Enqueue(v)
+	end := h.rec.now()
+	h.rec.procs[h.proc] = append(h.rec.procs[h.proc], Event{
+		Proc: h.proc, Kind: KindEnqueue, Value: v, Start: start, End: end,
+	})
+}
+
+// Dequeue implements queues.Handle, recording the operation's interval.
+func (h *recordingHandle) Dequeue() (int64, bool) {
+	start := h.rec.now()
+	v, ok := h.Handle.Dequeue()
+	end := h.rec.now()
+	h.rec.procs[h.proc] = append(h.rec.procs[h.proc], Event{
+		Proc: h.proc, Kind: KindDequeue, Value: v, OK: ok, Start: start, End: end,
+	})
+	return v, ok
+}

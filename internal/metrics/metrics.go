@@ -1,0 +1,178 @@
+// Package metrics implements the paper's cost model: step complexity measured
+// in shared-memory operations (reads and CAS instructions), accounted per
+// queue operation.
+//
+// Counters are plain (non-atomic) fields because each Counter belongs to a
+// single handle — the paper's "process" — and is only ever updated by that
+// handle's goroutine. Aggregation across handles happens after the workload's
+// goroutines have been joined, so no synchronization is needed beyond the
+// join itself.
+package metrics
+
+import "fmt"
+
+// Counter accumulates shared-memory operation counts for one handle.
+type Counter struct {
+	// Reads counts loads of shared variables (block fields, head fields,
+	// array slots, tree-node fields).
+	Reads int64
+	// CASAttempts counts every CAS instruction issued.
+	CASAttempts int64
+	// CASFailures counts CAS instructions that did not take effect.
+	CASFailures int64
+	// Writes counts plain shared-memory stores (e.g. a leaf append).
+	Writes int64
+
+	// Ops counts completed queue operations, split by kind, so callers can
+	// compute per-operation costs.
+	Enqueues     int64
+	Dequeues     int64
+	NullDeqs     int64
+	MaxOpSteps   int64 // worst single-operation step count observed
+	totalSteps   int64 // steps attributed to finished operations
+	opStartSteps int64 // steps snapshot at the start of the current op
+}
+
+// Read records n shared reads.
+func (c *Counter) Read(n int64) {
+	if c == nil {
+		return
+	}
+	c.Reads += n
+}
+
+// CAS records a CAS attempt and its outcome.
+func (c *Counter) CAS(success bool) {
+	if c == nil {
+		return
+	}
+	c.CASAttempts++
+	if !success {
+		c.CASFailures++
+	}
+}
+
+// Write records a plain shared store.
+func (c *Counter) Write() {
+	if c == nil {
+		return
+	}
+	c.Writes++
+}
+
+// steps is the running total of shared-memory operations.
+func (c *Counter) steps() int64 {
+	return c.Reads + c.CASAttempts + c.Writes
+}
+
+// BeginOp marks the start of a queue operation for per-op accounting.
+func (c *Counter) BeginOp() {
+	if c == nil {
+		return
+	}
+	c.opStartSteps = c.steps()
+}
+
+// OpKind identifies the operation being finished for per-op accounting.
+type OpKind int
+
+// Operation kinds. They start at 1 so the zero value is invalid.
+const (
+	OpEnqueue OpKind = iota + 1
+	OpDequeue
+	OpNullDequeue
+)
+
+// EndOp closes out the operation opened by the matching BeginOp.
+func (c *Counter) EndOp(kind OpKind) {
+	if c == nil {
+		return
+	}
+	opSteps := c.steps() - c.opStartSteps
+	c.totalSteps += opSteps
+	if opSteps > c.MaxOpSteps {
+		c.MaxOpSteps = opSteps
+	}
+	switch kind {
+	case OpEnqueue:
+		c.Enqueues++
+	case OpDequeue:
+		c.Dequeues++
+	case OpNullDequeue:
+		c.NullDeqs++
+	}
+}
+
+// TotalOps returns the number of completed operations.
+func (c *Counter) TotalOps() int64 {
+	return c.Enqueues + c.Dequeues + c.NullDeqs
+}
+
+// TotalSteps returns steps attributed to completed operations.
+func (c *Counter) TotalSteps() int64 { return c.totalSteps }
+
+// Merge adds other's counts into c. Call only after the goroutine owning
+// other has been joined.
+func (c *Counter) Merge(other *Counter) {
+	if other == nil {
+		return
+	}
+	c.Reads += other.Reads
+	c.CASAttempts += other.CASAttempts
+	c.CASFailures += other.CASFailures
+	c.Writes += other.Writes
+	c.Enqueues += other.Enqueues
+	c.Dequeues += other.Dequeues
+	c.NullDeqs += other.NullDeqs
+	c.totalSteps += other.totalSteps
+	if other.MaxOpSteps > c.MaxOpSteps {
+		c.MaxOpSteps = other.MaxOpSteps
+	}
+}
+
+// Summary is an aggregate view over one or more counters.
+type Summary struct {
+	Ops          int64
+	StepsPerOp   float64
+	CASPerOp     float64
+	CASFailRate  float64
+	MaxOpSteps   int64
+	TotalReads   int64
+	TotalCAS     int64
+	TotalWrites  int64
+	TotalEnqs    int64
+	TotalDeqs    int64
+	TotalNullDeq int64
+}
+
+// Summarize merges counters and derives per-operation averages.
+func Summarize(counters ...*Counter) Summary {
+	var m Counter
+	for _, c := range counters {
+		m.Merge(c)
+	}
+	s := Summary{
+		Ops:          m.TotalOps(),
+		MaxOpSteps:   m.MaxOpSteps,
+		TotalReads:   m.Reads,
+		TotalCAS:     m.CASAttempts,
+		TotalWrites:  m.Writes,
+		TotalEnqs:    m.Enqueues,
+		TotalDeqs:    m.Dequeues,
+		TotalNullDeq: m.NullDeqs,
+	}
+	if s.Ops > 0 {
+		s.StepsPerOp = float64(m.totalSteps) / float64(s.Ops)
+		s.CASPerOp = float64(m.CASAttempts) / float64(s.Ops)
+	}
+	if m.CASAttempts > 0 {
+		s.CASFailRate = float64(m.CASFailures) / float64(m.CASAttempts)
+	}
+	return s
+}
+
+// String renders the summary as a single human-readable line.
+func (s Summary) String() string {
+	return fmt.Sprintf("ops=%d steps/op=%.1f cas/op=%.2f casFail=%.1f%% maxOpSteps=%d",
+		s.Ops, s.StepsPerOp, s.CASPerOp, 100*s.CASFailRate, s.MaxOpSteps)
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import "testing"
+
+func TestNilCounterIsSafe(t *testing.T) {
+	var c *Counter
+	c.Read(5)
+	c.CAS(true)
+	c.Write()
+	c.BeginOp()
+	c.EndOp(OpEnqueue)
+	// No panic is the assertion.
+}
+
+func TestPerOpAccounting(t *testing.T) {
+	c := &Counter{}
+	c.BeginOp()
+	c.Read(3)
+	c.CAS(true)
+	c.EndOp(OpEnqueue)
+
+	c.BeginOp()
+	c.Read(10)
+	c.CAS(false)
+	c.CAS(true)
+	c.Write()
+	c.EndOp(OpDequeue)
+
+	if c.TotalOps() != 2 {
+		t.Errorf("TotalOps = %d", c.TotalOps())
+	}
+	if c.TotalSteps() != 4+13 {
+		t.Errorf("TotalSteps = %d, want 17", c.TotalSteps())
+	}
+	if c.MaxOpSteps != 13 {
+		t.Errorf("MaxOpSteps = %d, want 13", c.MaxOpSteps)
+	}
+	if c.Enqueues != 1 || c.Dequeues != 1 || c.NullDeqs != 0 {
+		t.Errorf("op mix = (%d, %d, %d)", c.Enqueues, c.Dequeues, c.NullDeqs)
+	}
+	if c.CASFailures != 1 || c.CASAttempts != 3 {
+		t.Errorf("CAS = %d/%d", c.CASFailures, c.CASAttempts)
+	}
+}
+
+func TestStepsOutsideOpsNotAttributed(t *testing.T) {
+	c := &Counter{}
+	c.Read(100) // outside any operation
+	c.BeginOp()
+	c.Read(1)
+	c.EndOp(OpNullDequeue)
+	if c.TotalSteps() != 1 {
+		t.Errorf("TotalSteps = %d, want 1", c.TotalSteps())
+	}
+	if c.Reads != 101 {
+		t.Errorf("Reads = %d, want 101", c.Reads)
+	}
+}
+
+func TestMergeAndSummarize(t *testing.T) {
+	a := &Counter{}
+	a.BeginOp()
+	a.Read(4)
+	a.CAS(true)
+	a.EndOp(OpEnqueue)
+
+	b := &Counter{}
+	b.BeginOp()
+	b.Read(9)
+	b.CAS(false)
+	b.EndOp(OpDequeue)
+
+	s := Summarize(a, b)
+	if s.Ops != 2 {
+		t.Errorf("Ops = %d", s.Ops)
+	}
+	if s.StepsPerOp != 7.5 {
+		t.Errorf("StepsPerOp = %v, want 7.5", s.StepsPerOp)
+	}
+	if s.CASPerOp != 1 {
+		t.Errorf("CASPerOp = %v", s.CASPerOp)
+	}
+	if s.CASFailRate != 0.5 {
+		t.Errorf("CASFailRate = %v", s.CASFailRate)
+	}
+	if s.MaxOpSteps != 10 {
+		t.Errorf("MaxOpSteps = %d", s.MaxOpSteps)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize()
+	if s.Ops != 0 || s.StepsPerOp != 0 || s.CASFailRate != 0 {
+		t.Errorf("zero summary = %+v", s)
+	}
+}
+
+func TestMergeNil(t *testing.T) {
+	c := &Counter{Reads: 5}
+	c.Merge(nil)
+	if c.Reads != 5 {
+		t.Errorf("Merge(nil) changed counter: %+v", c)
+	}
+}

@@ -1,0 +1,76 @@
+package pbst
+
+// Fuzz targets. Under plain `go test` they run their seed corpus; under
+// `go test -fuzz=Fuzz...` they explore the operation space. The oracle is a
+// map plus sorted iteration.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTreeOps interprets data as a little program over {Insert, DropBelow,
+// Get} and cross-checks the tree against a map oracle after every step.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{1, 5, 1, 9, 2, 6, 3, 5})
+	f.Add([]byte{1, 0, 1, 1, 1, 2, 2, 1})
+	f.Add(bytes.Repeat([]byte{1, 7}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr *Tree[int]
+		model := map[int64]int{}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%3, int64(data[i+1])
+			switch op {
+			case 0, 1: // insert (twice as likely)
+				tr = tr.Insert(arg, i)
+				model[arg] = i
+			case 2: // drop below
+				tr = tr.DropBelow(arg)
+				for k := range model {
+					if k < arg {
+						delete(model, k)
+					}
+				}
+			}
+			if tr.Size() != int64(len(model)) {
+				t.Fatalf("step %d: size %d, model %d", i, tr.Size(), len(model))
+			}
+		}
+		// Full content check with ordered iteration.
+		var prev int64 = -1
+		count := 0
+		tr.Ascend(func(k int64, v int) bool {
+			if k <= prev {
+				t.Fatalf("iteration out of order: %d after %d", k, prev)
+			}
+			prev = k
+			want, ok := model[k]
+			if !ok || want != v {
+				t.Fatalf("key %d: val %d, model (%d, %v)", k, v, want, ok)
+			}
+			count++
+			return true
+		})
+		if count != len(model) {
+			t.Fatalf("iterated %d entries, model has %d", count, len(model))
+		}
+		// Min/Max agree with iteration extremes.
+		if len(model) > 0 {
+			var lo, hi int64 = 1 << 62, -1
+			for k := range model {
+				if k < lo {
+					lo = k
+				}
+				if k > hi {
+					hi = k
+				}
+			}
+			if k, _, _ := tr.Min(); k != lo {
+				t.Fatalf("Min = %d, want %d", k, lo)
+			}
+			if k, _, _ := tr.Max(); k != hi {
+				t.Fatalf("Max = %d, want %d", k, hi)
+			}
+		}
+	})
+}

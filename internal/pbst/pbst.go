@@ -1,0 +1,284 @@
+// Package pbst provides the persistent balanced search tree that the
+// bounded-space queue (paper Section 6, Appendix B) stores each node's
+// blocks in.
+//
+// The paper uses a red-black tree made persistent with Driscoll et al.'s
+// node-copying; any balanced persistent BST with logarithmic insert, split
+// and search preserves the construction and its complexity accounting. We
+// use a treap with deterministic pseudo-random priorities derived from the
+// key by a splitmix64 hash: split and join are a few lines each and easy to
+// verify, updates copy only the search path (so existing trees are never
+// mutated and a reader holding an old root sees a consistent snapshot), and
+// expected depth is O(log n) — for the consecutive integer keys the queue
+// uses, the hashed priorities are fixed and behave like random draws, so the
+// depth bound is deterministic for any given size (and checked by tests).
+//
+// All operations are pure: they return a new *Tree and never modify the
+// receiver. A nil *Tree is the empty tree.
+package pbst
+
+// Tree is an immutable ordered map from int64 keys to values of type V.
+// The zero value of *Tree (nil) is an empty tree. Min and Max are O(1), as
+// the bounded queue's MaxBlock/MinBlock require.
+type Tree[V any] struct {
+	root *treeNode[V]
+	min  *treeNode[V]
+	max  *treeNode[V]
+}
+
+type treeNode[V any] struct {
+	key   int64
+	val   V
+	prio  uint64
+	size  int64
+	left  *treeNode[V]
+	right *treeNode[V]
+}
+
+// splitmix64 is the standard SplitMix64 finalizer, used to derive a fixed
+// pseudo-random priority from a key.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func size[V any](n *treeNode[V]) int64 {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func mkNode[V any](key int64, val V, left, right *treeNode[V]) *treeNode[V] {
+	return &treeNode[V]{
+		key:   key,
+		val:   val,
+		prio:  splitmix64(uint64(key)),
+		size:  1 + size(left) + size(right),
+		left:  left,
+		right: right,
+	}
+}
+
+// withChildren copies n with new children (path copying).
+func (n *treeNode[V]) withChildren(left, right *treeNode[V]) *treeNode[V] {
+	return &treeNode[V]{
+		key:   n.key,
+		val:   n.val,
+		prio:  n.prio,
+		size:  1 + size(left) + size(right),
+		left:  left,
+		right: right,
+	}
+}
+
+// splitNode partitions n into keys < k and keys >= k.
+func splitNode[V any](n *treeNode[V], k int64) (lt, ge *treeNode[V]) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key < k {
+		l, r := splitNode(n.right, k)
+		return n.withChildren(n.left, l), r
+	}
+	l, r := splitNode(n.left, k)
+	return l, n.withChildren(r, n.right)
+}
+
+// joinNode merges l and r assuming every key in l is less than every key in
+// r, choosing roots by priority (max-heap order).
+func joinNode[V any](l, r *treeNode[V]) *treeNode[V] {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		return l.withChildren(l.left, joinNode(l.right, r))
+	default:
+		return r.withChildren(joinNode(l, r.left), r.right)
+	}
+}
+
+func minNode[V any](n *treeNode[V]) *treeNode[V] {
+	if n == nil {
+		return nil
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func maxNode[V any](n *treeNode[V]) *treeNode[V] {
+	if n == nil {
+		return nil
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n
+}
+
+// wrap builds the Tree wrapper, locating min and max once so later calls are
+// O(1).
+func wrap[V any](root *treeNode[V]) *Tree[V] {
+	if root == nil {
+		return nil
+	}
+	return &Tree[V]{root: root, min: minNode(root), max: maxNode(root)}
+}
+
+// Size returns the number of entries.
+func (t *Tree[V]) Size() int64 {
+	if t == nil {
+		return 0
+	}
+	return size(t.root)
+}
+
+// Insert returns a tree with key bound to val, replacing any existing
+// binding. The receiver is unchanged.
+func (t *Tree[V]) Insert(key int64, val V) *Tree[V] {
+	var root *treeNode[V]
+	if t != nil {
+		root = t.root
+	}
+	lt, ge := splitNode(root, key)
+	_, gt := splitNode(ge, key+1)
+	return wrap(joinNode(lt, joinNode(mkNode(key, val, nil, nil), gt)))
+}
+
+// DropBelow returns a tree without the entries whose key is less than
+// bound: the paper's Split(T, s) used by garbage collection.
+func (t *Tree[V]) DropBelow(bound int64) *Tree[V] {
+	if t == nil {
+		return nil
+	}
+	_, ge := splitNode(t.root, bound)
+	return wrap(ge)
+}
+
+// Get returns the value bound to key.
+func (t *Tree[V]) Get(key int64) (V, bool) {
+	var zero V
+	if t == nil {
+		return zero, false
+	}
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	return zero, false
+}
+
+// Min returns the entry with the smallest key in O(1).
+func (t *Tree[V]) Min() (key int64, val V, ok bool) {
+	if t == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return t.min.key, t.min.val, true
+}
+
+// Max returns the entry with the largest key in O(1).
+func (t *Tree[V]) Max() (key int64, val V, ok bool) {
+	if t == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return t.max.key, t.max.val, true
+}
+
+// FindFirst returns the entry with the smallest key satisfying pred, which
+// must be monotone in key order (false on a prefix, true on the rest) — the
+// shape of all searches the queue performs (index, sumenq, endleft and
+// endright are non-decreasing in a node's block sequence, Invariant 7 and
+// Lemma 4').
+func (t *Tree[V]) FindFirst(pred func(key int64, val V) bool) (key int64, val V, ok bool) {
+	var zero V
+	if t == nil {
+		return 0, zero, false
+	}
+	var best *treeNode[V]
+	n := t.root
+	for n != nil {
+		if pred(n.key, n.val) {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil {
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// FindLast returns the entry with the largest key satisfying pred, which
+// must be monotone in key order (true on a prefix, false on the rest).
+func (t *Tree[V]) FindLast(pred func(key int64, val V) bool) (key int64, val V, ok bool) {
+	var zero V
+	if t == nil {
+		return 0, zero, false
+	}
+	var best *treeNode[V]
+	n := t.root
+	for n != nil {
+		if pred(n.key, n.val) {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best == nil {
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// Ascend visits entries in increasing key order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(key int64, val V) bool) {
+	if t == nil {
+		return
+	}
+	var walk func(n *treeNode[V]) bool
+	walk = func(n *treeNode[V]) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && fn(n.key, n.val) && walk(n.right)
+	}
+	walk(t.root)
+}
+
+// Height returns the tree height (empty tree has height 0); exported for
+// balance tests and space diagnostics.
+func (t *Tree[V]) Height() int {
+	if t == nil {
+		return 0
+	}
+	var h func(n *treeNode[V]) int
+	h = func(n *treeNode[V]) int {
+		if n == nil {
+			return 0
+		}
+		lh, rh := h(n.left), h(n.right)
+		if lh > rh {
+			return lh + 1
+		}
+		return rh + 1
+	}
+	return h(t.root)
+}

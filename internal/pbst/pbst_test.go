@@ -1,0 +1,335 @@
+package pbst
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func collect(t *Tree[int]) (keys []int64, vals []int) {
+	t.Ascend(func(k int64, v int) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	return keys, vals
+}
+
+func TestEmptyTree(t *testing.T) {
+	var tr *Tree[int]
+	if tr.Size() != 0 {
+		t.Errorf("empty Size = %d", tr.Size())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Error("Get on empty tree succeeded")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree succeeded")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree succeeded")
+	}
+	if tr.DropBelow(5) != nil {
+		t.Error("DropBelow on empty tree returned non-nil")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	var tr *Tree[int]
+	for i := int64(0); i < 1000; i++ {
+		tr = tr.Insert(i, int(i*2))
+	}
+	if tr.Size() != 1000 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	for i := int64(0); i < 1000; i++ {
+		v, ok := tr.Get(i)
+		if !ok || v != int(i*2) {
+			t.Fatalf("Get(%d) = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(1000); ok {
+		t.Error("Get(1000) succeeded")
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	var tr *Tree[string]
+	tr = tr.Insert(5, "a").Insert(5, "b")
+	if tr.Size() != 1 {
+		t.Fatalf("Size = %d after replacing insert", tr.Size())
+	}
+	if v, _ := tr.Get(5); v != "b" {
+		t.Fatalf("Get(5) = %q", v)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	var versions []*Tree[int]
+	var tr *Tree[int]
+	versions = append(versions, tr)
+	for i := int64(1); i <= 200; i++ {
+		tr = tr.Insert(i, int(i))
+		versions = append(versions, tr)
+	}
+	// Every old version must still hold exactly its own entries.
+	for n, v := range versions {
+		if v.Size() != int64(n) {
+			t.Fatalf("version %d has size %d", n, v.Size())
+		}
+		keys, _ := collect(v)
+		for j, k := range keys {
+			if k != int64(j+1) {
+				t.Fatalf("version %d key[%d] = %d", n, j, k)
+			}
+		}
+	}
+}
+
+func TestPersistenceAcrossDropBelow(t *testing.T) {
+	var tr *Tree[int]
+	for i := int64(1); i <= 100; i++ {
+		tr = tr.Insert(i, int(i))
+	}
+	before := tr
+	after := tr.DropBelow(50)
+	if before.Size() != 100 {
+		t.Fatalf("original modified by DropBelow: size %d", before.Size())
+	}
+	if after.Size() != 51 {
+		t.Fatalf("DropBelow(50) size = %d, want 51", after.Size())
+	}
+	if k, _, _ := after.Min(); k != 50 {
+		t.Fatalf("min after DropBelow(50) = %d", k)
+	}
+	if k, _, _ := after.Max(); k != 100 {
+		t.Fatalf("max after DropBelow(50) = %d", k)
+	}
+	if _, ok := before.Get(10); !ok {
+		t.Fatal("original lost key 10")
+	}
+}
+
+func TestMinMaxTracking(t *testing.T) {
+	var tr *Tree[int]
+	tr = tr.Insert(10, 1).Insert(5, 2).Insert(20, 3)
+	if k, _, _ := tr.Min(); k != 5 {
+		t.Errorf("Min = %d", k)
+	}
+	if k, _, _ := tr.Max(); k != 20 {
+		t.Errorf("Max = %d", k)
+	}
+}
+
+func TestFindFirst(t *testing.T) {
+	var tr *Tree[int64]
+	// val = key*10, monotone in key.
+	for i := int64(0); i < 100; i++ {
+		tr = tr.Insert(i, i*10)
+	}
+	for _, target := range []int64{0, 1, 15, 500, 990} {
+		k, v, ok := tr.FindFirst(func(_ int64, val int64) bool { return val >= target })
+		if !ok {
+			t.Fatalf("FindFirst(>=%d) not found", target)
+		}
+		want := (target + 9) / 10
+		if k != want || v != want*10 {
+			t.Fatalf("FindFirst(>=%d) = (%d, %d), want key %d", target, k, v, want)
+		}
+	}
+	if _, _, ok := tr.FindFirst(func(_ int64, val int64) bool { return val >= 991 }); ok {
+		t.Error("FindFirst past max succeeded")
+	}
+}
+
+func TestFindLast(t *testing.T) {
+	var tr *Tree[int64]
+	for i := int64(0); i < 100; i++ {
+		tr = tr.Insert(i, i*10)
+	}
+	for _, target := range []int64{5, 10, 995} {
+		k, _, ok := tr.FindLast(func(_ int64, val int64) bool { return val < target })
+		if !ok {
+			t.Fatalf("FindLast(<%d) not found", target)
+		}
+		want := (target - 1) / 10
+		if target <= 0 {
+			want = -1
+		}
+		if k != want {
+			t.Fatalf("FindLast(<%d) = %d, want %d", target, k, want)
+		}
+	}
+	if _, _, ok := tr.FindLast(func(_ int64, val int64) bool { return val < 0 }); ok {
+		t.Error("FindLast below min succeeded")
+	}
+}
+
+func TestAgainstSortedSliceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var tr *Tree[int]
+	model := map[int64]int{}
+	for step := 0; step < 20000; step++ {
+		switch rng.Intn(10) {
+		case 0: // DropBelow
+			var keys []int64
+			for k := range model {
+				keys = append(keys, k)
+			}
+			if len(keys) == 0 {
+				break
+			}
+			bound := keys[rng.Intn(len(keys))]
+			tr = tr.DropBelow(bound)
+			for k := range model {
+				if k < bound {
+					delete(model, k)
+				}
+			}
+		default: // Insert
+			k := int64(rng.Intn(5000))
+			v := rng.Int()
+			tr = tr.Insert(k, v)
+			model[k] = v
+		}
+	}
+	if tr.Size() != int64(len(model)) {
+		t.Fatalf("size %d, model %d", tr.Size(), len(model))
+	}
+	keys, vals := collect(tr)
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("Ascend order not sorted")
+	}
+	for i, k := range keys {
+		if model[k] != vals[i] {
+			t.Fatalf("key %d: val %d, model %d", k, vals[i], model[k])
+		}
+	}
+}
+
+func TestBalanceConsecutiveKeys(t *testing.T) {
+	// The queue inserts consecutive indices; depth must stay logarithmic.
+	var tr *Tree[int]
+	const n = 1 << 16
+	for i := int64(0); i < n; i++ {
+		tr = tr.Insert(i, 0)
+	}
+	maxDepth := 4 * int(math.Log2(n+1))
+	if h := tr.Height(); h > maxDepth {
+		t.Fatalf("height %d for %d consecutive keys exceeds %d", h, n, maxDepth)
+	}
+}
+
+func TestBalanceAfterDropBelow(t *testing.T) {
+	var tr *Tree[int]
+	const n = 1 << 14
+	for i := int64(0); i < n; i++ {
+		tr = tr.Insert(i, 0)
+		if i%512 == 511 {
+			tr = tr.DropBelow(i - 256)
+		}
+	}
+	if h := tr.Height(); h > 40 {
+		t.Fatalf("height %d after interleaved drops", h)
+	}
+}
+
+func TestQuickInsertMembership(t *testing.T) {
+	f := func(keys []int64) bool {
+		var tr *Tree[int64]
+		want := map[int64]int64{}
+		for i, k := range keys {
+			tr = tr.Insert(k, int64(i))
+			want[k] = int64(i)
+		}
+		if tr.Size() != int64(len(want)) {
+			return false
+		}
+		for k, v := range want {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDropBelowPartition(t *testing.T) {
+	f := func(keys []int64, bound int64) bool {
+		var tr *Tree[int64]
+		for _, k := range keys {
+			tr = tr.Insert(k, k)
+		}
+		dropped := tr.DropBelow(bound)
+		ok := true
+		dropped.Ascend(func(k int64, _ int64) bool {
+			if k < bound {
+				ok = false
+			}
+			return true
+		})
+		// Every original key >= bound must survive.
+		for _, k := range keys {
+			if k >= bound {
+				if _, found := dropped.Get(k); !found {
+					ok = false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapPropertyInternal(t *testing.T) {
+	var tr *Tree[int]
+	for i := int64(0); i < 4096; i++ {
+		tr = tr.Insert(i*3%4096, 0)
+	}
+	var check func(n *treeNode[int]) bool
+	check = func(n *treeNode[int]) bool {
+		if n == nil {
+			return true
+		}
+		if n.left != nil && n.left.prio > n.prio {
+			return false
+		}
+		if n.right != nil && n.right.prio > n.prio {
+			return false
+		}
+		if n.size != 1+size(n.left)+size(n.right) {
+			return false
+		}
+		return check(n.left) && check(n.right)
+	}
+	if !check(tr.root) {
+		t.Fatal("treap heap/size invariant violated")
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	var tr *Tree[int]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr = tr.Insert(int64(i), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	var tr *Tree[int]
+	for i := int64(0); i < 1<<16; i++ {
+		tr = tr.Insert(i, int(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(int64(i) & (1<<16 - 1))
+	}
+}

@@ -1,0 +1,54 @@
+package queues
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// nrQueue adapts core.Queue[int64] (the paper's unbounded-space queue) to
+// the Queue interface. The core handle's method set already matches Handle
+// semantically; the wrapper only fixes up the interface types.
+type nrQueue struct {
+	q *core.Queue[int64]
+}
+
+var _ Queue = nrQueue{}
+
+// NewNR wraps a fresh unbounded-space NR-queue for procs processes.
+func NewNR(procs int) (Queue, error) {
+	q, err := core.New[int64](procs)
+	if err != nil {
+		return nil, err
+	}
+	return nrQueue{q: q}, nil
+}
+
+// Name implements Queue.
+func (n nrQueue) Name() string { return "nr-queue" }
+
+// Procs implements Queue.
+func (n nrQueue) Procs() int { return n.q.Procs() }
+
+// Handle implements Queue.
+func (n nrQueue) Handle(i int) (Handle, error) {
+	h, err := n.q.Handle(i)
+	if err != nil {
+		return nil, err
+	}
+	return nrHandle{h: h}, nil
+}
+
+type nrHandle struct {
+	h *core.Handle[int64]
+}
+
+var _ Handle = nrHandle{}
+
+// Enqueue implements Handle.
+func (n nrHandle) Enqueue(v int64) { n.h.Enqueue(v) }
+
+// Dequeue implements Handle.
+func (n nrHandle) Dequeue() (int64, bool) { return n.h.Dequeue() }
+
+// SetCounter implements Handle.
+func (n nrHandle) SetCounter(c *metrics.Counter) { n.h.SetCounter(c) }

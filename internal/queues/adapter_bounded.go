@@ -1,0 +1,67 @@
+package queues
+
+import (
+	"repro/internal/bounded"
+	"repro/internal/metrics"
+)
+
+// boundedQueue adapts bounded.Queue[int64] (the space-bounded variant of the
+// paper's queue, Section 6) to the Queue interface.
+type boundedQueue struct {
+	q *bounded.Queue[int64]
+}
+
+var _ Queue = boundedQueue{}
+
+// NewBounded wraps a fresh bounded-space NR-queue for procs processes with
+// the paper's default GC interval.
+func NewBounded(procs int) (Queue, error) {
+	q, err := bounded.New[int64](procs)
+	if err != nil {
+		return nil, err
+	}
+	return boundedQueue{q: q}, nil
+}
+
+// NewBoundedGC wraps a bounded-space NR-queue with an explicit GC interval,
+// used by tests and space experiments.
+func NewBoundedGC(procs int, gcInterval int64) (Queue, error) {
+	q, err := bounded.New[int64](procs, bounded.WithGCInterval(gcInterval))
+	if err != nil {
+		return nil, err
+	}
+	return boundedQueue{q: q}, nil
+}
+
+// Name implements Queue.
+func (b boundedQueue) Name() string { return "nr-bounded" }
+
+// Procs implements Queue.
+func (b boundedQueue) Procs() int { return b.q.Procs() }
+
+// Handle implements Queue.
+func (b boundedQueue) Handle(i int) (Handle, error) {
+	h, err := b.q.Handle(i)
+	if err != nil {
+		return nil, err
+	}
+	return boundedHandle{h: h}, nil
+}
+
+// Unwrap exposes the underlying bounded queue for space diagnostics.
+func (b boundedQueue) Unwrap() *bounded.Queue[int64] { return b.q }
+
+type boundedHandle struct {
+	h *bounded.Handle[int64]
+}
+
+var _ Handle = boundedHandle{}
+
+// Enqueue implements Handle.
+func (b boundedHandle) Enqueue(v int64) { b.h.Enqueue(v) }
+
+// Dequeue implements Handle.
+func (b boundedHandle) Dequeue() (int64, bool) { return b.h.Dequeue() }
+
+// SetCounter implements Handle.
+func (b boundedHandle) SetCounter(c *metrics.Counter) { b.h.SetCounter(c) }

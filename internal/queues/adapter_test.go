@@ -1,0 +1,61 @@
+package queues_test
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/queues"
+	"repro/internal/queues/queuetest"
+)
+
+func TestNRConformance(t *testing.T) {
+	queuetest.Run(t, queues.Factory{Name: "nr-queue", New: queues.NewNR})
+}
+
+func TestBoundedConformance(t *testing.T) {
+	queuetest.Run(t, queues.Factory{Name: "nr-bounded", New: queues.NewBounded})
+}
+
+func TestBoundedTinyGCConformance(t *testing.T) {
+	queuetest.Run(t, queues.Factory{
+		Name: "nr-bounded-g2",
+		New:  func(p int) (queues.Queue, error) { return queues.NewBoundedGC(p, 2) },
+	})
+}
+
+func TestCounterPassthrough(t *testing.T) {
+	// SetCounter must thread through every adapter so step accounting works.
+	for _, f := range []queues.Factory{
+		{Name: "nr-queue", New: queues.NewNR},
+		{Name: "nr-bounded", New: queues.NewBounded},
+	} {
+		q, err := f.New(2)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		h, err := q.Handle(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &metrics.Counter{}
+		h.SetCounter(c)
+		h.Enqueue(1)
+		if _, ok := h.Dequeue(); !ok {
+			t.Fatalf("%s: dequeue failed", f.Name)
+		}
+		if c.TotalOps() != 2 || c.TotalSteps() == 0 {
+			t.Errorf("%s: counter not threaded: ops=%d steps=%d", f.Name, c.TotalOps(), c.TotalSteps())
+		}
+	}
+}
+
+func TestQueueNames(t *testing.T) {
+	nr, _ := queues.NewNR(1)
+	if nr.Name() != "nr-queue" {
+		t.Errorf("Name = %q", nr.Name())
+	}
+	b, _ := queues.NewBounded(1)
+	if b.Name() != "nr-bounded" {
+		t.Errorf("Name = %q", b.Name())
+	}
+}

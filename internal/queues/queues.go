@@ -1,0 +1,44 @@
+// Package queues defines the common interface every queue implementation in
+// this repository satisfies, so benchmarks, stress tests and the
+// linearizability checker can treat the paper's queue and all baselines
+// uniformly.
+//
+// The interface mirrors the paper's model: a fixed set of p processes, each
+// operating through its own handle. Implementations that do not need
+// per-process state (e.g. the mutex queue) still hand out handles so that
+// step accounting is attributed per process.
+package queues
+
+import "repro/internal/metrics"
+
+// Queue is a multi-producer multi-consumer FIFO queue of int64 values
+// accessed through per-process handles.
+type Queue interface {
+	// Name identifies the implementation in reports.
+	Name() string
+	// Procs returns the number of handles the queue was created with.
+	Procs() int
+	// Handle returns the handle for process i, 0 <= i < Procs(). Each handle
+	// may be used by one goroutine at a time.
+	Handle(i int) (Handle, error)
+}
+
+// Handle is one process's access point to a queue.
+type Handle interface {
+	// Enqueue adds v to the back of the queue.
+	Enqueue(v int64)
+	// Dequeue removes the front element. ok is false if the queue was
+	// empty at the operation's linearization point.
+	Dequeue() (v int64, ok bool)
+	// SetCounter attaches a step/CAS counter (nil disables accounting).
+	// Implementations count shared-memory operations per the paper's cost
+	// model; coarse-grained baselines count lock acquisitions as single
+	// steps plus their memory traffic.
+	SetCounter(c *metrics.Counter)
+}
+
+// Factory constructs a queue for a given process count.
+type Factory struct {
+	Name string
+	New  func(procs int) (Queue, error)
+}

@@ -1,0 +1,239 @@
+// Package queuetest provides a reusable conformance suite run against every
+// queue implementation in this repository (the paper's queue and all
+// baselines), so semantic checks are written once and applied uniformly.
+package queuetest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/queues"
+)
+
+// Run executes the full conformance suite against queues built by factory.
+func Run(t *testing.T, factory queues.Factory) {
+	t.Helper()
+	t.Run("EmptyDequeue", func(t *testing.T) { testEmptyDequeue(t, factory) })
+	t.Run("FIFOSingleProc", func(t *testing.T) { testFIFOSingleProc(t, factory) })
+	t.Run("SequentialModel", func(t *testing.T) { testSequentialModel(t, factory) })
+	t.Run("ConcurrentMultiset", func(t *testing.T) { testConcurrentMultiset(t, factory) })
+	t.Run("ProducerConsumerFIFO", func(t *testing.T) { testProducerConsumerFIFO(t, factory) })
+	t.Run("BadProcs", func(t *testing.T) { testBadProcs(t, factory) })
+	t.Run("BadHandle", func(t *testing.T) { testBadHandle(t, factory) })
+}
+
+func mustQueue(t *testing.T, factory queues.Factory, procs int) queues.Queue {
+	t.Helper()
+	q, err := factory.New(procs)
+	if err != nil {
+		t.Fatalf("%s: New(%d): %v", factory.Name, procs, err)
+	}
+	return q
+}
+
+func mustHandle(t *testing.T, q queues.Queue, i int) queues.Handle {
+	t.Helper()
+	h, err := q.Handle(i)
+	if err != nil {
+		t.Fatalf("Handle(%d): %v", i, err)
+	}
+	return h
+}
+
+func testEmptyDequeue(t *testing.T, factory queues.Factory) {
+	q := mustQueue(t, factory, 2)
+	h := mustHandle(t, q, 0)
+	for i := 0; i < 3; i++ {
+		if v, ok := h.Dequeue(); ok {
+			t.Fatalf("Dequeue on empty queue returned (%d, true)", v)
+		}
+	}
+}
+
+func testFIFOSingleProc(t *testing.T, factory queues.Factory) {
+	q := mustQueue(t, factory, 1)
+	h := mustHandle(t, q, 0)
+	const n = 500
+	for i := int64(0); i < n; i++ {
+		h.Enqueue(i)
+	}
+	for i := int64(0); i < n; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+func testSequentialModel(t *testing.T, factory queues.Factory) {
+	for _, procs := range []int{1, 2, 5, 8} {
+		procs := procs
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			q := mustQueue(t, factory, procs)
+			handles := make([]queues.Handle, procs)
+			for i := range handles {
+				handles[i] = mustHandle(t, q, i)
+			}
+			var model []int64
+			rng := rand.New(rand.NewSource(42 + int64(procs)))
+			next := int64(0)
+			for step := 0; step < 4000; step++ {
+				h := handles[rng.Intn(procs)]
+				if rng.Intn(2) == 0 {
+					h.Enqueue(next)
+					model = append(model, next)
+					next++
+					continue
+				}
+				got, gotOK := h.Dequeue()
+				var want int64
+				wantOK := len(model) > 0
+				if wantOK {
+					want, model = model[0], model[1:]
+				}
+				if gotOK != wantOK || (gotOK && got != want) {
+					t.Fatalf("step %d: Dequeue = (%d, %v), model = (%d, %v)",
+						step, got, gotOK, want, wantOK)
+				}
+			}
+		})
+	}
+}
+
+func testConcurrentMultiset(t *testing.T, factory queues.Factory) {
+	const procs = 8
+	const perHandle = 3000
+	q := mustQueue(t, factory, procs)
+	var wg sync.WaitGroup
+	got := make([][]int64, procs)
+	for i := 0; i < procs; i++ {
+		h := mustHandle(t, q, i)
+		wg.Add(1)
+		go func(i int, h queues.Handle) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			enq := int64(0)
+			for enq < perHandle {
+				if rng.Intn(2) == 0 {
+					h.Enqueue(int64(i)*1_000_000 + enq)
+					enq++
+				} else if v, ok := h.Dequeue(); ok {
+					got[i] = append(got[i], v)
+				}
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	h := mustHandle(t, q, 0)
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		got[0] = append(got[0], v)
+	}
+	seen := make(map[int64]bool, procs*perHandle)
+	for _, vs := range got {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != procs*perHandle {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), procs*perHandle)
+	}
+}
+
+func testProducerConsumerFIFO(t *testing.T, factory queues.Factory) {
+	const producers, consumers = 4, 4
+	const perProducer = 3000
+	q := mustQueue(t, factory, producers+consumers)
+	var wg sync.WaitGroup
+	var consumed sync.Map // value -> consumer
+	results := make([][]int64, consumers)
+	var remaining sync.WaitGroup
+	remaining.Add(producers * perProducer)
+
+	for i := 0; i < producers; i++ {
+		h := mustHandle(t, q, i)
+		wg.Add(1)
+		go func(i int, h queues.Handle) {
+			defer wg.Done()
+			for s := int64(0); s < perProducer; s++ {
+				h.Enqueue(int64(i)*1_000_000 + s)
+			}
+		}(i, h)
+	}
+	done := make(chan struct{})
+	go func() {
+		remaining.Wait()
+		close(done)
+	}()
+	for c := 0; c < consumers; c++ {
+		h := mustHandle(t, q, producers+c)
+		wg.Add(1)
+		go func(c int, h queues.Handle) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v, ok := h.Dequeue(); ok {
+					results[c] = append(results[c], v)
+					if _, dup := consumed.LoadOrStore(v, c); dup {
+						t.Errorf("value %d consumed twice", v)
+						return
+					}
+					remaining.Done()
+				}
+			}
+		}(c, h)
+	}
+	wg.Wait()
+
+	// Per-producer order must be preserved within each consumer (a FIFO
+	// queue property that holds for any linearizable implementation).
+	for c := 0; c < consumers; c++ {
+		last := map[int64]int64{}
+		for _, v := range results[c] {
+			prod, seq := v/1_000_000, v%1_000_000
+			if prevSeq, ok := last[prod]; ok && seq < prevSeq {
+				t.Fatalf("consumer %d: producer %d out of order (%d after %d)", c, prod, seq, prevSeq)
+			}
+			last[prod] = seq
+		}
+	}
+	total := 0
+	for c := range results {
+		total += len(results[c])
+	}
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d values, want %d", total, producers*perProducer)
+	}
+}
+
+func testBadProcs(t *testing.T, factory queues.Factory) {
+	for _, procs := range []int{0, -1} {
+		if _, err := factory.New(procs); err == nil {
+			t.Errorf("New(%d) succeeded, want error", procs)
+		}
+	}
+}
+
+func testBadHandle(t *testing.T, factory queues.Factory) {
+	q := mustQueue(t, factory, 2)
+	for _, i := range []int{-1, 2, 99} {
+		if _, err := q.Handle(i); err == nil {
+			t.Errorf("Handle(%d) succeeded, want error", i)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package stats provides the small statistics kit the experiment harness
+// uses: summary statistics and least-squares fits against the growth shapes
+// the paper's theorems predict (log p, log^2 p, linear p), so experiments can
+// report which curve best explains the measurements.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNotEnoughData reports a fit or summary over too few points.
+var ErrNotEnoughData = errors.New("stats: not enough data points")
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the q-th percentile (0 <= q <= 100) using
+// nearest-rank on a sorted copy.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Fit is the result of a one-basis least-squares fit y = a + b*f(x).
+type Fit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// FitAgainst fits y = a + b*f(x) by least squares and returns the fit with
+// its R^2. It needs at least three points.
+func FitAgainst(xs, ys []float64, f func(float64) float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, errors.New("stats: mismatched series lengths")
+	}
+	if len(xs) < 3 {
+		return Fit{}, ErrNotEnoughData
+	}
+	fx := make([]float64, len(xs))
+	for i, x := range xs {
+		fx[i] = f(x)
+	}
+	mx, my := Mean(fx), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range fx {
+		dx, dy := fx[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: basis function is constant over inputs")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 0.0
+	if syy > 0 {
+		r2 = sxy * sxy / (sxx * syy)
+	} else {
+		r2 = 1 // all y equal and perfectly explained by the constant term
+	}
+	return Fit{Intercept: a, Slope: b, R2: r2}, nil
+}
+
+// Basis functions for the shapes the paper's analysis predicts.
+
+// Log2 returns log2(x) (0 for x <= 1).
+func Log2(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// Log2Squared returns log2(x)^2.
+func Log2Squared(x float64) float64 {
+	l := Log2(x)
+	return l * l
+}
+
+// Linear returns x.
+func Linear(x float64) float64 { return x }
+
+// GrowthRatios reports ys[i+1]/ys[i] for consecutive points: the doubling
+// test used by step-complexity experiments (a logarithmic curve adds a
+// constant when x doubles, so the differences, not the ratios, are flat; a
+// linear curve doubles).
+func GrowthRatios(ys []float64) []float64 {
+	if len(ys) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(ys)-1)
+	for i := 1; i < len(ys); i++ {
+		if ys[i-1] == 0 {
+			out = append(out, math.Inf(1))
+			continue
+		}
+		out = append(out, ys[i]/ys[i-1])
+	}
+	return out
+}
+
+// BestBasis fits ys against each named basis and returns the name of the
+// best fit by R^2 plus all fits.
+func BestBasis(xs, ys []float64) (string, map[string]Fit, error) {
+	bases := map[string]func(float64) float64{
+		"log2(x)":   Log2,
+		"log2^2(x)": Log2Squared,
+		"x":         Linear,
+	}
+	fits := make(map[string]Fit, len(bases))
+	bestName, bestR2 := "", math.Inf(-1)
+	for name, f := range bases {
+		fit, err := FitAgainst(xs, ys, f)
+		if err != nil {
+			return "", nil, err
+		}
+		fits[name] = fit
+		if fit.R2 > bestR2 {
+			bestName, bestR2 = name, fit.R2
+		}
+	}
+	return bestName, fits, nil
+}

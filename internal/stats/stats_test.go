@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {20, 1}, {50, 3}, {100, 5}, {99, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.q); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := Max([]float64{3, 9, 1}); got != 9 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestFitRecoversLine(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	fit, err := FitAgainst(xs, ys, Linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Intercept, 3, 1e-9) || !almostEqual(fit.Slope, 2, 1e-9) {
+		t.Errorf("fit = %+v, want a=3 b=2", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitRecoversLogCurve(t *testing.T) {
+	xs := []float64{2, 4, 8, 16, 32, 64, 128}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 + 7*math.Log2(x)
+	}
+	fit, err := FitAgainst(xs, ys, Log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 7, 1e-9) || !almostEqual(fit.R2, 1, 1e-9) {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitAgainst([]float64{1, 2}, []float64{1, 2}, Linear); err == nil {
+		t.Error("fit with 2 points succeeded")
+	}
+	if _, err := FitAgainst([]float64{1, 2, 3}, []float64{1, 2}, Linear); err == nil {
+		t.Error("mismatched lengths succeeded")
+	}
+	if _, err := FitAgainst([]float64{5, 5, 5}, []float64{1, 2, 3}, Linear); err == nil {
+		t.Error("constant basis succeeded")
+	}
+}
+
+func TestBestBasisSelectsCorrectShape(t *testing.T) {
+	xs := []float64{2, 4, 8, 16, 32, 64, 128, 256}
+	mk := func(f func(float64) float64) []float64 {
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = 1 + 3*f(x)
+		}
+		return ys
+	}
+	cases := []struct {
+		name string
+		f    func(float64) float64
+	}{
+		{"x", Linear},
+		{"log2(x)", Log2},
+		{"log2^2(x)", Log2Squared},
+	}
+	for _, c := range cases {
+		best, fits, err := BestBasis(xs, mk(c.f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best != c.name {
+			t.Errorf("BestBasis for %s data picked %s (fits: %v)", c.name, best, fits)
+		}
+	}
+}
+
+func TestGrowthRatios(t *testing.T) {
+	got := GrowthRatios([]float64{1, 2, 4})
+	if len(got) != 2 || got[0] != 2 || got[1] != 2 {
+		t.Errorf("GrowthRatios = %v", got)
+	}
+	if GrowthRatios([]float64{1}) != nil {
+		t.Error("single point should give nil")
+	}
+	inf := GrowthRatios([]float64{0, 5})
+	if !math.IsInf(inf[0], 1) {
+		t.Errorf("ratio from zero = %v", inf[0])
+	}
+}
+
+func TestPercentileWithinBoundsProperty(t *testing.T) {
+	f := func(raw []float64, q float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		q = math.Mod(math.Abs(q), 100)
+		p := Percentile(raw, q)
+		lo, hi := raw[0], raw[0]
+		for _, x := range raw {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return p >= lo && p <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

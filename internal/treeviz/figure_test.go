@@ -1,0 +1,211 @@
+package treeviz_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/treeviz"
+)
+
+// TestFigure1Reproduction rebuilds the exact mid-execution tree of Figures 1
+// and 2 of the paper using the deterministic scheduling hooks, then checks:
+//
+//   - the root linearization matches the caption of Figure 1:
+//     Enq(a) Enq(e) Deq2 | Enq(b) Deq4 Deq5 | Enq(d) Enq(f) Enq(h) Deq1 |
+//     Enq(c) Deq3 | Enq(g)
+//   - the implicit fields (sumenq, sumdeq, size) match Figure 2;
+//   - every dequeue's computed response equals the value a sequential replay
+//     of the linearization yields.
+//
+// Process/op layout from Figure 2's leaf row (processes numbered 0..3 here,
+// 1..4 in the paper):
+//
+//	P0: Enq(a) Enq(b) Deq1 Enq(c)
+//	P1: Deq2  Enq(d) Deq3
+//	P2: Enq(e) Deq4  Enq(f) Enq(g)
+//	P3: Deq5  Enq(h) Deq6   (Deq6 still propagating)
+func TestFigure1Reproduction(t *testing.T) {
+	q, err := core.New[string](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := make([]*core.Handle[string], 4)
+	for i := range h {
+		h[i] = q.MustHandle(i)
+	}
+	refresh := func(path string) {
+		t.Helper()
+		ok, err := q.StepRefresh(h[0], path)
+		if err != nil || !ok {
+			t.Fatalf("StepRefresh(%q) = (%v, %v)", path, ok, err)
+		}
+	}
+
+	deqIdx := map[string]int64{} // paper label -> leaf block index
+	// Root block 1: Enq(a) Enq(e) Deq2.
+	h[0].StepEnqueue("a")
+	deqIdx["Deq2"] = h[1].StepDequeue()
+	refresh("L")
+	h[2].StepEnqueue("e")
+	refresh("R")
+	refresh("")
+	// Root block 2: Enq(b) Deq4 Deq5.
+	h[0].StepEnqueue("b")
+	refresh("L")
+	deqIdx["Deq4"] = h[2].StepDequeue()
+	deqIdx["Deq5"] = h[3].StepDequeue()
+	refresh("R")
+	refresh("")
+	// Root block 3: Enq(d) Enq(f) Enq(h) Deq1.
+	deqIdx["Deq1"] = h[0].StepDequeue()
+	h[1].StepEnqueue("d")
+	refresh("L")
+	h[2].StepEnqueue("f")
+	h[3].StepEnqueue("h")
+	refresh("R")
+	refresh("")
+	// Root block 4: Enq(c) Deq3 (two left-child blocks merged by one root
+	// Refresh, as Figure 2's left-node sums (4,2) then (4,3) show).
+	h[0].StepEnqueue("c")
+	refresh("L")
+	deqIdx["Deq3"] = h[1].StepDequeue()
+	refresh("L")
+	refresh("")
+	// Root block 5: Enq(g).
+	h[2].StepEnqueue("g")
+	refresh("R")
+	refresh("")
+	// Deq6 is appended but not propagated.
+	deqIdx["Deq6"] = h[3].StepDequeue()
+
+	snap := q.Snapshot()
+
+	// Name dequeues with the paper's labels.
+	labelOf := func(op treeviz.Op) string {
+		if op.IsEnqueue {
+			return fmt.Sprintf("Enq(%v)", op.Element)
+		}
+		for name, idx := range deqIdx {
+			leaf := int(name[len(name)-1]-'0') - 1 // Deq2 -> paper process 2 -> leaf 1
+			switch name {
+			case "Deq1":
+				leaf = 0
+			case "Deq2", "Deq3":
+				leaf = 1
+			case "Deq4":
+				leaf = 2
+			case "Deq5", "Deq6":
+				leaf = 3
+			}
+			if op.LeafID == leaf && op.LeafIndex == idx {
+				return name
+			}
+		}
+		return treeviz.DefaultLabeler(op)
+	}
+
+	lin, err := treeviz.RootLinearization(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := treeviz.FormatLinearization(lin, labelOf)
+	want := "Enq(a) Enq(e) Deq2 | Enq(b) Deq4 Deq5 | Enq(d) Enq(f) Enq(h) Deq1 | Enq(c) Deq3 | Enq(g)"
+	if got != want {
+		t.Fatalf("linearization mismatch:\n got  %s\n want %s", got, want)
+	}
+
+	// Figure 2 field check: (sumenq, sumdeq) per block and root sizes.
+	fields := map[string][][3]int64{ // path -> per block (sumenq, sumdeq, size)
+		"":  {{0, 0, 0}, {2, 1, 1}, {3, 3, 0}, {6, 4, 2}, {7, 5, 2}, {8, 5, 3}},
+		"L": {{0, 0, 0}, {1, 1, 0}, {2, 1, 0}, {3, 2, 0}, {4, 2, 0}, {4, 3, 0}},
+		"R": {{0, 0, 0}, {1, 0, 0}, {1, 2, 0}, {3, 2, 0}, {4, 2, 0}},
+	}
+	for _, n := range snap.Nodes {
+		want, ok := fields[n.Path]
+		if !ok {
+			continue
+		}
+		if len(n.Blocks) != len(want) {
+			t.Fatalf("node %q has %d blocks, want %d", n.Path, len(n.Blocks), len(want))
+		}
+		for i, blk := range n.Blocks {
+			if blk.SumEnq != want[i][0] || blk.SumDeq != want[i][1] {
+				t.Errorf("node %q block %d sums = (%d,%d), want (%d,%d)",
+					n.Path, i, blk.SumEnq, blk.SumDeq, want[i][0], want[i][1])
+			}
+			if n.IsRoot && blk.Size != want[i][2] {
+				t.Errorf("root block %d size = %d, want %d", i, blk.Size, want[i][2])
+			}
+		}
+	}
+
+	// Responses from a sequential replay of the caption's linearization:
+	// Deq2->a, Deq4->e, Deq5->b, Deq1->d, Deq3->f.
+	wantResp := map[string]string{"Deq1": "d", "Deq2": "a", "Deq3": "f", "Deq4": "e", "Deq5": "b"}
+	owners := map[string]*core.Handle[string]{
+		"Deq1": h[0], "Deq2": h[1], "Deq3": h[1], "Deq4": h[2], "Deq5": h[3],
+	}
+	for name, want := range wantResp {
+		v, ok := owners[name].StepFinishDequeue(deqIdx[name])
+		if !ok || v != want {
+			t.Errorf("%s returned (%q, %v), want %q", name, v, ok, want)
+		}
+	}
+
+	// Finally, pin the rendered Figure 1 view.
+	render := treeviz.Render(snap, labelOf)
+	wantRender := strings.Join([]string{
+		"root   [.] [E:Enq(a),Enq(e) D:Deq2] [E:Enq(b) D:Deq4,Deq5] [E:Enq(d),Enq(f),Enq(h) D:Deq1] [E:Enq(c) D:Deq3] [E:Enq(g) D:-]",
+		"L      [.] [E:Enq(a) D:Deq2] [E:Enq(b) D:-] [E:Enq(d) D:Deq1] [E:Enq(c) D:-] [E:- D:Deq3]",
+		"R      [.] [E:Enq(e) D:-] [E:- D:Deq4,Deq5] [E:Enq(f),Enq(h) D:-] [E:Enq(g) D:-]",
+		"P0     [.] [E:Enq(a) D:-] [E:Enq(b) D:-] [E:- D:Deq1] [E:Enq(c) D:-]",
+		"P1     [.] [E:- D:Deq2] [E:Enq(d) D:-] [E:- D:Deq3]",
+		"P2     [.] [E:Enq(e) D:-] [E:- D:Deq4] [E:Enq(f) D:-] [E:Enq(g) D:-]",
+		"P3     [.] [E:- D:Deq5] [E:Enq(h) D:-] [E:- D:Deq6]",
+		"",
+	}, "\n")
+	if render != wantRender {
+		t.Errorf("rendered tree mismatch:\n--- got ---\n%s--- want ---\n%s", render, wantRender)
+	}
+}
+
+// TestRenderFieldsSmoke exercises the Figure 2 numeric view on a small
+// sequential run.
+func TestRenderFieldsSmoke(t *testing.T) {
+	q, _ := core.New[int](2)
+	h := q.MustHandle(0)
+	h.Enqueue(10)
+	h.Enqueue(20)
+	if _, ok := h.Dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	out := treeviz.RenderFields(q.Snapshot())
+	for _, want := range []string{"root", "P0", "sumenq=", "size="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderFields output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBlockOpsLeaf checks leaf-level expansion directly.
+func TestBlockOpsLeaf(t *testing.T) {
+	q, _ := core.New[string](2)
+	h := q.MustHandle(0)
+	h.Enqueue("x")
+	snap := q.Snapshot()
+	var leafPath string
+	for _, n := range snap.Nodes {
+		if n.IsLeaf && n.LeafID == 0 {
+			leafPath = n.Path
+		}
+	}
+	enqs, deqs, err := treeviz.BlockOps(snap, leafPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enqs) != 1 || len(deqs) != 0 || enqs[0].Element != "x" {
+		t.Fatalf("BlockOps = (%v, %v)", enqs, deqs)
+	}
+}

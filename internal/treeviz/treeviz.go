@@ -1,0 +1,258 @@
+// Package treeviz reconstructs and renders ordering-tree states.
+//
+// The queue stores operation sequences implicitly (prefix sums and child
+// indices; Figure 2 of the paper); this package expands that implicit
+// representation back into the explicit per-block enqueue and dequeue
+// sequences of Figure 1 and renders both views as text. The expansion is
+// exactly the recursion of equation (3.1), so the golden tests that compare
+// a rendered tree against the paper's figures also validate the block
+// representation end to end.
+package treeviz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Op identifies one operation found in a leaf block.
+type Op struct {
+	IsEnqueue bool
+	Element   any   // enqueued value, nil for dequeues
+	LeafID    int   // owning process
+	LeafIndex int64 // block index within the owner's leaf
+}
+
+// Labeler renders an Op as a short string. DefaultLabeler shows Enq(v) and
+// Deq@P<leaf>#<idx>.
+type Labeler func(Op) string
+
+// DefaultLabeler is the fallback Op rendering.
+func DefaultLabeler(op Op) string {
+	if op.IsEnqueue {
+		return fmt.Sprintf("Enq(%v)", op.Element)
+	}
+	return fmt.Sprintf("Deq@P%d#%d", op.LeafID, op.LeafIndex)
+}
+
+// nodeIndex provides path lookup over a snapshot.
+type nodeIndex map[string]*core.NodeSnapshot
+
+func indexNodes(s *core.TreeSnapshot) nodeIndex {
+	idx := make(nodeIndex, len(s.Nodes))
+	for i := range s.Nodes {
+		idx[s.Nodes[i].Path] = &s.Nodes[i]
+	}
+	return idx
+}
+
+func (idx nodeIndex) block(path string, b int64) (*core.BlockSnapshot, error) {
+	n, ok := idx[path]
+	if !ok {
+		return nil, fmt.Errorf("treeviz: no node at path %q", path)
+	}
+	if b < 0 || b >= int64(len(n.Blocks)) {
+		return nil, fmt.Errorf("treeviz: node %q has no block %d", path, b)
+	}
+	return &n.Blocks[b], nil
+}
+
+// BlockOps expands block b of the node at path into its enqueue and dequeue
+// sequences E(B) and D(B), following equation (3.1).
+func BlockOps(s core.TreeSnapshot, path string, b int64) (enqs, deqs []Op, err error) {
+	return indexNodes(&s).expand(path, b)
+}
+
+func (idx nodeIndex) expand(path string, b int64) (enqs, deqs []Op, err error) {
+	n, ok := idx[path]
+	if !ok {
+		return nil, nil, fmt.Errorf("treeviz: no node at path %q", path)
+	}
+	blk, err := idx.block(path, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if b == 0 {
+		return nil, nil, nil // dummy block
+	}
+	if n.IsLeaf {
+		op := Op{LeafID: n.LeafID, LeafIndex: b}
+		if blk.Kind == core.KindEnqueue {
+			op.IsEnqueue = true
+			op.Element = blk.Element
+			return []Op{op}, nil, nil
+		}
+		return nil, []Op{op}, nil
+	}
+	prev, err := idx.block(path, b-1)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Direct subblocks per (3.3): left child prev.EndLeft+1..blk.EndLeft,
+	// then right child prev.EndRight+1..blk.EndRight.
+	for _, side := range []struct {
+		child    string
+		from, to int64
+	}{
+		{path + "L", prev.EndLeft + 1, blk.EndLeft},
+		{path + "R", prev.EndRight + 1, blk.EndRight},
+	} {
+		for i := side.from; i <= side.to; i++ {
+			e, d, err := idx.expand(side.child, i)
+			if err != nil {
+				return nil, nil, err
+			}
+			enqs = append(enqs, e...)
+			deqs = append(deqs, d...)
+		}
+	}
+	return enqs, deqs, nil
+}
+
+// RootBlock is one root block's expanded operation sequences.
+type RootBlock struct {
+	Index    int64
+	Enqueues []Op
+	Dequeues []Op
+}
+
+// RootLinearization expands every root block, yielding the linearization
+// E(B1) D(B1) E(B2) D(B2) ... of equation (3.2).
+func RootLinearization(s core.TreeSnapshot) ([]RootBlock, error) {
+	idx := indexNodes(&s)
+	rootNode, ok := idx[""]
+	if !ok {
+		return nil, fmt.Errorf("treeviz: snapshot has no root")
+	}
+	var out []RootBlock
+	for b := int64(1); b < int64(len(rootNode.Blocks)); b++ {
+		e, d, err := idx.expand("", b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RootBlock{Index: b, Enqueues: e, Dequeues: d})
+	}
+	return out, nil
+}
+
+// FormatLinearization renders a linearization like the paper's caption:
+// operations separated by spaces, root blocks separated by " | ".
+func FormatLinearization(blocks []RootBlock, label Labeler) string {
+	if label == nil {
+		label = DefaultLabeler
+	}
+	parts := make([]string, 0, len(blocks))
+	for _, rb := range blocks {
+		var ops []string
+		for _, op := range rb.Enqueues {
+			ops = append(ops, label(op))
+		}
+		for _, op := range rb.Dequeues {
+			ops = append(ops, label(op))
+		}
+		parts = append(parts, strings.Join(ops, " "))
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Render draws the whole tree, one line per node in breadth-first order,
+// expanding each block into its operation sequences (the Figure 1 view).
+func Render(s core.TreeSnapshot, label Labeler) string {
+	if label == nil {
+		label = DefaultLabeler
+	}
+	idx := indexNodes(&s)
+	paths := sortedPaths(s)
+	var sb strings.Builder
+	for _, path := range paths {
+		n := idx[path]
+		fmt.Fprintf(&sb, "%-6s", nodeName(n))
+		for b := int64(0); b < int64(len(n.Blocks)); b++ {
+			if b == 0 {
+				sb.WriteString(" [.]")
+				continue
+			}
+			e, d, err := idx.expand(path, b)
+			if err != nil {
+				fmt.Fprintf(&sb, " [err:%v]", err)
+				continue
+			}
+			sb.WriteString(" [")
+			sb.WriteString(formatOps("E", e, label))
+			sb.WriteString(" ")
+			sb.WriteString(formatOps("D", d, label))
+			sb.WriteString("]")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// RenderFields draws the implicit representation (the Figure 2 view): the
+// numeric fields of every block.
+func RenderFields(s core.TreeSnapshot) string {
+	idx := indexNodes(&s)
+	paths := sortedPaths(s)
+	var sb strings.Builder
+	for _, path := range paths {
+		n := idx[path]
+		fmt.Fprintf(&sb, "%-6s head=%d\n", nodeName(n), n.Head)
+		for _, blk := range n.Blocks {
+			switch {
+			case n.IsLeaf:
+				el := "-"
+				if blk.Kind == core.KindEnqueue {
+					el = fmt.Sprintf("%v", blk.Element)
+				}
+				fmt.Fprintf(&sb, "  #%d sumenq=%d sumdeq=%d element=%s super=%d\n",
+					blk.Index, blk.SumEnq, blk.SumDeq, el, blk.Super)
+			case n.IsRoot:
+				fmt.Fprintf(&sb, "  #%d sumenq=%d sumdeq=%d endleft=%d endright=%d size=%d\n",
+					blk.Index, blk.SumEnq, blk.SumDeq, blk.EndLeft, blk.EndRight, blk.Size)
+			default:
+				fmt.Fprintf(&sb, "  #%d sumenq=%d sumdeq=%d endleft=%d endright=%d super=%d\n",
+					blk.Index, blk.SumEnq, blk.SumDeq, blk.EndLeft, blk.EndRight, blk.Super)
+			}
+		}
+	}
+	return sb.String()
+}
+
+func formatOps(tag string, ops []Op, label Labeler) string {
+	if len(ops) == 0 {
+		return tag + ":-"
+	}
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = label(op)
+	}
+	return tag + ":" + strings.Join(parts, ",")
+}
+
+func nodeName(n *core.NodeSnapshot) string {
+	switch {
+	case n.IsRoot:
+		return "root"
+	case n.IsLeaf:
+		return fmt.Sprintf("P%d", n.LeafID)
+	default:
+		return n.Path
+	}
+}
+
+// sortedPaths orders nodes root first, then by depth and left-to-right.
+func sortedPaths(s core.TreeSnapshot) []string {
+	paths := make([]string, 0, len(s.Nodes))
+	for i := range s.Nodes {
+		paths = append(paths, s.Nodes[i].Path)
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		if len(paths[i]) != len(paths[j]) {
+			return len(paths[i]) < len(paths[j])
+		}
+		return paths[i] < paths[j]
+	})
+	return paths
+}

@@ -1,0 +1,84 @@
+// Package repro is a from-scratch Go implementation of the wait-free FIFO
+// queue with polylogarithmic step complexity by Naderibeni and Ruppert
+// (PODC 2023, arXiv:2305.07229), together with its bounded-space variant,
+// the vector extension from the paper's Section 7, the baseline queues the
+// paper compares against, and a benchmark harness that reproduces the
+// paper's analytical claims empirically.
+//
+// # Quick start
+//
+//	q, err := repro.NewQueue[string](numWorkers)
+//	if err != nil { ... }
+//	// one handle per goroutine:
+//	h := q.MustHandle(workerID)
+//	h.Enqueue("job")
+//	v, ok := h.Dequeue() // ok == false: queue was empty
+//
+// Every Enqueue completes in O(log p) shared-memory steps and every Dequeue
+// in O(log^2 p + log q) steps regardless of scheduling (p = number of
+// handles, q = queue length), using only single-word CAS. The queue is
+// linearizable and wait-free.
+//
+// NewBoundedQueue builds the space-bounded variant (Section 6 of the
+// paper), which garbage-collects blocks that are no longer needed and keeps
+// memory polynomial in p and the maximum queue length while retaining
+// O(log p log(p+q)) amortized steps per operation.
+//
+// NewVector builds the append-only sequence from the paper's Section 7.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction results.
+package repro
+
+import (
+	"repro/internal/bounded"
+	"repro/internal/core"
+	"repro/internal/vector"
+)
+
+// Queue is the unbounded-space wait-free queue (paper Sections 3-5).
+type Queue[T any] = core.Queue[T]
+
+// Handle is a process's access point to a Queue; use one per goroutine.
+type Handle[T any] = core.Handle[T]
+
+// NewQueue creates a wait-free queue for up to procs concurrent processes.
+func NewQueue[T any](procs int) (*Queue[T], error) {
+	return core.New[T](procs)
+}
+
+// BoundedQueue is the space-bounded wait-free queue (paper Section 6).
+type BoundedQueue[T any] = bounded.Queue[T]
+
+// BoundedHandle is a process's access point to a BoundedQueue.
+type BoundedHandle[T any] = bounded.Handle[T]
+
+// BoundedOption configures NewBoundedQueue.
+type BoundedOption = bounded.Option
+
+// WithGCInterval overrides the garbage-collection interval G (default:
+// the paper's p^2 ceil(log2 p)).
+func WithGCInterval(g int64) BoundedOption {
+	return bounded.WithGCInterval(g)
+}
+
+// NewBoundedQueue creates a space-bounded wait-free queue for up to procs
+// concurrent processes.
+func NewBoundedQueue[T any](procs int, opts ...BoundedOption) (*BoundedQueue[T], error) {
+	return bounded.New[T](procs, opts...)
+}
+
+// Vector is the wait-free append-only sequence (paper Section 7).
+type Vector[T any] = vector.Vector[T]
+
+// VectorHandle is a process's access point to a Vector.
+type VectorHandle[T any] = vector.Handle[T]
+
+// VectorRef identifies an appended element for Index queries.
+type VectorRef = vector.Ref
+
+// NewVector creates a wait-free vector for up to procs concurrent
+// processes.
+func NewVector[T any](procs int) (*Vector[T], error) {
+	return vector.New[T](procs)
+}

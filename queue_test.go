@@ -1,0 +1,121 @@
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicQueueAPI exercises the façade exactly as the README shows it.
+func TestPublicQueueAPI(t *testing.T) {
+	q, err := repro.NewQueue[string](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := q.MustHandle(0)
+	h.Enqueue("hello")
+	h.Enqueue("world")
+	if v, ok := h.Dequeue(); !ok || v != "hello" {
+		t.Fatalf("Dequeue = (%q, %v)", v, ok)
+	}
+	if got := q.Len(); got != 1 {
+		t.Fatalf("Len = %d", got)
+	}
+	if v, ok := h.Dequeue(); !ok || v != "world" {
+		t.Fatalf("Dequeue = (%q, %v)", v, ok)
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("Dequeue on empty queue succeeded")
+	}
+}
+
+func TestPublicBoundedQueueAPI(t *testing.T) {
+	q, err := repro.NewBoundedQueue[int](2, repro.WithGCInterval(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := q.MustHandle(1)
+	for i := 0; i < 100; i++ {
+		h.Enqueue(i)
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok := h.Dequeue(); !ok || v != i {
+			t.Fatalf("Dequeue %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if q.TotalBlocks() <= 0 {
+		t.Fatal("TotalBlocks not positive")
+	}
+	if q.GCInterval() != 8 {
+		t.Fatalf("GCInterval = %d", q.GCInterval())
+	}
+}
+
+func TestPublicVectorAPI(t *testing.T) {
+	v, err := repro.NewVector[string](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := v.MustHandle(0)
+	r1 := h.Append("a")
+	r2 := h.Append("b")
+	if got, ok := h.Get(0); !ok || got != "a" {
+		t.Fatalf("Get(0) = (%q, %v)", got, ok)
+	}
+	p1, err := h.Index(r1)
+	if err != nil || p1 != 0 {
+		t.Fatalf("Index(r1) = (%d, %v)", p1, err)
+	}
+	p2, err := h.Index(r2)
+	if err != nil || p2 != 1 {
+		t.Fatalf("Index(r2) = (%d, %v)", p2, err)
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+}
+
+// TestPublicAPIConcurrent is the README's usage pattern under concurrency:
+// one handle per goroutine, no external synchronization.
+func TestPublicAPIConcurrent(t *testing.T) {
+	const workers = 4
+	q, err := repro.NewQueue[int](workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var got sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.MustHandle(w)
+			for s := 0; s < 1000; s++ {
+				h.Enqueue(w*1_000_000 + s)
+				if v, ok := h.Dequeue(); ok {
+					if _, dup := got.LoadOrStore(v, w); dup {
+						t.Errorf("value %d dequeued twice", v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := q.MustHandle(0)
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			break
+		}
+		if _, dup := got.LoadOrStore(v, -1); dup {
+			t.Fatalf("value %d dequeued twice", v)
+		}
+	}
+	count := 0
+	got.Range(func(_, _ any) bool { count++; return true })
+	if count != workers*1000 {
+		t.Fatalf("received %d values, want %d", count, workers*1000)
+	}
+}
