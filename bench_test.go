@@ -15,6 +15,7 @@ import (
 	"repro"
 	"repro/internal/harness"
 	"repro/internal/queues"
+	"repro/internal/shard"
 )
 
 var sweepPs = []int{2, 8, 32}
@@ -240,6 +241,27 @@ func BenchmarkTable9Vector(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkTable10Sharded (T10): enqueue+dequeue throughput of the sharded
+// fabric vs shard count. The single tournament tree (k=1) serializes all
+// goroutines through one root; k roots should lift throughput with k.
+func BenchmarkTable10Sharded(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		for _, p := range []int{8, 32} {
+			b.Run(fmt.Sprintf("k=%d/p=%d", k, p), func(b *testing.B) {
+				benchWorkload(b, func(procs int) (queues.Queue, error) {
+					return queues.NewSharded(procs, k, shard.BackendCore)
+				}, p, pairs)
+			})
+		}
+	}
+	// Bounded backend reference point at the largest shard count.
+	b.Run("bounded/k=8/p=32", func(b *testing.B) {
+		benchWorkload(b, func(procs int) (queues.Queue, error) {
+			return queues.NewSharded(procs, 8, shard.BackendBounded)
+		}, 32, pairs)
 	})
 }
 

@@ -1,35 +1,45 @@
-// Command benchqueue regenerates the reproduction tables (T1-T8 in
+// Command benchqueue regenerates the reproduction tables (T1-T10 in
 // DESIGN.md) that validate the paper's analytical claims: CAS bounds
 // (Proposition 19), step complexity (Theorem 22), the CAS retry problem of
 // the baselines, space bounds (Theorem 31) and bounded-variant amortized
-// steps (Theorem 32), plus a wall-clock throughput comparison.
+// steps (Theorem 32), a wall-clock throughput comparison, and the sharded
+// fabric's throughput scaling with shard count.
 //
 // Usage:
 //
 //	benchqueue -exp all                 # every experiment, paper-scale
 //	benchqueue -exp casbound -ops 4000  # one experiment, custom op count
 //	benchqueue -exp space -procs 8
+//	benchqueue -impl sharded -shards 8  # fabric scaling (T10)
+//	benchqueue -exp all -json results   # also emit results/BENCH_<ID>.json
 //
 // Experiments: casbound, enqsteps, deqsteps, retry, adversary, space,
-// boundedsteps, throughput, waitfree, ablation, all.
+// boundedsteps, throughput, waitfree, ablation, sharded, all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/shard"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation all)")
-		ops    = flag.Int("ops", 2000, "operations per process per measurement")
-		procs  = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
-		psFlag = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
+		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded all)")
+		ops     = flag.Int("ops", 2000, "operations per process per measurement")
+		procs   = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
+		psFlag  = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
+		impl    = flag.String("impl", "", "focus on one implementation: sharded (runs the T10 scaling experiment)")
+		shards  = flag.Int("shards", 8, "largest shard count for -exp sharded / -impl sharded")
+		backend = flag.String("backend", "core", "sharded fabric backend: core or bounded")
+		jsonDir = flag.String("json", "", "also write each table as BENCH_<ID>.json into this directory")
 	)
 	flag.Parse()
 	ps, err := parseInts(*psFlag)
@@ -37,13 +47,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchqueue:", err)
 		os.Exit(2)
 	}
-	if err := run(*exp, ps, *ops, *procs); err != nil {
+	// Validate eagerly: a typo must not surface only after the other
+	// paper-scale experiments have run for minutes.
+	if *backend != string(shard.BackendCore) && *backend != string(shard.BackendBounded) {
+		fmt.Fprintf(os.Stderr, "benchqueue: unknown -backend %q (want core or bounded)\n", *backend)
+		os.Exit(2)
+	}
+	cfg := runConfig{
+		ps:      ps,
+		ops:     *ops,
+		procs:   *procs,
+		shards:  *shards,
+		backend: shard.Backend(*backend),
+		jsonDir: *jsonDir,
+	}
+	what := *exp
+	if *impl != "" {
+		// -impl selects the implementation-focused experiment directly.
+		if *impl != "sharded" {
+			fmt.Fprintf(os.Stderr, "benchqueue: unknown -impl %q (want sharded)\n", *impl)
+			os.Exit(2)
+		}
+		expExplicit := false
+		flag.Visit(func(f *flag.Flag) { expExplicit = expExplicit || f.Name == "exp" })
+		if expExplicit && *exp != "sharded" {
+			fmt.Fprintf(os.Stderr, "benchqueue: -exp %s conflicts with -impl sharded (which runs only the T10 experiment); drop one\n", *exp)
+			os.Exit(2)
+		}
+		what = "sharded"
+	}
+	if err := run(what, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchqueue:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, ps []int, ops, procs int) error {
+type runConfig struct {
+	ps      []int
+	ops     int
+	procs   int
+	shards  int
+	backend shard.Backend
+	jsonDir string
+}
+
+func run(exp string, cfg runConfig) error {
+	ps, ops, procs := cfg.ps, cfg.ops, cfg.procs
+	show := func(t *harness.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+		return emitJSON(cfg.jsonDir, t)
+	}
 	runners := map[string]func() error{
 		"casbound": func() error { return show(harness.ExpCASBound(ps, ops)) },
 		"enqsteps": func() error { return show(harness.ExpEnqueueSteps(ps, ops)) },
@@ -60,6 +116,10 @@ func run(exp string, ps []int, ops, procs int) error {
 		"boundedsteps": func() error { return show(harness.ExpBoundedSteps(ps, ops)) },
 		"throughput":   func() error { return show(harness.ExpThroughput(ps, ops)) },
 		"waitfree":     func() error { return show(harness.ExpWaitFree(ps, ops)) },
+		"sharded": func() error {
+			return show(harness.ExpShardedScaling(ps,
+				harness.ShardCountsUpTo(cfg.shards), ops, cfg.backend))
+		},
 		"ablation": func() error {
 			if err := show(harness.ExpAblationSearch(4, 16, []int{0, 4, 16, 64, 256}, 500)); err != nil {
 				return err
@@ -72,7 +132,7 @@ func run(exp string, ps []int, ops, procs int) error {
 	}
 	if exp == "all" {
 		for _, name := range []string{"casbound", "enqsteps", "deqsteps", "retry", "adversary",
-			"space", "boundedsteps", "throughput", "waitfree", "ablation"} {
+			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -86,11 +146,39 @@ func run(exp string, ps []int, ops, procs int) error {
 	return r()
 }
 
-func show(t *harness.Table, err error) error {
+// benchJSON is the on-disk schema of a BENCH_<ID>.json table, the format the
+// perf-trajectory tooling consumes.
+type benchJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// emitJSON writes t as dir/BENCH_<ID>.json; a dir of "" disables emission.
+func emitJSON(dir string, t *harness.Table) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(benchJSON{
+		ID:      t.ID,
+		Title:   t.Title,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+	}, "", "  ")
 	if err != nil {
 		return err
 	}
-	fmt.Println(t.String())
+	path := filepath.Join(dir, "BENCH_"+t.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "benchqueue: wrote", path)
 	return nil
 }
 

@@ -1,6 +1,17 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+func tinyConfig(ps []int, ops, procs int) runConfig {
+	return runConfig{ps: ps, ops: ops, procs: procs, shards: 2, backend: shard.BackendCore}
+}
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1, 2,8")
@@ -15,14 +26,14 @@ func TestParseInts(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", []int{2}, 10, 2); err == nil {
+	if err := run("nope", tinyConfig([]int{2}, 10, 2)); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunSingleExperimentTiny(t *testing.T) {
 	// Smoke: drives the real experiment path with tiny parameters.
-	if err := run("enqsteps", []int{2, 4}, 50, 2); err != nil {
+	if err := run("enqsteps", tinyConfig([]int{2, 4}, 50, 2)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -30,9 +41,30 @@ func TestRunSingleExperimentTiny(t *testing.T) {
 func TestRunAllExperimentNamesTiny(t *testing.T) {
 	// Each named experiment must execute end to end with tiny parameters.
 	for _, name := range []string{"casbound", "deqsteps", "retry", "adversary",
-		"boundedsteps", "throughput", "waitfree"} {
-		if err := run(name, []int{2}, 30, 2); err != nil {
+		"boundedsteps", "throughput", "waitfree", "sharded"} {
+		if err := run(name, tinyConfig([]int{2}, 30, 2)); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
+	}
+}
+
+func TestJSONEmission(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig([]int{2}, 30, 2)
+	cfg.jsonDir = dir
+	if err := run("sharded", cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_T10.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("BENCH_T10.json not written: %v", err)
+	}
+	var got benchJSON
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got.ID != "T10" || len(got.Columns) == 0 || len(got.Rows) == 0 {
+		t.Errorf("unexpected table: id=%q cols=%d rows=%d", got.ID, len(got.Columns), len(got.Rows))
 	}
 }

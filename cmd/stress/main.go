@@ -9,6 +9,14 @@
 //	stress -impl nr -procs 8 -ops 50000
 //	stress -impl nr-bounded -gc 4 -rounds 20
 //	stress -impl ms
+//	stress -impl sharded -shards 8 -churn 64
+//
+// The sharded fabric relaxes cross-shard FIFO order, so the linearizability
+// checker's global-FIFO model does not apply to it. Its rounds instead churn
+// goroutines through the dynamic handle registry (Acquire/Release every
+// -churn operations, with more goroutines than handle slots) and verify
+// conservation: every enqueued value is dequeued exactly once, no
+// duplicates, no phantoms, zero residual after the final drain.
 package main
 
 import (
@@ -16,7 +24,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/baseline/faaqueue"
@@ -26,20 +36,31 @@ import (
 	"repro/internal/baseline/twolock"
 	"repro/internal/lincheck"
 	"repro/internal/queues"
+	"repro/internal/shard"
 )
 
 func main() {
 	var (
-		impl    = flag.String("impl", "nr", "implementation: nr, nr-bounded, ms, faa, kp, twolock, mutex")
+		impl    = flag.String("impl", "nr", "implementation: nr, nr-bounded, sharded, ms, faa, kp, twolock, mutex")
 		procs   = flag.Int("procs", 8, "concurrent processes")
 		ops     = flag.Int("ops", 20000, "operations per process per round")
 		rounds  = flag.Int("rounds", 4, "independent rounds")
-		gc      = flag.Int64("gc", 0, "GC interval for nr-bounded (0 = paper default)")
+		gc      = flag.Int64("gc", 0, "GC interval for nr-bounded and sharded -backend bounded (0 = paper default)")
 		enqFrac = flag.Float64("enq", 0.5, "enqueue fraction")
 		seed    = flag.Int64("seed", time.Now().UnixNano(), "random seed")
+		shards  = flag.Int("shards", 8, "shard count for -impl sharded")
+		backend = flag.String("backend", "core", "sharded backend: core or bounded")
+		churn   = flag.Int("churn", 64, "sharded: Release/re-Acquire the handle every churn operations")
 	)
 	flag.Parse()
-	if err := run(*impl, *procs, *ops, *rounds, *gc, *enqFrac, *seed); err != nil {
+	var err error
+	if *impl == "sharded" {
+		err = runSharded(*procs, *ops, *rounds, *shards, *churn,
+			shard.Backend(*backend), *gc, *enqFrac, *seed)
+	} else {
+		err = run(*impl, *procs, *ops, *rounds, *gc, *enqFrac, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "stress:", err)
 		os.Exit(1)
 	}
@@ -114,5 +135,100 @@ func run(impl string, procs, ops, rounds int, gc int64, enqFrac float64, seed in
 			round, q.Name(), len(events), time.Since(begin).Round(time.Millisecond))
 	}
 	fmt.Printf("stress: %s passed %d rounds x %d procs x %d ops\n", impl, rounds, procs, ops)
+	return nil
+}
+
+// runSharded soak-tests the sharded fabric: procs goroutines share a
+// registry with only procs/2 handle slots (forcing Acquire to contend and
+// recycle), churn their leases, and the round's books must balance exactly.
+func runSharded(procs, ops, rounds, shards, churn int, backend shard.Backend,
+	gc int64, enqFrac float64, seed int64) error {
+	slots := procs/2 + 1
+	for round := 0; round < rounds; round++ {
+		opts := []shard.Option{shard.WithBackend(backend), shard.WithMaxHandles(slots)}
+		if gc > 0 {
+			opts = append(opts, shard.WithGCInterval(gc))
+		}
+		q, err := shard.New[int64](shards, opts...)
+		if err != nil {
+			return err
+		}
+		var enqTotal, deqTotal, enqSum, deqSum atomic.Int64
+		var wg sync.WaitGroup
+		begin := time.Now()
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(round*procs+p)))
+				acquire := func() *shard.Handle[int64] {
+					for {
+						h, err := q.Acquire()
+						if err == nil {
+							return h
+						}
+						runtime.Gosched()
+					}
+				}
+				h := acquire()
+				defer func() { h.Release() }()
+				next := int64(0)
+				for s := 0; s < ops; s++ {
+					if churn > 0 && s%churn == churn-1 {
+						h.Release()
+						h = acquire()
+					}
+					if rng.Float64() < enqFrac {
+						v := int64(p)<<40 | int64(round)<<32 | next
+						next++
+						if err := h.Enqueue(v); err != nil {
+							panic(fmt.Sprintf("enqueue on open fabric: %v", err))
+						}
+						enqTotal.Add(1)
+						enqSum.Add(v)
+					} else if v, ok := h.Dequeue(); ok {
+						deqTotal.Add(1)
+						deqSum.Add(v)
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		q.Close()
+		h, err := q.Acquire()
+		if err != nil {
+			return err
+		}
+		seen := make(map[int64]bool)
+		dup := int64(-1)
+		drained := int64(h.Drain(func(v int64) {
+			if seen[v] {
+				dup = v
+			}
+			seen[v] = true
+			deqSum.Add(v)
+		}))
+		h.Release()
+		if dup >= 0 {
+			return fmt.Errorf("round %d: value %d drained twice", round, dup)
+		}
+		outstanding := enqTotal.Load() - deqTotal.Load()
+		if drained != outstanding {
+			return fmt.Errorf("round %d: drained %d values, want %d outstanding",
+				round, drained, outstanding)
+		}
+		if deqSum.Load() != enqSum.Load() {
+			return fmt.Errorf("round %d: dequeued sum %d != enqueued sum %d (phantom or lost value)",
+				round, deqSum.Load(), enqSum.Load())
+		}
+		if n := q.Len(); n != 0 {
+			return fmt.Errorf("round %d: Len = %d after full drain", round, n)
+		}
+		fmt.Printf("round %d: sharded-%d(%s) ok — %d enq / %d deq / %d drained, conserved (%v)\n",
+			round, shards, backend, enqTotal.Load(), deqTotal.Load(), drained,
+			time.Since(begin).Round(time.Millisecond))
+	}
+	fmt.Printf("stress: sharded passed %d rounds x %d procs x %d ops (%d slots, churn %d)\n",
+		rounds, procs, ops, slots, churn)
 	return nil
 }

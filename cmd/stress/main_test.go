@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/shard"
+)
 
 func TestNewQueueKinds(t *testing.T) {
 	for _, impl := range []string{"nr", "nr-bounded", "ms", "faa", "kp", "twolock", "mutex"} {
@@ -26,6 +30,22 @@ func TestRunTinyRounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := run("nr-bounded", 2, 150, 1, 3, 0.5, 42); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShardedTinyRounds(t *testing.T) {
+	for _, backend := range []shard.Backend{shard.BackendCore, shard.BackendBounded} {
+		if err := runSharded(6, 500, 2, 4, 32, backend, 0, 0.5, 42); err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+	}
+	// Churn disabled (churn=0) must also hold the conservation invariant,
+	// as must a tiny explicit GC interval on the bounded backend.
+	if err := runSharded(4, 300, 1, 2, 0, shard.BackendCore, 0, 0.6, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSharded(4, 300, 1, 2, 16, shard.BackendBounded, 4, 0.5, 7); err != nil {
 		t.Fatal(err)
 	}
 }

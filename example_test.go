@@ -70,6 +70,43 @@ func ExampleNewBoundedQueue() {
 	// Output: 1 2
 }
 
+// ExampleNewShardedQueue shows the sharded fabric: handles are leased
+// dynamically instead of numbered statically, enqueues stay FIFO per home
+// shard, and Close/Drain shut the fabric down without losing elements.
+func ExampleNewShardedQueue() {
+	q, err := repro.NewShardedQueue[string](4)
+	if err != nil {
+		panic(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, err := q.Acquire() // lease a handle slot
+			if err != nil {
+				panic(err)
+			}
+			defer h.Release() // recycle it for other goroutines
+			for i := 0; i < 5; i++ {
+				if err := h.Enqueue(fmt.Sprintf("job-%d-%d", w, i)); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	q.Close()
+	h, err := q.Acquire()
+	if err != nil {
+		panic(err)
+	}
+	defer h.Release()
+	n := h.Drain(func(string) {})
+	fmt.Println(n, q.Len(), h.Enqueue("late") == repro.ErrQueueClosed)
+	// Output: 15 0 true
+}
+
 // ExampleNewVector shows the Section 7 append-only sequence.
 func ExampleNewVector() {
 	v, err := repro.NewVector[string](2)

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/queues"
+	"repro/internal/shard"
+)
+
+// ExpShardedScaling (T10): wall-clock enqueue+dequeue throughput of the
+// sharded fabric versus shard count, against the single nr-queue baseline.
+// A single tournament tree serializes all g goroutines through one root, so
+// the baseline plateaus as g grows; the fabric's k roots should lift the
+// plateau roughly k-fold until memory bandwidth interferes.
+func ExpShardedScaling(gs, shardCounts []int, opsPerProc int, backend shard.Backend) (*Table, error) {
+	cols := []string{"g", "nr Mops/s"}
+	for _, k := range shardCounts {
+		cols = append(cols, fmt.Sprintf("k=%d", k))
+	}
+	kMax := shardCounts[len(shardCounts)-1]
+	cols = append(cols, fmt.Sprintf("speedup k=%d", kMax))
+	t := &Table{
+		ID:      "T10",
+		Title:   fmt.Sprintf("Sharded fabric throughput vs shard count (%s backend, pairs workload)", backend),
+		Columns: cols,
+		Notes: []string{
+			"Mops/s = completed operations per second / 1e6; pairs workload (alternating enqueue/dequeue per goroutine).",
+			"speedup = fabric at the largest shard count over the single nr-queue at the same goroutine count.",
+			"Per-shard FIFO and wait-freedom are preserved; cross-shard order is relaxed.",
+		},
+	}
+	for _, g := range gs {
+		base, err := measureThroughput(func() (queues.Queue, error) { return queues.NewNR(g) }, g, opsPerProc)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{g, base / 1e6}
+		var last float64
+		for _, k := range shardCounts {
+			k := k
+			tp, err := measureThroughput(func() (queues.Queue, error) {
+				return queues.NewSharded(g, k, backend)
+			}, g, opsPerProc)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, tp/1e6)
+			last = tp
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = last / base
+		}
+		row = append(row, speedup)
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// measureThroughput reports the best of three trials on a fresh queue each
+// time: throughput tables compare capability, and the max is far less noisy
+// than a single run on a shared machine.
+func measureThroughput(mk func() (queues.Queue, error), procs, opsPerProc int) (float64, error) {
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		q, err := mk()
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunPairs(q, procs, opsPerProc, int64(trial+1))
+		if err != nil {
+			return 0, err
+		}
+		if tp := res.ThroughputOps(); tp > best {
+			best = tp
+		}
+	}
+	return best, nil
+}
+
+// ShardCountsUpTo returns the doubling sequence 1, 2, 4, ..., kMax (kMax is
+// included even when not a power of two).
+func ShardCountsUpTo(kMax int) []int {
+	var ks []int
+	for k := 1; k < kMax; k *= 2 {
+		ks = append(ks, k)
+	}
+	return append(ks, kMax)
+}

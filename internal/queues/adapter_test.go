@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/queues"
 	"repro/internal/queues/queuetest"
+	"repro/internal/shard"
 )
 
 func TestNRConformance(t *testing.T) {
@@ -23,11 +24,33 @@ func TestBoundedTinyGCConformance(t *testing.T) {
 	})
 }
 
+// TestShardedConformance runs the full FIFO conformance suite against a
+// single-shard fabric: at k=1 the cross-shard relaxation vanishes, so the
+// fabric must behave exactly like the queue it wraps. (At k>1 the suite's
+// global-FIFO sequential model does not apply; the fabric's own relaxed
+// semantics are tested in internal/shard.)
+func TestShardedConformance(t *testing.T) {
+	queuetest.Run(t, queues.Factory{
+		Name: "sharded-1(core)",
+		New:  func(p int) (queues.Queue, error) { return queues.NewSharded(p, 1, shard.BackendCore) },
+	})
+}
+
+func TestShardedBoundedConformance(t *testing.T) {
+	queuetest.Run(t, queues.Factory{
+		Name: "sharded-1(bounded)",
+		New:  func(p int) (queues.Queue, error) { return queues.NewSharded(p, 1, shard.BackendBounded) },
+	})
+}
+
 func TestCounterPassthrough(t *testing.T) {
 	// SetCounter must thread through every adapter so step accounting works.
 	for _, f := range []queues.Factory{
 		{Name: "nr-queue", New: queues.NewNR},
 		{Name: "nr-bounded", New: queues.NewBounded},
+		{Name: "sharded", New: func(p int) (queues.Queue, error) {
+			return queues.NewSharded(p, 4, shard.BackendCore)
+		}},
 	} {
 		q, err := f.New(2)
 		if err != nil {
@@ -57,5 +80,9 @@ func TestQueueNames(t *testing.T) {
 	b, _ := queues.NewBounded(1)
 	if b.Name() != "nr-bounded" {
 		t.Errorf("Name = %q", b.Name())
+	}
+	s, _ := queues.NewSharded(1, 8, shard.BackendCore)
+	if s.Name() != "sharded-8(core)" {
+		t.Errorf("Name = %q", s.Name())
 	}
 }

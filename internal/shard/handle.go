@@ -1,0 +1,182 @@
+package shard
+
+import "repro/internal/metrics"
+
+// Handle is a leased capability to operate on the fabric. A handle may be
+// used by one goroutine at a time and owns one sub-handle in every shard:
+// enqueues are routed to the handle's home shard (preserving per-producer
+// order), dequeues roam the fabric via d-random-choice.
+type Handle[T any] struct {
+	q        *Queue[T]
+	slot     int
+	home     int
+	rng      uint64
+	sub      []subHandle[T]
+	enq      int64              // home-shard enqueue tally, folded in on Release
+	deqs     []int64            // per-shard successful-dequeue tally
+	counters []*metrics.Counter // per-shard, only with WithShardMetrics
+	released bool
+}
+
+// Slot returns the registry slot this handle leases (useful in logs).
+func (h *Handle[T]) Slot() int { return h.slot }
+
+// Home returns the shard this handle routes enqueues to. Homes are assigned
+// round-robin across leases so concurrent producers spread over the shards.
+func (h *Handle[T]) Home() int { return h.home }
+
+// SetCounter attaches a single step/CAS counter aggregating across every
+// shard this handle touches (nil disables accounting). It overrides the
+// per-shard counters installed by WithShardMetrics for this lease.
+func (h *Handle[T]) SetCounter(c *metrics.Counter) {
+	h.counters = nil
+	for j := range h.sub {
+		h.sub[j].SetCounter(c)
+	}
+}
+
+// Enqueue appends v to the handle's home shard. It returns ErrClosed once
+// the fabric is closed; an enqueue that began before Close completed may
+// still be admitted.
+func (h *Handle[T]) Enqueue(v T) error {
+	h.check()
+	if h.q.closed.Load() {
+		return ErrClosed
+	}
+	j := h.home
+	h.sub[j].Enqueue(v)
+	h.enq++
+	// The element is at the root before Enqueue returns (propagation
+	// completes first), so setting the bit here serializes after a root
+	// state that a concurrent clear-then-recheck in dequeueFrom will see.
+	h.q.bitmap.set(j)
+	return nil
+}
+
+// Dequeue removes an element from some nonempty shard: it samples up to d
+// shards from the nonempty bitmap, takes the fullest, and falls back to a
+// deterministic sweep of all shards before reporting ok == false. The
+// returned element is the head of its shard, so FIFO order holds per shard
+// (and per producer) but not across shards.
+func (h *Handle[T]) Dequeue() (T, bool) {
+	h.check()
+	q := h.q
+	// Locality fast path: the home shard first. Producers-turned-consumers
+	// (and symmetric workloads like pairs) find their own elements there
+	// without touching other shards' cache lines.
+	if q.bitmap.isSet(h.home) {
+		if v, ok := h.dequeueFrom(h.home); ok {
+			return v, true
+		}
+	}
+	// Guided attempts: d-random-choice over the nonempty bitmap.
+	for attempt := 0; attempt < 2; attempt++ {
+		j := h.pickShard()
+		if j < 0 {
+			break
+		}
+		if v, ok := h.dequeueFrom(j); ok {
+			return v, true
+		}
+	}
+	// Certification sweep: every shard, starting at home so concurrent
+	// dequeuers spread out. Each sub-dequeue is wait-free, so the whole
+	// operation is wait-free with at most k extra sub-operations.
+	for i := 0; i < len(q.shards); i++ {
+		j := h.home + i
+		if j >= len(q.shards) {
+			j -= len(q.shards)
+		}
+		if v, ok := h.dequeueFrom(j); ok {
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// pickShard samples up to d set bits from the nonempty bitmap and returns
+// the candidate with the largest backlog estimate, or -1 when no bit was
+// observed set.
+func (h *Handle[T]) pickShard() int {
+	best := -1
+	var bestSize int64 = -1
+	for t := 0; t < h.q.cfg.choices; t++ {
+		j := h.q.bitmap.randomSet(&h.rng)
+		if j < 0 {
+			break
+		}
+		if sz := int64(h.q.shards[j].len()); sz > bestSize {
+			best, bestSize = j, sz
+		}
+	}
+	return best
+}
+
+// dequeueFrom attempts one sub-dequeue on shard j, maintaining the size
+// estimate and the nonempty bitmap.
+func (h *Handle[T]) dequeueFrom(j int) (T, bool) {
+	s := &h.q.shards[j]
+	if v, ok := h.sub[j].Dequeue(); ok {
+		h.deqs[j]++
+		return v, true
+	}
+	// Observed empty: clear the bit, then re-set it if elements raced in
+	// between the failed dequeue and the clear (an enqueue reaches the
+	// root before its bitmap set — see Enqueue — so either this len read
+	// sees it, or the enqueuer's own set lands after the clear).
+	h.q.bitmap.clear(j)
+	if s.len() > 0 {
+		h.q.bitmap.set(j)
+	}
+	var zero T
+	return zero, false
+}
+
+// Drain dequeues until the fabric certifies empty, calling fn for each
+// element, and returns the number drained. On a closed fabric with no other
+// consumers running, Drain leaves the fabric empty; with concurrent
+// consumers it simply stops once a full sweep finds nothing.
+func (h *Handle[T]) Drain(fn func(T)) int {
+	n := 0
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			return n
+		}
+		if fn != nil {
+			fn(v)
+		}
+		n++
+	}
+}
+
+// Release returns the handle's slot to the registry so another goroutine
+// can lease it, and (under WithShardMetrics) folds the lease's per-shard
+// counters into the fabric totals. The handle must not be used afterwards;
+// Release panics on double release.
+func (h *Handle[T]) Release() {
+	h.check()
+	h.released = true
+	if h.enq != 0 {
+		h.q.shards[h.home].enqueues.Add(h.enq)
+	}
+	for j := range h.deqs {
+		if h.deqs[j] != 0 {
+			h.q.shards[j].dequeues.Add(h.deqs[j])
+		}
+	}
+	if h.counters != nil {
+		h.q.mergeShardCounters(h.counters)
+		h.counters = nil
+	}
+	h.q.reg.release(h.slot)
+}
+
+// check panics on use-after-Release — always a caller bug, and one that
+// would otherwise silently corrupt another goroutine's lease.
+func (h *Handle[T]) check() {
+	if h.released {
+		panic("shard: handle used after Release")
+	}
+}

@@ -1,0 +1,363 @@
+// Package shard implements a sharded queue fabric: k independent wait-free
+// FIFO queues (the paper's unbounded queue from package core, or the
+// space-bounded variant from package bounded) behind a single frontend that
+// multiplies root bandwidth by the shard count.
+//
+// The Naderibeni-Ruppert queue funnels all p processes through one tournament
+// tree, so a single root CAS location bounds total throughput no matter how
+// large p grows. The fabric trades global FIFO order for scalability: each
+// element is FIFO-ordered relative to the other elements of its shard, but
+// elements of different shards may be dequeued out of their enqueue order.
+// Because every handle routes all of its enqueues to a single home shard,
+// per-producer order is still preserved for the lifetime of a lease.
+//
+// Dequeues use d-random-choice guided by a lock-free nonempty-shard bitmap:
+// a dequeuer samples up to d set bits, takes the candidate with the largest
+// estimated backlog, and falls back to a deterministic full sweep before
+// reporting the fabric empty. Every sub-operation is wait-free and the sweep
+// is bounded by k, so fabric operations are wait-free with O(d + k)
+// sub-operations in the worst case and O(1) in the common case.
+//
+// Unlike the paper's model — a fixed set of p processes, each statically
+// bound to handle i — the fabric leases its fixed handle slots to arbitrary
+// goroutines through a dynamic registry:
+//
+//	q, err := shard.New[string](8)              // 8 shards
+//	h, err := q.Acquire()                       // lease a handle slot
+//	defer h.Release()                           // recycle it
+//	h.Enqueue("job")
+//	v, ok := h.Dequeue()
+//
+// The registry is a CAS-claimed free list, so Acquire and Release are
+// lock-free and safe to call from any goroutine at any time.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bounded"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Backend selects the per-shard queue implementation.
+type Backend string
+
+// Supported backends.
+const (
+	// BackendCore uses the unbounded-space queue (paper Sections 3-5).
+	BackendCore Backend = "core"
+	// BackendBounded uses the space-bounded queue (paper Section 6).
+	BackendBounded Backend = "bounded"
+)
+
+// Errors reported by the fabric.
+var (
+	ErrBadShards     = errors.New("shard: shard count must be at least 1")
+	ErrBadHandles    = errors.New("shard: max handle count must be at least 1")
+	ErrBadChoices    = errors.New("shard: dequeue choice count must be at least 1")
+	ErrBadBackend    = errors.New("shard: unknown backend")
+	ErrNoFreeHandles = errors.New("shard: all handle slots are leased")
+	ErrClosed        = errors.New("shard: queue is closed")
+)
+
+// subHandle is the per-shard handle surface the fabric needs; both
+// core.Handle and bounded.Handle satisfy it.
+type subHandle[T any] interface {
+	Enqueue(v T)
+	Dequeue() (T, bool)
+	SetCounter(c *metrics.Counter)
+}
+
+// subQueue is the per-shard queue surface the fabric needs.
+type subQueue[T any] interface {
+	Len() int
+	handle(i int) (subHandle[T], error)
+}
+
+type coreShard[T any] struct{ q *core.Queue[T] }
+
+func (s coreShard[T]) Len() int { return s.q.Len() }
+func (s coreShard[T]) handle(i int) (subHandle[T], error) {
+	return s.q.Handle(i)
+}
+
+type boundedShard[T any] struct{ q *bounded.Queue[T] }
+
+func (s boundedShard[T]) Len() int { return s.q.Len() }
+func (s boundedShard[T]) handle(i int) (subHandle[T], error) {
+	return s.q.Handle(i)
+}
+
+// shardState is one shard plus its routing metadata. The shard's backlog is
+// read straight from the underlying queue's root (Len is O(1) and exact as
+// of the last root propagation), so the fabric adds no per-operation atomic
+// of its own: enqueue/dequeue tallies are buffered per handle and folded in
+// on Release.
+type shardState[T any] struct {
+	q        subQueue[T]
+	enqueues atomic.Int64
+	dequeues atomic.Int64
+	// Pad to a multiple of the cache line so neighbouring shards' tallies
+	// never false-share: cross-shard independence is the whole point of
+	// the fabric.
+	_ [128 - (8*2+16)%128]byte
+}
+
+// len returns the shard's backlog as of its queue's last root propagation.
+func (s *shardState[T]) len() int { return s.q.Len() }
+
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	backend       Backend
+	maxHandles    int
+	maxHandlesSet bool
+	choices       int
+	gcInterval    int64
+	perShard      bool
+}
+
+// WithBackend selects the per-shard queue implementation (default
+// BackendCore).
+func WithBackend(b Backend) Option {
+	return func(c *config) { c.backend = b }
+}
+
+// WithMaxHandles sets the number of leasable handle slots (default
+// max(16, 4*GOMAXPROCS)). Each slot owns one handle in every shard.
+func WithMaxHandles(n int) Option {
+	return func(c *config) { c.maxHandles, c.maxHandlesSet = n, true }
+}
+
+// WithDequeueChoices sets d, the number of nonempty shards a dequeue samples
+// before committing to the fullest (default 2).
+func WithDequeueChoices(d int) Option {
+	return func(c *config) { c.choices = d }
+}
+
+// WithGCInterval forwards a garbage-collection interval to BackendBounded
+// shards; it is ignored by BackendCore.
+func WithGCInterval(g int64) Option {
+	return func(c *config) { c.gcInterval = g }
+}
+
+// WithShardMetrics attaches a fresh metrics.Counter per shard to every
+// leased handle and folds the counts into per-shard totals when the handle
+// is released, so ShardSummaries can report the paper's cost model per
+// shard. Handle.SetCounter overrides this for a given lease.
+func WithShardMetrics() Option {
+	return func(c *config) { c.perShard = true }
+}
+
+// Queue is a sharded queue fabric. It is safe for concurrent use; operate on
+// it through handles leased with Acquire.
+type Queue[T any] struct {
+	shards []shardState[T]
+	bitmap bitmap
+	reg    registry
+	cfg    config
+	closed atomic.Bool
+	// nextHome rotates home-shard assignment across leases. Deriving homes
+	// from slot numbers would skew routing: the registry free list is LIFO,
+	// so sequential short-lived leases would all reuse one slot — and one
+	// shard.
+	nextHome atomic.Uint64
+
+	// mu guards the per-shard counter totals that released handles merge
+	// into (only when WithShardMetrics is set). Release is cold path.
+	mu            sync.Mutex
+	shardCounters []*metrics.Counter
+}
+
+// New creates a fabric of shards independent queues. Each of the
+// cfg.maxHandles handle slots owns one sub-handle in every shard.
+func New[T any](shards int, opts ...Option) (*Queue[T], error) {
+	cfg := config{
+		backend: BackendCore,
+		choices: 2,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if !cfg.maxHandlesSet {
+		cfg.maxHandles = 4 * runtime.GOMAXPROCS(0)
+		if cfg.maxHandles < 16 {
+			cfg.maxHandles = 16
+		}
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadShards, shards)
+	}
+	if cfg.maxHandles < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadHandles, cfg.maxHandles)
+	}
+	if cfg.choices < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadChoices, cfg.choices)
+	}
+	q := &Queue[T]{
+		shards:        make([]shardState[T], shards),
+		cfg:           cfg,
+		shardCounters: make([]*metrics.Counter, shards),
+	}
+	for j := range q.shards {
+		sub, err := newSubQueue[T](cfg)
+		if err != nil {
+			return nil, err
+		}
+		q.shards[j].q = sub
+		q.shardCounters[j] = &metrics.Counter{}
+	}
+	q.bitmap.init(shards)
+	q.reg.init(cfg.maxHandles)
+	return q, nil
+}
+
+func newSubQueue[T any](cfg config) (subQueue[T], error) {
+	switch cfg.backend {
+	case BackendCore:
+		cq, err := core.New[T](cfg.maxHandles)
+		if err != nil {
+			return nil, err
+		}
+		return coreShard[T]{q: cq}, nil
+	case BackendBounded:
+		var opts []bounded.Option
+		if cfg.gcInterval > 0 {
+			opts = append(opts, bounded.WithGCInterval(cfg.gcInterval))
+		}
+		bq, err := bounded.New[T](cfg.maxHandles, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return boundedShard[T]{q: bq}, nil
+	default:
+		return nil, fmt.Errorf("%w %q", ErrBadBackend, cfg.backend)
+	}
+}
+
+// Shards returns the shard count k.
+func (q *Queue[T]) Shards() int { return len(q.shards) }
+
+// MaxHandles returns the number of leasable handle slots.
+func (q *Queue[T]) MaxHandles() int { return q.cfg.maxHandles }
+
+// Backend returns the per-shard queue implementation in use.
+func (q *Queue[T]) Backend() Backend { return q.cfg.backend }
+
+// Acquire leases a handle slot to the calling goroutine. The returned handle
+// must be used by one goroutine at a time and returned with Release; until
+// then the slot is unavailable to other callers. Acquire is lock-free and
+// returns ErrNoFreeHandles when every slot is leased.
+func (q *Queue[T]) Acquire() (*Handle[T], error) {
+	slot, ok := q.reg.acquire()
+	if !ok {
+		return nil, ErrNoFreeHandles
+	}
+	h := &Handle[T]{
+		q:    q,
+		slot: slot,
+		home: int((q.nextHome.Add(1) - 1) % uint64(len(q.shards))),
+		rng:  rngSeed(slot),
+		sub:  make([]subHandle[T], len(q.shards)),
+		deqs: make([]int64, len(q.shards)),
+	}
+	for j := range q.shards {
+		sh, err := q.shards[j].q.handle(slot)
+		if err != nil {
+			// Slots are always < maxHandles, so this is unreachable; recycle
+			// the slot rather than leak it if an invariant ever breaks.
+			q.reg.release(slot)
+			return nil, err
+		}
+		h.sub[j] = sh
+	}
+	if q.cfg.perShard {
+		h.counters = make([]*metrics.Counter, len(q.shards))
+		for j := range h.counters {
+			h.counters[j] = &metrics.Counter{}
+			h.sub[j].SetCounter(h.counters[j])
+		}
+	} else {
+		// Sub-handles are recycled across leases; clear any counter left
+		// behind by the previous lessee.
+		for j := range h.sub {
+			h.sub[j].SetCounter(nil)
+		}
+	}
+	return h, nil
+}
+
+// Close marks the fabric closed: subsequent Enqueues return ErrClosed while
+// Dequeue and Drain keep working, so consumers can drain the backlog.
+// Enqueues that began before Close completed may still be admitted. Close is
+// idempotent.
+func (q *Queue[T]) Close() { q.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed.Load() }
+
+// Len returns the fabric's total backlog estimate: the sum of the per-shard
+// root sizes. Like the underlying queues' Len, each addend was exact at
+// some recent moment but may lag concurrent operations.
+func (q *Queue[T]) Len() int {
+	total := 0
+	for j := range q.shards {
+		total += q.shards[j].len()
+	}
+	return total
+}
+
+// ShardStat is a point-in-time view of one shard's traffic.
+type ShardStat struct {
+	Shard    int
+	Len      int   // backlog as of the shard's last root propagation
+	Enqueues int64 // completed enqueues routed to this shard
+	Dequeues int64 // successful dequeues served by this shard
+}
+
+// ShardStats returns per-shard routing statistics, one entry per shard. Len
+// is live; the Enqueues/Dequeues tallies are folded in when a lease is
+// Released (keeping them off the per-operation hot path), so live handles'
+// traffic is not yet included.
+func (q *Queue[T]) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(q.shards))
+	for j := range q.shards {
+		out[j] = ShardStat{
+			Shard:    j,
+			Len:      q.shards[j].len(),
+			Enqueues: q.shards[j].enqueues.Load(),
+			Dequeues: q.shards[j].dequeues.Load(),
+		}
+	}
+	return out
+}
+
+// ShardSummaries returns the paper's cost-model summary per shard,
+// aggregated from handles that have been Released (live handles' counters
+// cannot be read safely). It returns meaningful data only when the fabric
+// was built WithShardMetrics.
+func (q *Queue[T]) ShardSummaries() []metrics.Summary {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]metrics.Summary, len(q.shards))
+	for j, c := range q.shardCounters {
+		out[j] = metrics.Summarize(c)
+	}
+	return out
+}
+
+// mergeShardCounters folds a released handle's per-shard counters into the
+// fabric totals.
+func (q *Queue[T]) mergeShardCounters(counters []*metrics.Counter) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for j, c := range counters {
+		q.shardCounters[j].Merge(c)
+	}
+}

@@ -1,0 +1,369 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int](0); !errors.Is(err, ErrBadShards) {
+		t.Errorf("New(0) error = %v, want ErrBadShards", err)
+	}
+	if _, err := New[int](2, WithMaxHandles(-1)); !errors.Is(err, ErrBadHandles) {
+		t.Errorf("WithMaxHandles(-1) error = %v, want ErrBadHandles", err)
+	}
+	if _, err := New[int](2, WithDequeueChoices(0)); !errors.Is(err, ErrBadChoices) {
+		t.Errorf("WithDequeueChoices(0) error = %v, want ErrBadChoices", err)
+	}
+	if _, err := New[int](2, WithBackend("nope")); !errors.Is(err, ErrBadBackend) {
+		t.Errorf("WithBackend(nope) error = %v, want ErrBadBackend", err)
+	}
+}
+
+func backends(t *testing.T, fn func(t *testing.T, b Backend)) {
+	for _, b := range []Backend{BackendCore, BackendBounded} {
+		t.Run(string(b), func(t *testing.T) { fn(t, b) })
+	}
+}
+
+// A single-shard fabric is a plain FIFO queue: cross-shard relaxation
+// vanishes at k=1, so strict order must hold.
+func TestSingleShardFIFO(t *testing.T) {
+	backends(t, func(t *testing.T, b Backend) {
+		q, err := New[int](1, WithBackend(b), WithMaxHandles(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := q.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Release()
+		const n = 1000
+		for i := 0; i < n; i++ {
+			if err := h.Enqueue(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := q.Len(); got != n {
+			t.Errorf("Len = %d, want %d", got, n)
+		}
+		for i := 0; i < n; i++ {
+			v, ok := h.Dequeue()
+			if !ok || v != i {
+				t.Fatalf("Dequeue #%d = (%d, %v), want (%d, true)", i, v, ok, i)
+			}
+		}
+		if v, ok := h.Dequeue(); ok {
+			t.Errorf("Dequeue on empty fabric = (%d, true)", v)
+		}
+	})
+}
+
+// Per-shard FIFO: with one producer per shard, each producer's elements must
+// come out in order even though dequeues interleave shards arbitrarily.
+func TestPerShardFIFO(t *testing.T) {
+	const k = 4
+	const perProducer = 500
+	q, err := New[[2]int](k, WithMaxHandles(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	producers := make([]*Handle[[2]int], k)
+	for i := range producers {
+		h, err := q.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		producers[i] = h
+	}
+	for s := 0; s < perProducer; s++ {
+		for i, h := range producers {
+			if err := h.Enqueue([2]int{i, s}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	lastSeq := map[int]int{}
+	got := producers[0].Drain(func(v [2]int) {
+		producer, seq := v[0], v[1]
+		if last, seen := lastSeq[producer]; seen && seq <= last {
+			t.Fatalf("producer %d: seq %d dequeued after %d", producer, seq, last)
+		}
+		lastSeq[producer] = seq
+	})
+	if got != k*perProducer {
+		t.Errorf("drained %d elements, want %d", got, k*perProducer)
+	}
+	for _, h := range producers {
+		h.Release()
+	}
+}
+
+func TestCloseAndDrain(t *testing.T) {
+	q, err := New[int](4, WithMaxHandles(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	for i := 0; i < 100; i++ {
+		if err := h.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Closed() {
+		t.Error("Closed() = true before Close")
+	}
+	q.Close()
+	q.Close() // idempotent
+	if !q.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	if err := h.Enqueue(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Enqueue after Close = %v, want ErrClosed", err)
+	}
+	sum := 0
+	if n := h.Drain(func(v int) { sum += v }); n != 100 {
+		t.Errorf("Drain = %d elements, want 100", n)
+	}
+	if want := 99 * 100 / 2; sum != want {
+		t.Errorf("drained sum = %d, want %d", sum, want)
+	}
+	if got := q.Len(); got != 0 {
+		t.Errorf("Len after drain = %d, want 0", got)
+	}
+}
+
+func TestRegistryExhaustionAndRecycle(t *testing.T) {
+	q, err := New[int](2, WithMaxHandles(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.MaxHandles(); got != 3 {
+		t.Fatalf("MaxHandles = %d, want 3", got)
+	}
+	handles := make([]*Handle[int], 3)
+	seen := map[int]bool{}
+	for i := range handles {
+		h, err := q.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[h.Slot()] {
+			t.Fatalf("slot %d leased twice", h.Slot())
+		}
+		seen[h.Slot()] = true
+		handles[i] = h
+	}
+	if _, err := q.Acquire(); !errors.Is(err, ErrNoFreeHandles) {
+		t.Fatalf("Acquire on exhausted registry = %v, want ErrNoFreeHandles", err)
+	}
+	handles[1].Release()
+	h, err := q.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+	if h.Slot() != handles[1].Slot() {
+		t.Errorf("recycled slot = %d, want %d", h.Slot(), handles[1].Slot())
+	}
+	h.Release()
+	handles[0].Release()
+	handles[2].Release()
+	if got := q.reg.free(); got != 3 {
+		t.Errorf("free slots = %d, want 3", got)
+	}
+}
+
+func TestUseAfterReleasePanics(t *testing.T) {
+	q, err := New[int](2, WithMaxHandles(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("use after Release did not panic")
+		}
+	}()
+	h.Release()
+}
+
+func TestShardStatsAndRouting(t *testing.T) {
+	const k = 4
+	q, err := New[int](k, WithMaxHandles(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*Handle[int], k)
+	homes := map[int]bool{}
+	for i := range handles {
+		h, err := q.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+		homes[h.Home()] = true
+	}
+	// Round-robin assignment: k sequential leases cover all k shards.
+	if len(homes) != k {
+		t.Errorf("%d leases cover %d homes, want %d", k, len(homes), k)
+	}
+	for i, h := range handles {
+		for s := 0; s < (i+1)*10; s++ {
+			if err := h.Enqueue(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Enqueue/dequeue tallies are folded in on Release.
+	for _, st := range q.ShardStats() {
+		if st.Enqueues != 0 {
+			t.Errorf("shard %d: Enqueues = %d before any Release", st.Shard, st.Enqueues)
+		}
+	}
+	for _, h := range handles {
+		h.Release()
+	}
+	stats := q.ShardStats()
+	if len(stats) != k {
+		t.Fatalf("ShardStats len = %d, want %d", len(stats), k)
+	}
+	total := 0
+	for _, st := range stats {
+		if st.Len != int(st.Enqueues) {
+			t.Errorf("shard %d: Len %d != Enqueues %d before any dequeue",
+				st.Shard, st.Len, st.Enqueues)
+		}
+		total += st.Len
+	}
+	if want := 10 + 20 + 30 + 40; total != want {
+		t.Errorf("total backlog = %d, want %d", total, want)
+	}
+}
+
+func TestShardMetrics(t *testing.T) {
+	q, err := New[int](2, WithMaxHandles(2), WithShardMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := h.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Drain(nil)
+	// Live handles have not merged yet.
+	for _, s := range q.ShardSummaries() {
+		if s.Ops != 0 {
+			t.Errorf("ShardSummaries before Release: ops = %d, want 0", s.Ops)
+		}
+	}
+	h.Release()
+	sums := q.ShardSummaries()
+	var ops int64
+	for _, s := range sums {
+		ops += s.TotalEnqs + s.TotalDeqs
+	}
+	// 50 enqueues and 50 successful dequeues, attributed to their shards.
+	if ops != 100 {
+		t.Errorf("merged enq+deq ops = %d, want 100", ops)
+	}
+	home := sums[h.Home()]
+	if home.TotalEnqs != 50 {
+		t.Errorf("home shard enqueues = %d, want 50", home.TotalEnqs)
+	}
+	if home.StepsPerOp <= 0 {
+		t.Errorf("home shard steps/op = %v, want > 0", home.StepsPerOp)
+	}
+}
+
+func TestBoundedBackendWithGC(t *testing.T) {
+	q, err := New[int](2, WithBackend(BackendBounded), WithGCInterval(16), WithMaxHandles(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Backend() != BackendBounded {
+		t.Fatalf("Backend = %q, want bounded", q.Backend())
+	}
+	h, err := q.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 64; i++ {
+			if err := h.Enqueue(round*64 + i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := h.Drain(nil); n != 64 {
+			t.Fatalf("round %d: drained %d, want 64", round, n)
+		}
+	}
+}
+
+func TestBitmap(t *testing.T) {
+	var b bitmap
+	b.init(130) // 3 words, last one partial
+	rng := rngSeed(7)
+	if got := b.randomSet(&rng); got != -1 {
+		t.Errorf("randomSet on empty bitmap = %d, want -1", got)
+	}
+	for _, j := range []int{0, 63, 64, 129} {
+		b.set(j)
+		if !b.isSet(j) {
+			t.Errorf("bit %d not set", j)
+		}
+	}
+	found := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		j := b.randomSet(&rng)
+		if j < 0 {
+			t.Fatal("randomSet = -1 with bits set")
+		}
+		if !b.isSet(j) {
+			t.Fatalf("randomSet returned clear bit %d", j)
+		}
+		found[j] = true
+	}
+	if len(found) != 4 {
+		t.Errorf("randomSet reached %d of 4 set bits: %v", len(found), found)
+	}
+	for _, j := range []int{0, 63, 64, 129} {
+		b.clear(j)
+		if b.isSet(j) {
+			t.Errorf("bit %d still set after clear", j)
+		}
+	}
+	if got := b.randomSet(&rng); got != -1 {
+		t.Errorf("randomSet after clearing all = %d, want -1", got)
+	}
+}
+
+func TestRegistryPacking(t *testing.T) {
+	var r registry
+	r.init(1)
+	s, ok := r.acquire()
+	if !ok || s != 0 {
+		t.Fatalf("acquire = (%d, %v), want (0, true)", s, ok)
+	}
+	if _, ok := r.acquire(); ok {
+		t.Fatal("second acquire on 1-slot registry succeeded")
+	}
+	r.release(0)
+	if got := r.free(); got != 1 {
+		t.Fatalf("free = %d, want 1", got)
+	}
+}

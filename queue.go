@@ -26,6 +26,17 @@
 //
 // NewVector builds the append-only sequence from the paper's Section 7.
 //
+// NewShardedQueue builds the sharded queue fabric: k independent queues
+// behind one frontend, trading cross-shard FIFO order for k-fold root
+// bandwidth, with handle slots leased dynamically to goroutines via
+// Acquire/Release instead of the paper's static numbering:
+//
+//	q, err := repro.NewShardedQueue[string](8)
+//	h, err := q.Acquire()
+//	defer h.Release()
+//	h.Enqueue("job")
+//	v, ok := h.Dequeue()
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results.
 package repro
@@ -33,6 +44,7 @@ package repro
 import (
 	"repro/internal/bounded"
 	"repro/internal/core"
+	"repro/internal/shard"
 	"repro/internal/vector"
 )
 
@@ -81,4 +93,57 @@ type VectorRef = vector.Ref
 // processes.
 func NewVector[T any](procs int) (*Vector[T], error) {
 	return vector.New[T](procs)
+}
+
+// ShardedQueue is a fabric of independent wait-free queues with relaxed
+// cross-shard FIFO order and dynamically leased handles (see package
+// internal/shard for the full semantics).
+type ShardedQueue[T any] = shard.Queue[T]
+
+// ShardedHandle is a leased access point to a ShardedQueue; obtain one with
+// Acquire and return it with Release.
+type ShardedHandle[T any] = shard.Handle[T]
+
+// ShardedOption configures NewShardedQueue.
+type ShardedOption = shard.Option
+
+// ShardBackend selects the per-shard queue implementation.
+type ShardBackend = shard.Backend
+
+// Per-shard backends: the unbounded-space queue (Sections 3-5) or the
+// space-bounded variant (Section 6).
+const (
+	ShardBackendCore    ShardBackend = shard.BackendCore
+	ShardBackendBounded ShardBackend = shard.BackendBounded
+)
+
+// ErrQueueClosed is returned by ShardedHandle.Enqueue after Close.
+var ErrQueueClosed = shard.ErrClosed
+
+// ErrNoFreeHandles is returned by ShardedQueue.Acquire when every handle
+// slot is leased.
+var ErrNoFreeHandles = shard.ErrNoFreeHandles
+
+// WithShardBackend selects the per-shard queue implementation (default
+// ShardBackendCore).
+func WithShardBackend(b ShardBackend) ShardedOption { return shard.WithBackend(b) }
+
+// WithShardMaxHandles sets the number of leasable handle slots (default
+// max(16, 4*GOMAXPROCS)).
+func WithShardMaxHandles(n int) ShardedOption { return shard.WithMaxHandles(n) }
+
+// WithShardDequeueChoices sets d, the number of nonempty shards a dequeue
+// samples before committing to the fullest (default 2).
+func WithShardDequeueChoices(d int) ShardedOption { return shard.WithDequeueChoices(d) }
+
+// WithShardGCInterval forwards a GC interval to ShardBackendBounded shards.
+func WithShardGCInterval(g int64) ShardedOption { return shard.WithGCInterval(g) }
+
+// WithShardMetrics enables per-shard cost-model accounting, reported by
+// ShardedQueue.ShardSummaries.
+func WithShardMetrics() ShardedOption { return shard.WithShardMetrics() }
+
+// NewShardedQueue creates a sharded queue fabric with the given shard count.
+func NewShardedQueue[T any](shards int, opts ...ShardedOption) (*ShardedQueue[T], error) {
+	return shard.New[T](shards, opts...)
 }
