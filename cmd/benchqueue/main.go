@@ -1,9 +1,10 @@
-// Command benchqueue regenerates the reproduction tables (T1-T10 in
+// Command benchqueue regenerates the reproduction tables (T1-T11 in
 // DESIGN.md) that validate the paper's analytical claims: CAS bounds
 // (Proposition 19), step complexity (Theorem 22), the CAS retry problem of
 // the baselines, space bounds (Theorem 31) and bounded-variant amortized
-// steps (Theorem 32), a wall-clock throughput comparison, and the sharded
-// fabric's throughput scaling with shard count.
+// steps (Theorem 32), a wall-clock throughput comparison, the sharded
+// fabric's throughput scaling with shard count, and the network queue
+// service's latency under open-loop load.
 //
 // Usage:
 //
@@ -14,15 +15,13 @@
 //	benchqueue -exp all -json results   # also emit results/BENCH_<ID>.json
 //
 // Experiments: casbound, enqsteps, deqsteps, retry, adversary, space,
-// boundedsteps, throughput, waitfree, ablation, sharded, all.
+// boundedsteps, throughput, waitfree, ablation, sharded, service, all.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -32,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded all)")
+		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service all)")
 		ops     = flag.Int("ops", 2000, "operations per process per measurement")
 		procs   = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
 		psFlag  = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
@@ -120,6 +119,12 @@ func run(exp string, cfg runConfig) error {
 			return show(harness.ExpShardedScaling(ps,
 				harness.ShardCountsUpTo(cfg.shards), ops, cfg.backend))
 		},
+		"service": func() error {
+			// Modest in-process sweep; cmd/qload drives the full-knob
+			// version against an external queued.
+			return show(harness.ExpServiceLatency([]int{1000, 4000, 16000},
+				harness.ServiceConfig{Shards: cfg.shards, Backend: cfg.backend}))
+		},
 		"ablation": func() error {
 			if err := show(harness.ExpAblationSearch(4, 16, []int{0, 4, 16, 64, 256}, 500)); err != nil {
 				return err
@@ -132,7 +137,7 @@ func run(exp string, cfg runConfig) error {
 	}
 	if exp == "all" {
 		for _, name := range []string{"casbound", "enqsteps", "deqsteps", "retry", "adversary",
-			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded"} {
+			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded", "service"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -146,36 +151,14 @@ func run(exp string, cfg runConfig) error {
 	return r()
 }
 
-// benchJSON is the on-disk schema of a BENCH_<ID>.json table, the format the
-// perf-trajectory tooling consumes.
-type benchJSON struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
-}
-
-// emitJSON writes t as dir/BENCH_<ID>.json; a dir of "" disables emission.
+// emitJSON writes t as dir/BENCH_<ID>.json via the shared harness writer
+// (which creates dir if missing); a dir of "" disables emission.
 func emitJSON(dir string, t *harness.Table) error {
 	if dir == "" {
 		return nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	data, err := json.MarshalIndent(benchJSON{
-		ID:      t.ID,
-		Title:   t.Title,
-		Columns: t.Columns,
-		Rows:    t.Rows,
-		Notes:   t.Notes,
-	}, "", "  ")
+	path, err := harness.WriteTableJSON(dir, t)
 	if err != nil {
-		return err
-	}
-	path := filepath.Join(dir, "BENCH_"+t.ID+".json")
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "benchqueue: wrote", path)

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/harness"
 	"repro/internal/shard"
 )
 
@@ -49,7 +50,9 @@ func TestRunAllExperimentNamesTiny(t *testing.T) {
 }
 
 func TestJSONEmission(t *testing.T) {
-	dir := t.TempDir()
+	// A nested, not-yet-existing output directory must be created, not
+	// reported as an error.
+	dir := filepath.Join(t.TempDir(), "nested", "bench_out")
 	cfg := tinyConfig([]int{2}, 30, 2)
 	cfg.jsonDir = dir
 	if err := run("sharded", cfg); err != nil {
@@ -60,7 +63,7 @@ func TestJSONEmission(t *testing.T) {
 	if err != nil {
 		t.Fatalf("BENCH_T10.json not written: %v", err)
 	}
-	var got benchJSON
+	var got harness.TableJSON
 	if err := json.Unmarshal(data, &got); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}

@@ -1,0 +1,113 @@
+// Command qload drives a queued instance with open-loop load and reports
+// end-to-end latency percentiles per offered rate (experiment T11).
+//
+// The generator is open-loop: enqueue send times follow the target rate
+// regardless of how fast the service responds, and every latency is
+// measured from the op's scheduled send time, so overload shows up as
+// queueing delay in the percentiles instead of silently throttling the
+// offered load. Producers pipeline enqueues within a bounded window;
+// consumers drain concurrently; after the producing phase the run verifies
+// exact conservation — every acknowledged value dequeued exactly once —
+// and qload exits 1 if any value was lost or duplicated.
+//
+// Usage:
+//
+//	queued -addr 127.0.0.1:7474 &
+//	qload -addr 127.0.0.1:7474 -rates 1000,4000,16000 -duration 2s
+//	qload -addr 127.0.0.1:7474 -rates 8000 -producers 4 -consumers 4 \
+//	      -value-size 256 -burst 16 -json bench_results
+//
+// -json emits bench_results/BENCH_T11.json in the same schema as
+// cmd/benchqueue's tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "queued address to drive (required)")
+		ratesFlag = flag.String("rates", "1000,4000,16000", "comma-separated offered enqueue rates, ops/s")
+		duration  = flag.Duration("duration", 2*time.Second, "producing phase length per rate")
+		producers = flag.Int("producers", 2, "producer connections")
+		consumers = flag.Int("consumers", 2, "consumer connections")
+		valueSize = flag.Int("value-size", 64, fmt.Sprintf("value payload bytes (min %d: key + timestamp + run nonce)", server.MinValueSize))
+		burst     = flag.Int("burst", 1, "enqueues per scheduling tick per producer; raises burstiness at the same average rate")
+		window    = flag.Int("window", 32, "max in-flight enqueues per producer connection")
+		drain     = flag.Duration("drain", 10*time.Second, "max wait for consumers to finish after producers stop")
+		jsonDir   = flag.String("json", "", "write the T11 table as BENCH_T11.json into this directory")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "qload: -addr is required (start cmd/queued first)")
+		os.Exit(2)
+	}
+	rates, err := parseRates(*ratesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qload:", err)
+		os.Exit(2)
+	}
+	cfg := harness.ServiceConfig{
+		Addr: *addr,
+		Load: server.LoadConfig{
+			Duration:     *duration,
+			Producers:    *producers,
+			Consumers:    *consumers,
+			ValueSize:    *valueSize,
+			Burst:        *burst,
+			Window:       *window,
+			DrainTimeout: *drain,
+		},
+	}
+	table, results, err := harness.ExpServiceLatencyResults(rates, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qload:", err)
+		os.Exit(1)
+	}
+	fmt.Println(table.String())
+
+	violated := false
+	for i, res := range results {
+		fmt.Printf("rate %6d: offered=%d acked=%d busy=%d errors=%d consumed=%d foreign=%d lost=%d dup=%d\n",
+			rates[i], res.Offered, res.Acked, res.Busy, res.Errors,
+			res.Consumed, res.Foreign, res.Lost, res.Dup)
+		violated = violated || !res.Conserved()
+	}
+	if *jsonDir != "" {
+		path, err := harness.WriteTableJSON(*jsonDir, table)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "qload: wrote", path)
+	}
+	if violated {
+		fmt.Fprintln(os.Stderr, "qload: CONSERVATION VIOLATION (values lost or duplicated)")
+		os.Exit(1)
+	}
+}
+
+// parseRates parses the -rates list.
+func parseRates(s string) ([]int, error) {
+	out := make([]int, 0, 4)
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("invalid rate %q", part)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("rate %d must be positive", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

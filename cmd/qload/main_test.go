@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("1000, 4000,16000")
+	if err != nil || len(got) != 3 || got[0] != 1000 || got[1] != 4000 || got[2] != 16000 {
+		t.Fatalf("parseRates = (%v, %v)", got, err)
+	}
+	for _, bad := range []string{"", "x", "1000,,4000", "0", "-5", "1000,0"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command queued serves a sharded queue fabric over TCP: the repository's
+// wait-free queue as a network service. Connections lease fabric handles
+// through the dynamic registry for their lifetime, pipelined requests are
+// batched into single fabric passes, and a bounded per-connection window
+// turns overload into explicit BUSY replies. An optional HTTP endpoint
+// exposes /statsz, a JSON snapshot of service counters, per-shard routing
+// traffic, and handle-lease churn.
+//
+// Usage:
+//
+//	queued -addr 127.0.0.1:7474 -shards 8 -backend core
+//	queued -addr 127.0.0.1:0 -addr-file /tmp/queued.addr   # ephemeral port
+//	queued -statsz 127.0.0.1:7475      # curl http://127.0.0.1:7475/statsz
+//
+// Drive it with cmd/qload, the open-loop load generator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7474", "TCP listen address (use port 0 for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts using an ephemeral port)")
+		shards   = flag.Int("shards", 4, "shard count of the backing fabric")
+		backend  = flag.String("backend", "core", "per-shard queue backend: core or bounded")
+		handles  = flag.Int("max-handles", 0, "leasable handle slots = max concurrent sessions (0 = fabric default)")
+		window   = flag.Int("window", 64, "per-connection in-flight request window (overflow gets BUSY)")
+		batch    = flag.Int("batch", 0, "max requests per batched fabric pass (0 = window)")
+		idle     = flag.Duration("idle", 2*time.Minute, "reap sessions idle this long (0 disables)")
+		maxFrame = flag.Int("max-frame", server.DefaultMaxFrame, "max request frame size in bytes")
+		statsz   = flag.String("statsz", "", "HTTP listen address for the /statsz JSON endpoint (empty disables)")
+	)
+	flag.Parse()
+	if err := run(*addr, *addrFile, *shards, *backend, *handles, *window, *batch, *idle, *maxFrame, *statsz); err != nil {
+		fmt.Fprintln(os.Stderr, "queued:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile string, shards int, backend string, handles, window, batch int,
+	idle time.Duration, maxFrame int, statsz string) error {
+	q, err := newFabric(shards, backend, handles)
+	if err != nil {
+		return err
+	}
+	srv, err := server.Serve(addr, q,
+		server.WithWindow(window),
+		server.WithBatchMax(batch),
+		server.WithIdleTimeout(idle),
+		server.WithMaxFrame(maxFrame))
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("queued: listening on %s (%d shards, %s backend, %d handle slots)\n",
+		srv.Addr(), q.Shards(), q.Backend(), q.MaxHandles())
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(srv.Addr().String()), 0o644); err != nil {
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
+
+	if statsz != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/statsz", srv.StatszHandler())
+		hsrv := &http.Server{Addr: statsz, Handler: mux}
+		go func() {
+			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "queued: statsz:", err)
+			}
+		}()
+		defer hsrv.Close()
+		fmt.Printf("queued: /statsz on http://%s/statsz\n", statsz)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("queued: %v — shutting down\n", s)
+	snap := srv.Snapshot()
+	fmt.Printf("queued: served %d sessions (%d reaped, %d denied), %d requests (%d busy), %.1f ops/batch\n",
+		snap.Server.SessionsTotal, snap.Server.SessionsReaped, snap.Server.SessionsDenied,
+		snap.Server.Requests, snap.Server.Busy, snap.Server.OpsPerBatch)
+	return nil
+}
+
+// newFabric builds the backing sharded queue from the flag surface.
+func newFabric(shards int, backend string, handles int) (*shard.Queue[[]byte], error) {
+	if backend != string(shard.BackendCore) && backend != string(shard.BackendBounded) {
+		return nil, fmt.Errorf("unknown -backend %q (want core or bounded)", backend)
+	}
+	opts := []shard.Option{shard.WithBackend(shard.Backend(backend))}
+	if handles > 0 {
+		opts = append(opts, shard.WithMaxHandles(handles))
+	}
+	return shard.New[[]byte](shards, opts...)
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/shard"
+)
+
+func TestNewFabric(t *testing.T) {
+	q, err := newFabric(4, "core", 0)
+	if err != nil || q.Shards() != 4 || q.Backend() != shard.BackendCore {
+		t.Fatalf("newFabric(4, core, 0) = (%v, %v)", q, err)
+	}
+	q, err = newFabric(2, "bounded", 7)
+	if err != nil || q.Backend() != shard.BackendBounded || q.MaxHandles() != 7 {
+		t.Fatalf("newFabric(2, bounded, 7) = (%v, %v)", q, err)
+	}
+	if _, err := newFabric(2, "bogus", 0); err == nil {
+		t.Error("bogus backend accepted")
+	}
+	if _, err := newFabric(0, "core", 0); err == nil {
+		t.Error("zero shards accepted")
+	}
+}

@@ -121,3 +121,44 @@ func ExampleNewVector() {
 	fmt.Println(pos, val)
 	// Output: 1 beta
 }
+
+// ExampleServe serves a sharded fabric over TCP and talks to it through a
+// dialed client: the client's connection leases one fabric handle, so its
+// enqueues keep FIFO order among themselves.
+func ExampleServe() {
+	q, err := repro.NewShardedQueue[[]byte](2)
+	if err != nil {
+		panic(err)
+	}
+	srv, err := repro.Serve("127.0.0.1:0", q) // ephemeral loopback port
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	c, err := repro.Dial(srv.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	for _, job := range []string{"first", "second", "third"} {
+		if err := c.Enqueue([]byte(job)); err != nil {
+			panic(err)
+		}
+	}
+	for {
+		v, ok, err := c.Dequeue()
+		if err != nil {
+			panic(err)
+		}
+		if !ok {
+			break
+		}
+		fmt.Println(string(v))
+	}
+	// Output:
+	// first
+	// second
+	// third
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// ServiceConfig shapes the T11 service-latency experiment.
+type ServiceConfig struct {
+	// Target address of a running queue service. Empty means: start an
+	// in-process server over a fresh fabric (Shards/Backend below) on a
+	// loopback ephemeral port for the duration of the experiment.
+	Addr    string
+	Shards  int
+	Backend shard.Backend
+
+	// Per-rate open-loop run shape; Rate is overridden per row.
+	Load server.LoadConfig
+}
+
+// ExpServiceLatency (T11): end-to-end latency of the network queue service
+// under an open-loop load sweep. For each offered rate, producers pace
+// pipelined enqueues over the wire while consumers drain, and the row
+// reports the achieved throughput, enqueue-ack and enqueue-to-dequeue
+// latency percentiles, backpressure rejections, and the conservation
+// verdict (every acknowledged value dequeued exactly once). Latencies are
+// measured from each op's *scheduled* send time, so queueing delay under
+// overload is charged to the service, not silently omitted.
+func ExpServiceLatency(rates []int, cfg ServiceConfig) (*Table, error) {
+	t, _, err := ExpServiceLatencyResults(rates, cfg)
+	return t, err
+}
+
+// ExpServiceLatencyResults is ExpServiceLatency, additionally returning
+// the per-rate load results so callers (cmd/qload) can act on raw counts —
+// e.g. exit nonzero when conservation failed.
+func ExpServiceLatencyResults(rates []int, cfg ServiceConfig) (*Table, []*server.LoadResult, error) {
+	if len(rates) == 0 {
+		return nil, nil, fmt.Errorf("harness: no offered rates")
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		if cfg.Shards <= 0 {
+			cfg.Shards = 4
+		}
+		if cfg.Backend == "" {
+			cfg.Backend = shard.BackendCore
+		}
+		q, err := shard.New[[]byte](cfg.Shards, shard.WithBackend(cfg.Backend))
+		if err != nil {
+			return nil, nil, err
+		}
+		srv, err := server.Serve("127.0.0.1:0", q)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer srv.Close()
+		addr = srv.Addr().String()
+	}
+	if cfg.Load.Duration <= 0 {
+		cfg.Load.Duration = time.Second
+	}
+
+	t := &Table{
+		ID: "T11",
+		Title: fmt.Sprintf("Service end-to-end latency vs offered rate (open loop, %dB values, %d prod / %d cons conns)",
+			max(cfg.Load.ValueSize, server.MinValueSize), max(cfg.Load.Producers, 2), max(cfg.Load.Consumers, 2)),
+		Columns: []string{"rate/s", "achieved/s", "enq p50 ms", "enq p99 ms",
+			"e2e p50 ms", "e2e p99 ms", "busy", "lost", "dup"},
+		Notes: []string{
+			"open loop: latencies measured from each op's scheduled send time (coordinated-omission free).",
+			"enq = enqueue ack round trip; e2e = scheduled enqueue to consumer dequeue.",
+			"busy = enqueues rejected by the server's bounded in-flight window.",
+			"conservation requires lost = dup = 0 at every rate.",
+		},
+	}
+	results := make([]*server.LoadResult, 0, len(rates))
+	for _, rate := range rates {
+		load := cfg.Load
+		load.Rate = rate
+		res, err := server.RunLoad(addr, load)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rate %d: %w", rate, err)
+		}
+		results = append(results, res)
+		t.AddRow(rate, res.AchievedRate(),
+			stats.Percentile(res.EnqLatMs, 50), stats.Percentile(res.EnqLatMs, 99),
+			stats.Percentile(res.E2ELatMs, 50), stats.Percentile(res.E2ELatMs, 99),
+			res.Busy, res.Lost, res.Dup)
+		if !res.Conserved() {
+			t.Notes = append(t.Notes,
+				fmt.Sprintf("CONSERVATION VIOLATION at rate %d: lost=%d dup=%d", rate, res.Lost, res.Dup))
+		}
+	}
+	return t, results, nil
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+func TestExpServiceLatencyTiny(t *testing.T) {
+	rates := []int{800, 2000}
+	table, results, err := ExpServiceLatencyResults(rates, ServiceConfig{
+		Shards:  2,
+		Backend: shard.BackendCore,
+		Load: server.LoadConfig{
+			Duration:     150 * time.Millisecond,
+			Producers:    1,
+			Consumers:    1,
+			Window:       8,
+			DrainTimeout: 5 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.ID != "T11" {
+		t.Errorf("table ID = %q", table.ID)
+	}
+	if len(table.Rows) != len(rates) || len(results) != len(rates) {
+		t.Fatalf("%d rows / %d results for %d rates", len(table.Rows), len(results), len(rates))
+	}
+	for i, res := range results {
+		if !res.Conserved() {
+			t.Errorf("rate %d: lost=%d dup=%d", rates[i], res.Lost, res.Dup)
+		}
+		if res.Acked == 0 {
+			t.Errorf("rate %d: no load acknowledged", rates[i])
+		}
+		if got := table.Rows[i][0]; got != strconv.Itoa(rates[i]) {
+			t.Errorf("row %d rate column = %q", i, got)
+		}
+	}
+	if table.String() == "" {
+		t.Error("empty rendering")
+	}
+
+	if _, _, err := ExpServiceLatencyResults(nil, ServiceConfig{}); err == nil {
+		t.Error("empty rate sweep accepted")
+	}
+}

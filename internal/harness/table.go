@@ -1,7 +1,10 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -27,6 +30,39 @@ func (t *Table) AddRow(vals ...any) {
 		}
 	}
 	t.Rows = append(t.Rows, row)
+}
+
+// TableJSON is the on-disk schema of a BENCH_<ID>.json table, the format
+// the perf-trajectory tooling consumes.
+type TableJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// WriteTableJSON writes t as dir/BENCH_<ID>.json, creating dir (and any
+// missing parents) first, and returns the written path.
+func WriteTableJSON(dir string, t *Table) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(TableJSON{
+		ID:      t.ID,
+		Title:   t.Title,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+t.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // String renders the table with aligned columns.

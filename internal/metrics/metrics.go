@@ -130,19 +130,21 @@ func (c *Counter) Merge(other *Counter) {
 	}
 }
 
-// Summary is an aggregate view over one or more counters.
+// Summary is an aggregate view over one or more counters. The JSON field
+// names are a stable encoding consumed by the service layer's /statsz
+// endpoint and the bench tooling; renaming them is a wire-format change.
 type Summary struct {
-	Ops          int64
-	StepsPerOp   float64
-	CASPerOp     float64
-	CASFailRate  float64
-	MaxOpSteps   int64
-	TotalReads   int64
-	TotalCAS     int64
-	TotalWrites  int64
-	TotalEnqs    int64
-	TotalDeqs    int64
-	TotalNullDeq int64
+	Ops          int64   `json:"ops"`
+	StepsPerOp   float64 `json:"steps_per_op"`
+	CASPerOp     float64 `json:"cas_per_op"`
+	CASFailRate  float64 `json:"cas_fail_rate"`
+	MaxOpSteps   int64   `json:"max_op_steps"`
+	TotalReads   int64   `json:"total_reads"`
+	TotalCAS     int64   `json:"total_cas"`
+	TotalWrites  int64   `json:"total_writes"`
+	TotalEnqs    int64   `json:"total_enqueues"`
+	TotalDeqs    int64   `json:"total_dequeues"`
+	TotalNullDeq int64   `json:"total_null_dequeues"`
 }
 
 // Summarize merges counters and derives per-operation averages.
@@ -170,6 +172,11 @@ func Summarize(counters ...*Counter) Summary {
 	}
 	return s
 }
+
+// Snapshot derives the counter's summary view, the stable JSON-encodable
+// form served by the queue service's /statsz endpoint. Call it only from
+// the goroutine owning the counter (or after that goroutine is joined).
+func (c *Counter) Snapshot() Summary { return Summarize(c) }
 
 // String renders the summary as a single human-readable line.
 func (s Summary) String() string {

@@ -1,6 +1,10 @@
 package metrics
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
 
 func TestNilCounterIsSafe(t *testing.T) {
 	var c *Counter
@@ -103,5 +107,40 @@ func TestMergeNil(t *testing.T) {
 	c.Merge(nil)
 	if c.Reads != 5 {
 		t.Errorf("Merge(nil) changed counter: %+v", c)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	c := &Counter{}
+	c.BeginOp()
+	c.Read(12)
+	c.CAS(true)
+	c.CAS(false)
+	c.Write()
+	c.EndOp(OpEnqueue)
+	c.BeginOp()
+	c.Read(3)
+	c.EndOp(OpNullDequeue)
+
+	want := c.Snapshot()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	// The encoding is a stable contract (served by /statsz): every field
+	// must appear under its documented name.
+	for _, key := range []string{"ops", "steps_per_op", "cas_per_op", "cas_fail_rate",
+		"max_op_steps", "total_reads", "total_cas", "total_writes",
+		"total_enqueues", "total_dequeues", "total_null_dequeues"} {
+		if !strings.Contains(string(data), `"`+key+`"`) {
+			t.Errorf("encoding missing key %q: %s", key, data)
+		}
+	}
+	var got Summary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got != want {
+		t.Errorf("round trip changed summary:\n got %+v\nwant %+v", got, want)
 	}
 }

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client-visible errors.
+var (
+	// ErrBusy reports that the server's in-flight window was full and the
+	// request was rejected; retry after draining some pending replies.
+	ErrBusy = errors.New("server: busy, in-flight window full")
+	// ErrClosedQueue reports an enqueue against a closed fabric.
+	ErrClosedQueue = errors.New("server: queue is closed")
+	// ErrClientClosed reports use of a Client after Close (or after its
+	// connection failed).
+	ErrClientClosed = errors.New("server: client closed")
+)
+
+// call is one in-flight request. The reply is delivered on done (for
+// synchronous calls a dedicated buffered channel; pipelined callers may
+// share one completion channel sized so the reader never blocks). tag is
+// opaque caller context carried through the pipeline (e.g. the load
+// generator's per-op schedule metadata).
+type call struct {
+	f    frame
+	err  error
+	done chan *call
+	tag  any
+}
+
+// Client speaks the wire protocol over one TCP connection. All methods are
+// safe for concurrent use; requests issued concurrently are pipelined on
+// the single connection and matched to replies by id. A Client holds one
+// server-side session — and so one fabric handle lease — for its lifetime.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes writers on bw
+	bw  *bufio.Writer
+
+	mu      sync.Mutex // guards pending, nextID, err
+	pending map[uint64]*call
+	nextID  uint64
+	err     error // terminal error, set once the read loop exits
+
+	readerDone chan struct{}
+	maxFrame   int
+}
+
+// Dial connects to a queue server at addr with the default frame-size cap
+// (DefaultMaxFrame, matching a default-configured server).
+func Dial(addr string) (*Client, error) {
+	return DialMaxFrame(addr, DefaultMaxFrame)
+}
+
+// DialMaxFrame is Dial with an explicit frame-size cap. Match it to the
+// server's -max-frame: a client cap below the server's silently truncates
+// nothing but kills the connection on the first oversized reply — after
+// the value has already left the queue.
+func DialMaxFrame(addr string, maxFrame int) (*Client, error) {
+	if maxFrame < frameHeader {
+		return nil, fmt.Errorf("server: max frame %d below header size", maxFrame)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:       conn,
+		bw:         bufio.NewWriter(conn),
+		pending:    make(map[uint64]*call),
+		readerDone: make(chan struct{}),
+		maxFrame:   maxFrame,
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; the server releases the session's
+// handle lease. In-flight calls fail with ErrClientClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// readLoop matches reply frames to pending calls. A frame with id 0 is a
+// connection-level failure (e.g. the handle registry was exhausted at
+// accept); it poisons the whole client.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	br := bufio.NewReader(c.conn)
+	for {
+		f, err := readFrame(br, c.maxFrame)
+		if err == nil && f.id == 0 {
+			err = fmt.Errorf("server refused session: %s", f.payload)
+		}
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[f.id]
+		delete(c.pending, f.id)
+		c.mu.Unlock()
+		if call != nil {
+			call.f = f
+			call.done <- call
+		}
+	}
+}
+
+// fail marks the client dead and completes every pending call with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		if errors.Is(err, net.ErrClosed) {
+			err = ErrClientClosed
+		}
+		c.err = err
+	}
+	stranded := c.pending
+	c.pending = make(map[uint64]*call)
+	err = c.err
+	c.mu.Unlock()
+	for _, call := range stranded {
+		call.err = err
+		call.done <- call
+	}
+}
+
+// start registers a new call and writes its request frame (without
+// flushing — see flush).
+func (c *Client) start(op byte, payload []byte, done chan *call, tag any) (*call, error) {
+	if done == nil {
+		done = make(chan *call, 1)
+	}
+	cl := &call{done: done, tag: tag}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++ // ids start at 1; id 0 is reserved for connection errors
+	id := c.nextID
+	c.pending[id] = cl
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.bw, id, op, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// flush pushes buffered request frames onto the wire. Pipelined callers
+// write several requests and flush once, mirroring the server's batched
+// replies.
+func (c *Client) flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.bw.Flush()
+}
+
+// roundTrip issues one request synchronously.
+func (c *Client) roundTrip(op byte, payload []byte) (frame, error) {
+	cl, err := c.start(op, payload, nil, nil)
+	if err != nil {
+		return frame{}, err
+	}
+	if err := c.flush(); err != nil {
+		return frame{}, err
+	}
+	<-cl.done
+	if cl.err != nil {
+		return frame{}, cl.err
+	}
+	return cl.f, nil
+}
+
+// statusErr maps non-OK reply statuses shared by all ops to errors.
+func statusErr(f frame) error {
+	switch f.kind {
+	case StatusBusy:
+		return ErrBusy
+	case StatusClosed:
+		return ErrClosedQueue
+	case StatusErr:
+		return fmt.Errorf("server: %s", f.payload)
+	default:
+		return fmt.Errorf("server: unexpected reply status 0x%02x", f.kind)
+	}
+}
+
+// Enqueue appends v to the remote fabric (routed to the session's home
+// shard, so one client's enqueues stay FIFO-ordered). Values larger than
+// the frame cap are rejected locally: sending one would only make the
+// server drop the connection.
+func (c *Client) Enqueue(v []byte) error {
+	if len(v)+frameHeader > c.maxFrame {
+		return fmt.Errorf("%w: %d-byte value exceeds the %d-byte frame cap",
+			ErrFrameTooLarge, len(v), c.maxFrame)
+	}
+	f, err := c.roundTrip(OpEnqueue, v)
+	if err != nil {
+		return err
+	}
+	if f.kind != StatusOK {
+		return statusErr(f)
+	}
+	return nil
+}
+
+// Dequeue removes an element from the remote fabric. ok is false when the
+// fabric certified empty at the server.
+func (c *Client) Dequeue() ([]byte, bool, error) {
+	f, err := c.roundTrip(OpDequeue, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	switch f.kind {
+	case StatusOK:
+		return f.payload, true, nil
+	case StatusEmpty:
+		return nil, false, nil
+	default:
+		return nil, false, statusErr(f)
+	}
+}
+
+// Len returns the fabric's total backlog estimate.
+func (c *Client) Len() (int, error) {
+	f, err := c.roundTrip(OpLen, nil)
+	if err != nil {
+		return 0, err
+	}
+	if f.kind != StatusOK {
+		return 0, statusErr(f)
+	}
+	if len(f.payload) != 8 {
+		return 0, fmt.Errorf("%w: len payload %d bytes", ErrBadFrame, len(f.payload))
+	}
+	return int(binary.BigEndian.Uint64(f.payload)), nil
+}
+
+// Stats returns the server's Snapshot as raw JSON (the same document the
+// /statsz endpoint serves).
+func (c *Client) Stats() ([]byte, error) {
+	f, err := c.roundTrip(OpStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f.kind != StatusOK {
+		return nil, statusErr(f)
+	}
+	return f.payload, nil
+}

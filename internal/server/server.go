@@ -1,0 +1,380 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// Option configures Serve.
+type Option func(*options)
+
+type options struct {
+	window      int
+	batchMax    int
+	idleTimeout time.Duration
+	maxFrame    int
+}
+
+// WithWindow sets the per-connection in-flight window W (default 64): the
+// number of parsed-but-unanswered requests a connection may have before
+// further requests are answered BUSY.
+func WithWindow(w int) Option {
+	return func(o *options) { o.window = w }
+}
+
+// WithBatchMax caps how many pending requests one batch pass executes
+// before flushing replies (default: the window size).
+func WithBatchMax(n int) Option {
+	return func(o *options) { o.batchMax = n }
+}
+
+// WithIdleTimeout sets how long a session may go without sending a frame
+// before the reaper closes it and recycles its handle lease (default 2m;
+// 0 disables reaping).
+func WithIdleTimeout(d time.Duration) Option {
+	return func(o *options) { o.idleTimeout = d }
+}
+
+// WithMaxFrame bounds the size of a single request frame, and so of an
+// enqueued value (default DefaultMaxFrame).
+func WithMaxFrame(n int) Option {
+	return func(o *options) { o.maxFrame = n }
+}
+
+// serverStats are the service-level counters exported through Snapshot.
+type serverStats struct {
+	sessionsTotal  atomic.Int64 // accepted connections that got a lease
+	sessionsDenied atomic.Int64 // accepted connections denied for want of a handle
+	reaped         atomic.Int64 // sessions closed by the idle reaper
+	requests       atomic.Int64 // frames parsed off sockets
+	busy           atomic.Int64 // requests answered StatusBusy
+	enqueues       atomic.Int64 // StatusOK enqueue replies
+	dequeues       atomic.Int64 // StatusOK dequeue replies
+	emptyDeqs      atomic.Int64 // StatusEmpty dequeue replies
+	batches        atomic.Int64 // batch passes (one socket flush each)
+	batchedOps     atomic.Int64 // requests executed across all batch passes
+}
+
+// Server is a TCP queue service fronting one sharded fabric.
+type Server struct {
+	q        *shard.Queue[[]byte]
+	ln       net.Listener
+	opts     options
+	sessions sessionTable
+	stats    serverStats
+	wg       sync.WaitGroup
+	done     chan struct{}
+	closed   sync.Once
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:0" for an ephemeral port) and
+// serves q until Close. Each accepted connection leases one fabric handle
+// for its lifetime; when the registry is exhausted the connection is
+// refused with a StatusErr frame so clients can distinguish "service full"
+// from a network failure.
+func Serve(addr string, q *shard.Queue[[]byte], opts ...Option) (*Server, error) {
+	o := options{
+		window:      64,
+		idleTimeout: 2 * time.Minute,
+		maxFrame:    DefaultMaxFrame,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.batchMax <= 0 {
+		o.batchMax = o.window
+	}
+	if o.window < 1 {
+		return nil, fmt.Errorf("server: window must be at least 1 (got %d)", o.window)
+	}
+	if o.maxFrame < frameHeader {
+		return nil, fmt.Errorf("server: max frame %d below header size", o.maxFrame)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{
+		q:    q,
+		ln:   ln,
+		opts: o,
+		done: make(chan struct{}),
+	}
+	srv.sessions.init()
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	if o.idleTimeout > 0 {
+		srv.wg.Add(1)
+		go srv.reapLoop(o.idleTimeout)
+	}
+	return srv, nil
+}
+
+// Addr returns the listener's address (with the ephemeral port resolved).
+func (srv *Server) Addr() net.Addr { return srv.ln.Addr() }
+
+// Queue returns the fabric this server fronts.
+func (srv *Server) Queue() *shard.Queue[[]byte] { return srv.q }
+
+// Close stops accepting, closes every live session (releasing its handle
+// lease), and waits for all connection goroutines to finish. It does not
+// close the underlying fabric; that remains the owner's decision.
+func (srv *Server) Close() error {
+	srv.closed.Do(func() {
+		close(srv.done)
+		srv.ln.Close()
+		for _, s := range srv.sessions.snapshot() {
+			s.shutdown()
+		}
+	})
+	srv.wg.Wait()
+	return nil
+}
+
+func (srv *Server) acceptLoop() {
+	defer srv.wg.Done()
+	for {
+		conn, err := srv.ln.Accept()
+		if err != nil {
+			select {
+			case <-srv.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient accept failure (e.g. EMFILE): back off briefly
+			// rather than spinning the accept loop hot.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		srv.startSession(conn)
+	}
+}
+
+// startSession leases a handle for conn and spawns its read loop + batch
+// worker pair.
+func (srv *Server) startSession(conn net.Conn) {
+	h, err := srv.q.Acquire()
+	if err != nil {
+		// Tell the client why before hanging up. Frame id 0 marks a
+		// connection-level (not request-level) failure.
+		srv.stats.sessionsDenied.Add(1)
+		bw := bufio.NewWriter(conn)
+		writeFrame(bw, 0, StatusErr, []byte(err.Error()))
+		bw.Flush()
+		conn.Close()
+		return
+	}
+	s := &session{
+		conn:  conn,
+		h:     h,
+		srv:   srv,
+		reqCh: make(chan frame, srv.opts.window),
+	}
+	s.touch()
+	srv.sessions.add(s)
+	// Close() closes done before it snapshots the session table, so a
+	// session registered concurrently with Close either lands in the
+	// snapshot (Close shuts it down) or observes done closed here.
+	select {
+	case <-srv.done:
+		s.shutdown()
+	default:
+	}
+	srv.stats.sessionsTotal.Add(1)
+	srv.wg.Add(2)
+	go srv.readLoop(s)
+	go srv.batchWorker(s)
+}
+
+// readLoop parses frames off the socket and feeds the worker through the
+// bounded window. When the window is full the request is converted into a
+// BUSY marker, and the (blocking) handoff of that marker is what pauses
+// reading — overload degrades into explicit rejections first and TCP
+// backpressure second, never into unbounded buffering.
+func (srv *Server) readLoop(s *session) {
+	defer srv.wg.Done()
+	// The worker drains reqCh until it is closed, so close it only after
+	// the last send.
+	defer close(s.reqCh)
+	br := bufio.NewReader(s.conn)
+	for {
+		f, err := readFrame(br, srv.opts.maxFrame)
+		if err != nil {
+			return
+		}
+		s.touch()
+		srv.stats.requests.Add(1)
+		select {
+		case s.reqCh <- f:
+		default:
+			// Window full: reject this request. The BUSY marker still
+			// takes a window slot, so this send blocks until the worker
+			// frees one — pausing the read loop is the backpressure.
+			srv.stats.busy.Add(1)
+			s.reqCh <- frame{id: f.id, kind: StatusBusy}
+		}
+	}
+}
+
+// batchWorker owns the session's write side: it waits for one pending
+// request, greedily drains whatever else has accumulated (up to batchMax),
+// executes the whole batch against the leased handle, and flushes all the
+// replies with a single socket write — the fabric's batch-propagation idea
+// applied to the network layer. It also owns teardown: when reqCh closes,
+// the handle lease is released and the session unregistered.
+func (srv *Server) batchWorker(s *session) {
+	defer srv.wg.Done()
+	defer srv.finishSession(s)
+	bw := bufio.NewWriter(s.conn)
+	for {
+		f, ok := <-s.reqCh
+		if !ok {
+			return
+		}
+		n := 1
+		err := srv.execute(s, f, bw)
+	drain:
+		for err == nil && n < srv.opts.batchMax {
+			select {
+			case f, ok = <-s.reqCh:
+				if !ok {
+					// Connection is gone; the flush below is best-effort.
+					break drain
+				}
+				err = srv.execute(s, f, bw)
+				n++
+			default:
+				break drain
+			}
+		}
+		srv.stats.batches.Add(1)
+		srv.stats.batchedOps.Add(int64(n))
+		if err != nil || bw.Flush() != nil {
+			// The socket is broken; unblock the read loop (it may be
+			// mid-read or mid-send), then drain reqCh until its close
+			// lands so no sender is left stranded.
+			s.shutdown()
+			for range s.reqCh {
+			}
+			return
+		}
+		if !ok {
+			bw.Flush()
+			return
+		}
+	}
+}
+
+// execute runs one request against the session's leased handle and writes
+// (but does not flush) the reply.
+func (srv *Server) execute(s *session, f frame, bw *bufio.Writer) error {
+	switch f.kind {
+	case StatusBusy: // BUSY marker injected by the read loop
+		return writeFrame(bw, f.id, StatusBusy, nil)
+	case OpEnqueue:
+		if err := s.h.Enqueue(f.payload); err != nil {
+			return writeFrame(bw, f.id, StatusClosed, nil)
+		}
+		srv.stats.enqueues.Add(1)
+		return writeFrame(bw, f.id, StatusOK, nil)
+	case OpDequeue:
+		v, ok := s.h.Dequeue()
+		if !ok {
+			srv.stats.emptyDeqs.Add(1)
+			return writeFrame(bw, f.id, StatusEmpty, nil)
+		}
+		srv.stats.dequeues.Add(1)
+		return writeFrame(bw, f.id, StatusOK, v)
+	case OpLen:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(srv.q.Len()))
+		return writeFrame(bw, f.id, StatusOK, buf[:])
+	case OpStats:
+		data, err := json.Marshal(srv.Snapshot())
+		if err != nil {
+			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+		}
+		return writeFrame(bw, f.id, StatusOK, data)
+	default:
+		return writeFrame(bw, f.id, StatusErr,
+			[]byte(fmt.Sprintf("unknown opcode 0x%02x", f.kind)))
+	}
+}
+
+// finishSession releases the session's handle lease and unregisters it.
+func (srv *Server) finishSession(s *session) {
+	s.shutdown()
+	if srv.sessions.remove(s.id) {
+		s.h.Release()
+	}
+}
+
+// Stats is the service-level half of a Snapshot.
+type Stats struct {
+	SessionsOpen   int     `json:"sessions_open"`
+	SessionsTotal  int64   `json:"sessions_total"`
+	SessionsDenied int64   `json:"sessions_denied"`
+	SessionsReaped int64   `json:"sessions_reaped"`
+	Requests       int64   `json:"requests"`
+	Busy           int64   `json:"busy"`
+	Enqueues       int64   `json:"enqueues"`
+	Dequeues       int64   `json:"dequeues"`
+	EmptyDequeues  int64   `json:"empty_dequeues"`
+	Batches        int64   `json:"batches"`
+	OpsPerBatch    float64 `json:"ops_per_batch"`
+	Window         int     `json:"window"`
+	BatchMax       int     `json:"batch_max"`
+}
+
+// Snapshot is the stable JSON document served by /statsz and OpStats:
+// service counters plus the fabric's own snapshot (per-shard routing
+// traffic, registry lease churn, optional cost-model summaries).
+type Snapshot struct {
+	Server Stats          `json:"server"`
+	Fabric shard.Snapshot `json:"fabric"`
+}
+
+// Snapshot captures the server and fabric statistics.
+func (srv *Server) Snapshot() Snapshot {
+	st := Stats{
+		SessionsOpen:   srv.sessions.count(),
+		SessionsTotal:  srv.stats.sessionsTotal.Load(),
+		SessionsDenied: srv.stats.sessionsDenied.Load(),
+		SessionsReaped: srv.stats.reaped.Load(),
+		Requests:       srv.stats.requests.Load(),
+		Busy:           srv.stats.busy.Load(),
+		Enqueues:       srv.stats.enqueues.Load(),
+		Dequeues:       srv.stats.dequeues.Load(),
+		EmptyDequeues:  srv.stats.emptyDeqs.Load(),
+		Batches:        srv.stats.batches.Load(),
+		Window:         srv.opts.window,
+		BatchMax:       srv.opts.batchMax,
+	}
+	if st.Batches > 0 {
+		st.OpsPerBatch = float64(srv.stats.batchedOps.Load()) / float64(st.Batches)
+	}
+	return Snapshot{Server: st, Fabric: srv.q.Snapshot()}
+}
+
+// StatszHandler serves the Snapshot as JSON — mount it at /statsz.
+func (srv *Server) StatszHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(srv.Snapshot())
+	})
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// session is one accepted connection and the fabric handle leased to it.
+// The lease spans the connection's lifetime: Acquire at accept, Release at
+// teardown, so the paper's per-process handle becomes a per-client
+// capability and registry churn mirrors connection churn.
+type session struct {
+	id   uint64
+	conn net.Conn
+	h    *shard.Handle[[]byte]
+	srv  *Server
+
+	// reqCh is the bounded in-flight window between the connection's read
+	// loop and its batch worker. Its capacity is the window size W: a
+	// request that arrives while W requests are pending is answered BUSY.
+	reqCh chan frame
+
+	// lastActive is the unix-nano time of the last frame read from the
+	// connection; the reaper closes sessions idle past the idle timeout.
+	lastActive atomic.Int64
+
+	// closeConn guards against double-closing the connection: teardown can
+	// be triggered by a read error, server shutdown, or the idle reaper.
+	closeConn sync.Once
+}
+
+// touch records activity for the idle reaper.
+func (s *session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+// shutdown closes the connection (idempotently). The read loop then fails
+// out, closes reqCh, and the worker finishes teardown.
+func (s *session) shutdown() {
+	s.closeConn.Do(func() { s.conn.Close() })
+}
+
+// sessionTable tracks live sessions for shutdown, reaping, and stats.
+// Session setup and teardown are cold paths next to the per-frame work, so
+// a plain mutex-guarded map is enough.
+type sessionTable struct {
+	mu     sync.Mutex
+	nextID uint64
+	live   map[uint64]*session
+}
+
+func (t *sessionTable) init() { t.live = make(map[uint64]*session) }
+
+// add registers a session and assigns its id.
+func (t *sessionTable) add(s *session) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s.id = t.nextID
+	t.live[s.id] = s
+}
+
+// remove drops a session; it reports whether the session was still present
+// (false means a concurrent remover already took it).
+func (t *sessionTable) remove(id uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.live[id]; !ok {
+		return false
+	}
+	delete(t.live, id)
+	return true
+}
+
+// snapshot copies the live sessions so callers can act on them without
+// holding the table lock across conn operations.
+func (t *sessionTable) snapshot() []*session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*session, 0, len(t.live))
+	for _, s := range t.live {
+		out = append(out, s)
+	}
+	return out
+}
+
+// count returns the number of live sessions.
+func (t *sessionTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.live)
+}
+
+// reapLoop closes sessions that have been idle longer than timeout. It
+// wakes at half the timeout so a session is reaped at most 1.5x the
+// timeout after its last frame.
+func (srv *Server) reapLoop(timeout time.Duration) {
+	defer srv.wg.Done()
+	tick := time.NewTicker(timeout / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-srv.done:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-timeout).UnixNano()
+		for _, s := range srv.sessions.snapshot() {
+			if s.lastActive.Load() < cutoff {
+				srv.stats.reaped.Add(1)
+				s.shutdown()
+			}
+		}
+	}
+}

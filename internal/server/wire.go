@@ -1,0 +1,126 @@
+// Package server turns the sharded queue fabric into a network service.
+//
+// The paper's central trick — amortizing contention by propagating batches
+// of operations through the tree instead of one at a time — is applied here
+// one layer up: a per-connection batcher coalesces pipelined client
+// requests into a single pass over the leased fabric handle and a single
+// socket flush, so a round-trip's fixed costs (syscalls, scheduling) are
+// paid once per batch rather than once per operation.
+//
+// Three pieces make up the service:
+//
+//   - A length-prefixed binary wire protocol (this file) carrying
+//     Enqueue/Dequeue/Len/Stats requests and their replies, each tagged
+//     with a client-chosen id so requests can be pipelined and replies
+//     matched out of band.
+//   - A session manager (session.go): every accepted connection leases one
+//     fabric handle from the dynamic registry for its lifetime (Acquire on
+//     connect, Release on close) and is reaped when idle, so a dead client
+//     cannot pin a handle slot forever.
+//   - A per-connection batcher (server.go) with a bounded in-flight
+//     window: requests beyond the window are answered with an immediate
+//     BUSY reply instead of being buffered without bound, and once the
+//     reply lane saturates the reader simply stops draining the socket,
+//     converting overload into TCP backpressure.
+//
+// Client (client.go) and open-loop load generator (loadgen.go) speak the
+// same protocol; Serve/Dial are re-exported at the repository root.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire format: every message, in both directions, is one frame
+//
+//	uint32 length   big-endian, length of the rest of the frame (id + kind + payload)
+//	uint64 id       client-chosen request id, echoed verbatim in the reply
+//	uint8  kind     request opcode or response status
+//	[]byte payload  kind-dependent
+//
+// Requests and responses draw kinds from disjoint ranges so a stray frame
+// read in the wrong direction fails loudly instead of being misparsed.
+const (
+	// Request opcodes (client to server).
+	OpEnqueue byte = 0x01 // payload: the value bytes
+	OpDequeue byte = 0x02 // no payload
+	OpLen     byte = 0x03 // no payload
+	OpStats   byte = 0x04 // no payload
+
+	// Response statuses (server to client).
+	StatusOK     byte = 0x80 // payload: dequeue value / 8-byte length / stats JSON
+	StatusEmpty  byte = 0x81 // dequeue: fabric certified empty
+	StatusBusy   byte = 0x82 // backpressure: in-flight window full, retry later
+	StatusClosed byte = 0x83 // enqueue: queue closed
+	StatusErr    byte = 0x84 // payload: error message
+)
+
+// Frame geometry.
+const (
+	frameHeader = 8 + 1 // id + kind, after the length prefix
+
+	// DefaultMaxFrame bounds a frame's encoded size (and so an enqueued
+	// value's size). It exists so one malformed or hostile length prefix
+	// cannot make the peer allocate gigabytes.
+	DefaultMaxFrame = 1 << 20
+)
+
+// Protocol-level errors.
+var (
+	ErrFrameTooLarge = errors.New("server: frame exceeds maximum size")
+	ErrBadFrame      = errors.New("server: malformed frame")
+)
+
+// frame is one decoded wire message.
+type frame struct {
+	id      uint64
+	kind    byte
+	payload []byte
+}
+
+// writeFrame appends one frame to w. The caller owns flushing: the batcher
+// writes a whole batch of replies and flushes once.
+func writeFrame(w *bufio.Writer, id uint64, kind byte, payload []byte) error {
+	var hdr [4 + frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(frameHeader+len(payload)))
+	binary.BigEndian.PutUint64(hdr[4:12], id)
+	hdr[12] = kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame from r. The returned payload is freshly
+// allocated — frames outlive the read loop (enqueue payloads go into the
+// fabric), so the buffer cannot be reused.
+func readFrame(r *bufio.Reader, maxFrame int) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < frameHeader {
+		return frame{}, fmt.Errorf("%w: length %d below header size", ErrBadFrame, n)
+	}
+	if int(n) > maxFrame {
+		return frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	f := frame{
+		id:   binary.BigEndian.Uint64(body[0:8]),
+		kind: body[8],
+	}
+	if n > frameHeader {
+		f.payload = body[frameHeader:]
+	}
+	return f, nil
+}

@@ -11,9 +11,18 @@ import "sync/atomic"
 // every successful CAS so a slot that is popped, recycled and pushed again
 // cannot make a stale head value win its CAS (the ABA problem). next[i]
 // holds the slot index below i on the free list, or -1 at the bottom.
+//
+// The registry also tallies lease churn (acquires, releases, failed
+// acquires) so service layers that lease a handle per connection can report
+// registry pressure. The tallies are monotonic atomics off the CAS loop's
+// retry path: they count completed operations, not attempts.
 type registry struct {
 	head atomic.Uint64
 	next []atomic.Int64
+
+	acquires atomic.Int64
+	releases atomic.Int64
+	failures atomic.Int64
 }
 
 const regTagShift = 32
@@ -47,6 +56,7 @@ func (r *registry) acquire() (slot int, ok bool) {
 		h := r.head.Load()
 		s := regSlot(h)
 		if s < 0 {
+			r.failures.Add(1)
 			return 0, false
 		}
 		// next[s] is stable while s is on the free list: only the releaser
@@ -54,6 +64,7 @@ func (r *registry) acquire() (slot int, ok bool) {
 		// which the tag CAS below detects.
 		nxt := r.next[s].Load()
 		if r.head.CompareAndSwap(h, regPack(h>>regTagShift+1, nxt)) {
+			r.acquires.Add(1)
 			return int(s), true
 		}
 	}
@@ -66,6 +77,7 @@ func (r *registry) release(slot int) {
 		h := r.head.Load()
 		r.next[slot].Store(regSlot(h))
 		if r.head.CompareAndSwap(h, regPack(h>>regTagShift+1, int64(slot))) {
+			r.releases.Add(1)
 			return
 		}
 	}

@@ -313,12 +313,14 @@ func (q *Queue[T]) Len() int {
 	return total
 }
 
-// ShardStat is a point-in-time view of one shard's traffic.
+// ShardStat is a point-in-time view of one shard's traffic. The JSON field
+// names are a stable encoding consumed by the service layer's /statsz
+// endpoint; renaming them is a wire-format change.
 type ShardStat struct {
-	Shard    int
-	Len      int   // backlog as of the shard's last root propagation
-	Enqueues int64 // completed enqueues routed to this shard
-	Dequeues int64 // successful dequeues served by this shard
+	Shard    int   `json:"shard"`
+	Len      int   `json:"len"`      // backlog as of the shard's last root propagation
+	Enqueues int64 `json:"enqueues"` // completed enqueues routed to this shard
+	Dequeues int64 `json:"dequeues"` // successful dequeues served by this shard
 }
 
 // ShardStats returns per-shard routing statistics, one entry per shard. Len
@@ -350,6 +352,62 @@ func (q *Queue[T]) ShardSummaries() []metrics.Summary {
 		out[j] = metrics.Summarize(c)
 	}
 	return out
+}
+
+// RegistryStats is a point-in-time view of handle-lease churn through the
+// dynamic registry. Like ShardStat, its JSON encoding is stable.
+type RegistryStats struct {
+	Capacity int   `json:"capacity"` // total leasable slots
+	InUse    int   `json:"in_use"`   // slots currently leased (approximate under churn)
+	Acquires int64 `json:"acquires"` // completed Acquire calls over the fabric's lifetime
+	Releases int64 `json:"releases"` // completed Release calls
+	Failures int64 `json:"failures"` // Acquire calls that found no free slot
+}
+
+// RegistryStats returns lease-churn statistics for the handle registry.
+// InUse is derived from a free-list walk and is only exact while no
+// Acquire/Release is in flight; the churn tallies are always exact.
+func (q *Queue[T]) RegistryStats() RegistryStats {
+	return RegistryStats{
+		Capacity: q.cfg.maxHandles,
+		InUse:    q.cfg.maxHandles - q.reg.free(),
+		Acquires: q.reg.acquires.Load(),
+		Releases: q.reg.releases.Load(),
+		Failures: q.reg.failures.Load(),
+	}
+}
+
+// Snapshot is a stable JSON-encodable view of the whole fabric: identity,
+// aggregate backlog, per-shard routing traffic, lease churn, and (when the
+// fabric was built WithShardMetrics) per-shard cost-model summaries.
+type Snapshot struct {
+	Backend    Backend           `json:"backend"`
+	Shards     int               `json:"shards"`
+	MaxHandles int               `json:"max_handles"`
+	Closed     bool              `json:"closed"`
+	Len        int               `json:"len"`
+	ShardStats []ShardStat       `json:"shard_stats"`
+	Registry   RegistryStats     `json:"registry"`
+	Summaries  []metrics.Summary `json:"summaries,omitempty"`
+}
+
+// Snapshot captures the fabric's current statistics. Cost-model summaries
+// are included only when the fabric was built WithShardMetrics (they are
+// all-zero otherwise and would only bloat the encoding).
+func (q *Queue[T]) Snapshot() Snapshot {
+	s := Snapshot{
+		Backend:    q.cfg.backend,
+		Shards:     len(q.shards),
+		MaxHandles: q.cfg.maxHandles,
+		Closed:     q.closed.Load(),
+		Len:        q.Len(),
+		ShardStats: q.ShardStats(),
+		Registry:   q.RegistryStats(),
+	}
+	if q.cfg.perShard {
+		s.Summaries = q.ShardSummaries()
+	}
+	return s
 }
 
 // mergeShardCounters folds a released handle's per-shard counters into the

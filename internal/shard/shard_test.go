@@ -1,7 +1,10 @@
 package shard
 
 import (
+	"encoding/json"
 	"errors"
+	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -365,5 +368,99 @@ func TestRegistryPacking(t *testing.T) {
 	r.release(0)
 	if got := r.free(); got != 1 {
 		t.Fatalf("free = %d, want 1", got)
+	}
+}
+
+func TestRegistryStatsChurn(t *testing.T) {
+	q, err := New[int](2, WithMaxHandles(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := q.RegistryStats()
+	if st.Capacity != 3 || st.InUse != 0 || st.Acquires != 0 || st.Releases != 0 || st.Failures != 0 {
+		t.Fatalf("fresh registry stats = %+v", st)
+	}
+	var hs []*Handle[int]
+	for i := 0; i < 3; i++ {
+		h, err := q.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if _, err := q.Acquire(); !errors.Is(err, ErrNoFreeHandles) {
+		t.Fatalf("Acquire on full registry = %v", err)
+	}
+	st = q.RegistryStats()
+	if st.InUse != 3 || st.Acquires != 3 || st.Releases != 0 || st.Failures != 1 {
+		t.Fatalf("full registry stats = %+v", st)
+	}
+	for _, h := range hs {
+		h.Release()
+	}
+	st = q.RegistryStats()
+	if st.InUse != 0 || st.Acquires != 3 || st.Releases != 3 || st.Failures != 1 {
+		t.Fatalf("drained registry stats = %+v", st)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	q, err := New[int](2, WithMaxHandles(4), WithShardMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := h.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := h.Dequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+	}
+	h.Release()
+
+	want := q.Snapshot()
+	if want.Shards != 2 || want.MaxHandles != 4 || want.Len != 6 {
+		t.Fatalf("snapshot identity = %+v", want)
+	}
+	if len(want.Summaries) != 2 {
+		t.Fatalf("WithShardMetrics snapshot has %d summaries, want 2", len(want.Summaries))
+	}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	for _, key := range []string{"backend", "shards", "max_handles", "closed", "len",
+		"shard_stats", "registry", "capacity", "in_use", "acquires", "releases",
+		"failures", "enqueues", "dequeues", "summaries"} {
+		if !strings.Contains(string(data), `"`+key+`"`) {
+			t.Errorf("encoding missing key %q: %s", key, data)
+		}
+	}
+	var got Snapshot
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip changed snapshot:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Without WithShardMetrics the all-zero summaries must be elided.
+	q2, err := New[int](1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(q2.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data2), "summaries") {
+		t.Errorf("metrics-less snapshot should omit summaries: %s", data2)
 	}
 }

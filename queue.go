@@ -37,6 +37,21 @@
 //	h.Enqueue("job")
 //	v, ok := h.Dequeue()
 //
+// Serve exposes a byte-valued fabric over TCP — each client connection
+// leases a fabric handle for its lifetime, pipelined requests are batched
+// into single fabric passes, and overload is answered with explicit BUSY
+// replies instead of unbounded buffering:
+//
+//	q, err := repro.NewShardedQueue[[]byte](8)
+//	srv, err := repro.Serve("127.0.0.1:0", q)
+//	defer srv.Close()
+//	c, err := repro.Dial(srv.Addr().String())
+//	defer c.Close()
+//	err = c.Enqueue([]byte("job"))
+//	v, ok, err := c.Dequeue() // ok == false: queue was empty
+//
+// (cmd/queued serves a standalone instance; cmd/qload load-tests it.)
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results.
 package repro

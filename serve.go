@@ -1,0 +1,71 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/server"
+)
+
+// QueueServer is a TCP queue service fronting a ShardedQueue[[]byte]: each
+// accepted connection leases one fabric handle for its lifetime (returned
+// when the connection closes or is idle-reaped), pipelined requests are
+// coalesced into batched fabric passes, and overload is answered with
+// explicit BUSY replies through a bounded in-flight window. See package
+// internal/server for the wire protocol.
+type QueueServer = server.Server
+
+// QueueClient speaks the queue service's wire protocol over one TCP
+// connection; it is safe for concurrent use, pipelining concurrent
+// requests. One client holds one server-side handle lease, so a client's
+// enqueues preserve FIFO order among themselves.
+type QueueClient = server.Client
+
+// ServeOption configures Serve.
+type ServeOption = server.Option
+
+// ServerSnapshot is the stable JSON document served by the /statsz
+// handler and QueueClient.Stats.
+type ServerSnapshot = server.Snapshot
+
+// Client-visible service errors.
+var (
+	// ErrServerBusy reports an operation rejected by the server's bounded
+	// in-flight window; drain pending replies and retry.
+	ErrServerBusy = server.ErrBusy
+	// ErrServerQueueClosed reports an enqueue against a closed fabric.
+	ErrServerQueueClosed = server.ErrClosedQueue
+)
+
+// WithServeWindow sets the per-connection in-flight request window
+// (default 64); requests beyond it get BUSY replies.
+func WithServeWindow(w int) ServeOption { return server.WithWindow(w) }
+
+// WithServeBatchMax caps the requests executed per batched fabric pass
+// (default: the window size).
+func WithServeBatchMax(n int) ServeOption { return server.WithBatchMax(n) }
+
+// WithServeIdleTimeout sets how long an idle session keeps its handle
+// lease before being reaped (default 2m; 0 disables reaping).
+func WithServeIdleTimeout(d time.Duration) ServeOption { return server.WithIdleTimeout(d) }
+
+// WithServeMaxFrame bounds a request frame's size, and so an enqueued
+// value's size (default 1 MiB).
+func WithServeMaxFrame(n int) ServeOption { return server.WithMaxFrame(n) }
+
+// Serve listens on addr and serves q over the queue service's wire
+// protocol until the returned server is Closed. Pass "127.0.0.1:0" to
+// bind an ephemeral loopback port (resolved via QueueServer.Addr).
+func Serve(addr string, q *ShardedQueue[[]byte], opts ...ServeOption) (*QueueServer, error) {
+	return server.Serve(addr, q, opts...)
+}
+
+// Dial connects a QueueClient to a queue service at addr.
+func Dial(addr string) (*QueueClient, error) {
+	return server.Dial(addr)
+}
+
+// DialMaxFrame is Dial with an explicit frame-size cap; match it to a
+// server configured with a non-default WithServeMaxFrame.
+func DialMaxFrame(addr string, maxFrame int) (*QueueClient, error) {
+	return server.DialMaxFrame(addr, maxFrame)
+}
