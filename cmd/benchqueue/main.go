@@ -15,7 +15,8 @@
 //	benchqueue -exp all -json results   # also emit results/BENCH_<ID>.json
 //
 // Experiments: casbound, enqsteps, deqsteps, retry, adversary, space,
-// boundedsteps, throughput, waitfree, ablation, sharded, service, all.
+// boundedsteps, throughput, waitfree, ablation, sharded, service, batch,
+// all.
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service all)")
+		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch all)")
 		ops     = flag.Int("ops", 2000, "operations per process per measurement")
 		procs   = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
 		psFlag  = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
@@ -119,6 +120,11 @@ func run(exp string, cfg runConfig) error {
 			return show(harness.ExpShardedScaling(ps,
 				harness.ShardCountsUpTo(cfg.shards), ops, cfg.backend))
 		},
+		"batch": func() error {
+			// T12: one multi-op leaf block per batch; blocks installed per
+			// operation must fall as the batch grows.
+			return show(harness.ExpBatchAmortization([]int{1, 4, 16, 64}, cfg.procs, ops))
+		},
 		"service": func() error {
 			// Modest in-process sweep; cmd/qload drives the full-knob
 			// version against an external queued.
@@ -137,7 +143,7 @@ func run(exp string, cfg runConfig) error {
 	}
 	if exp == "all" {
 		for _, name := range []string{"casbound", "enqsteps", "deqsteps", "retry", "adversary",
-			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded", "service"} {
+			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded", "batch", "service"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -16,6 +16,7 @@
 //	qload -addr 127.0.0.1:7474 -rates 1000,4000,16000 -duration 2s
 //	qload -addr 127.0.0.1:7474 -rates 8000 -producers 4 -consumers 4 \
 //	      -value-size 256 -burst 16 -json bench_results
+//	qload -addr 127.0.0.1:7474 -rates 20000 -batch 16   # native batch frames
 //
 // -json emits bench_results/BENCH_T11.json in the same schema as
 // cmd/benchqueue's tables.
@@ -41,7 +42,8 @@ func main() {
 		producers = flag.Int("producers", 2, "producer connections")
 		consumers = flag.Int("consumers", 2, "consumer connections")
 		valueSize = flag.Int("value-size", 64, fmt.Sprintf("value payload bytes (min %d: key + timestamp + run nonce)", server.MinValueSize))
-		burst     = flag.Int("burst", 1, "enqueues per scheduling tick per producer; raises burstiness at the same average rate")
+		burst     = flag.Int("burst", 1, "frames per scheduling tick per producer; raises burstiness at the same average rate")
+		batch     = flag.Int("batch", 1, "values per wire frame; >1 uses the native ENQ_BATCH/DEQ_BATCH opcodes end to end")
 		window    = flag.Int("window", 32, "max in-flight enqueues per producer connection")
 		drain     = flag.Duration("drain", 10*time.Second, "max wait for consumers to finish after producers stop")
 		jsonDir   = flag.String("json", "", "write the T11 table as BENCH_T11.json into this directory")
@@ -64,6 +66,7 @@ func main() {
 			Consumers:    *consumers,
 			ValueSize:    *valueSize,
 			Burst:        *burst,
+			Batch:        *batch,
 			Window:       *window,
 			DrainTimeout: *drain,
 		},

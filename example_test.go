@@ -23,6 +23,27 @@ func ExampleNewQueue() {
 	// Output: first second false
 }
 
+// ExampleHandle_EnqueueBatch shows the batch API: a batch rides one leaf
+// block and one tree propagation, so m operations pay one O(log p) walk.
+// Batches interleave freely with single operations in FIFO order.
+func ExampleHandle_EnqueueBatch() {
+	q, err := repro.NewQueue[string](2)
+	if err != nil {
+		panic(err)
+	}
+	h := q.MustHandle(0)
+	h.EnqueueBatch([]string{"a", "b", "c"})
+	h.Enqueue("d")
+	vs, n := h.DequeueBatch(2) // up to 2 elements, one propagation pass
+	fmt.Println(vs, n)
+	v, _ := h.Dequeue()
+	vs, n = h.DequeueBatch(5) // short count: queue had one element left
+	fmt.Println(v, vs, n)
+	// Output:
+	// [a b] 2
+	// c [d] 1
+}
+
 // ExampleNewQueue_concurrent shows the intended concurrent pattern: one
 // handle per goroutine.
 func ExampleNewQueue_concurrent() {

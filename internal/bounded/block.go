@@ -24,23 +24,48 @@ type block[T any] struct {
 	// size is the queue length after this block's operations (root only).
 	size int64
 
-	// element is the enqueued value (leaf enqueue blocks only).
+	// element is the enqueued value (leaf blocks carrying a single
+	// enqueue). Multi-op enqueue blocks store their values in elems, so the
+	// single-op hot path never pays a slice allocation.
 	element T
+
+	// elems are the enqueued values of a multi-op leaf block (batch
+	// append), in enqueue order. nil for single-op and dequeue blocks.
+	elems []T
 
 	// isDeq marks a leaf block that represents a dequeue. (The paper marks
 	// dequeues with element = null; an explicit flag avoids reserving a
 	// sentinel value of T.)
 	isDeq bool
 
+	// deqCount is the number of dequeues a leaf dequeue block carries (1
+	// for singles, the batch size for DequeueBatch blocks). GC helpers need
+	// it to compute the whole batch's response before discarding blocks.
+	deqCount int64
+
 	// response is the dequeue's result, written once by whoever computes it
 	// first (the owner or a GC helper). nil means not yet computed.
 	response atomic.Pointer[response[T]]
 }
 
-// response is a dequeue result: ok is false for a null dequeue.
+// response is a dequeue result: ok is false for a null dequeue. For batch
+// dequeue blocks, vals holds the values of every successful dequeue of the
+// batch (always a prefix of the block's dequeues, since the batch occupies
+// one root block) and val/ok mirror the first; single-op responses leave
+// vals nil.
 type response[T any] struct {
-	val T
-	ok  bool
+	val  T
+	ok   bool
+	vals []T
+}
+
+// enqAt returns the i-th (1-based) enqueue argument of a leaf block, which
+// must contain at least i enqueues.
+func (b *block[T]) enqAt(i int64) T {
+	if b.elems != nil {
+		return b.elems[i-1]
+	}
+	return b.element
 }
 
 // end returns endLeft or endRight according to dir.

@@ -55,6 +55,9 @@ func (h *Handle[T]) splitBlock(v *node[T]) *block[T] {
 // by computing its response and publishing it on the leaf block (Help, lines
 // 298-306). Only each leaf's newest block can be pending: earlier blocks
 // belong to operations their process finished before invoking the next one.
+// A batch dequeue block is helped as a unit: all deqCount of its responses
+// are computed before any of its blocks may be discarded, so the owner can
+// always recover the whole batch from the published response.
 func (h *Handle[T]) help() {
 	for _, leaf := range h.queue.leaves {
 		t := h.loadTree(leaf)
@@ -62,7 +65,7 @@ func (h *Handle[T]) help() {
 		if !b.isDeq || b.index == 0 || !h.propagated(leaf, b.index) {
 			continue
 		}
-		res, err := h.completeDeq(leaf, b.index)
+		res, err := h.completeDeqN(leaf, b.index, b.deqCount)
 		if err != nil {
 			// Another GC already discarded this dequeue's blocks, so its
 			// response was published then.

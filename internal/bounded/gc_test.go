@@ -62,7 +62,7 @@ func TestCompleteDeqOnDiscardedBlocksReturnsError(t *testing.T) {
 	if _, ok := q.leaves[0].blocks.Load().Get(oldDeqIdx); ok {
 		t.Skip("old block unexpectedly still present; GC pacing changed")
 	}
-	if _, err := h.completeDeq(q.leaves[0], oldDeqIdx); err == nil {
+	if _, err := h.completeDeqN(q.leaves[0], oldDeqIdx, 1); err == nil {
 		t.Fatal("completeDeq on discarded blocks succeeded; want errDiscarded")
 	}
 }
@@ -103,7 +103,7 @@ func TestMinBlockAlwaysFinished(t *testing.T) {
 	// the recomputation must agree with the original answer.
 	for _, d := range deqs {
 		h := q.MustHandle(d.proc)
-		res, err := h.completeDeq(q.leaves[d.proc], d.idx)
+		res, err := h.completeDeqN(q.leaves[d.proc], d.idx, 1)
 		if err != nil {
 			continue // discarded: fine, the operation long finished
 		}

@@ -12,36 +12,95 @@ import (
 	"repro/internal/metrics"
 )
 
-// Enqueue adds e to the back of the queue.
+// Enqueue adds e to the back of the queue. It is the m=1 case of
+// EnqueueBatch: both install one leaf block through the same append path.
 func (h *Handle[T]) Enqueue(e T) {
 	h.counter.BeginOp()
-	t := h.loadTree(h.leaf)
-	_, prev := h.treeMax(t)
-	b := &block[T]{
-		index:   prev.index + 1,
-		element: e,
-		sumEnq:  prev.sumEnq + 1,
-		sumDeq:  prev.sumDeq,
-	}
-	h.append(t, b)
+	h.enqueueBlock([]T{e})
 	h.counter.EndOp(metrics.OpEnqueue)
 }
 
-// Dequeue removes and returns the element at the front of the queue; ok is
-// false if the queue was empty at the linearization point.
-func (h *Handle[T]) Dequeue() (T, bool) {
+// EnqueueBatch adds the elements of es to the back of the queue as one
+// multi-op leaf block: all len(es) enqueues share a single append,
+// propagation pass, and (amortized) GC phase. The elements are linearized
+// consecutively in slice order. es is copied; the caller keeps ownership.
+func (h *Handle[T]) EnqueueBatch(es []T) {
+	if len(es) == 0 {
+		return
+	}
 	h.counter.BeginOp()
+	h.enqueueBlock(es)
+	h.counter.EndBatch(int64(len(es)), 0, 0)
+}
+
+// enqueueBlock installs one leaf block carrying the len(es) >= 1 enqueues
+// of es and propagates it to the root.
+func (h *Handle[T]) enqueueBlock(es []T) {
 	t := h.loadTree(h.leaf)
 	_, prev := h.treeMax(t)
 	b := &block[T]{
 		index:  prev.index + 1,
-		isDeq:  true,
-		sumEnq: prev.sumEnq,
-		sumDeq: prev.sumDeq + 1,
+		sumEnq: prev.sumEnq + int64(len(es)),
+		sumDeq: prev.sumDeq,
 	}
-	h.append(t, b)
+	if len(es) == 1 {
+		b.element = es[0]
+	} else {
+		b.elems = append([]T(nil), es...)
+	}
+	h.append(t, prev, b)
+}
 
-	res, err := h.completeDeq(h.leaf, b.index)
+// Dequeue removes and returns the element at the front of the queue; ok is
+// false if the queue was empty at the linearization point. It is the n=1
+// case of DequeueBatch.
+func (h *Handle[T]) Dequeue() (T, bool) {
+	h.counter.BeginOp()
+	res := h.dequeueBlock(1)
+	if res.ok {
+		h.counter.EndOp(metrics.OpDequeue)
+	} else {
+		h.counter.EndOp(metrics.OpNullDequeue)
+	}
+	return res.val, res.ok
+}
+
+// DequeueBatch removes up to n elements from the front of the queue in one
+// multi-op leaf block and one propagation pass, returning them in FIFO
+// order with their count. A count below n means the queue was empty when
+// the (count+1)-th dequeue of the batch took effect. All n dequeues
+// linearize consecutively (one leaf block lands in one root block), so the
+// batch's null dequeues are always a suffix.
+func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
+	if n <= 0 {
+		return nil, 0
+	}
+	h.counter.BeginOp()
+	res := h.dequeueBlock(int64(n))
+	vals := res.vals
+	if vals == nil && res.ok {
+		vals = []T{res.val} // n == 1 responses carry the value inline
+	}
+	h.counter.EndBatch(0, int64(len(vals)), int64(n-len(vals)))
+	return vals, len(vals)
+}
+
+// dequeueBlock installs one leaf block carrying n dequeues, propagates it,
+// and computes the batch's response (falling back to the GC helpers'
+// published response when the needed blocks were already discarded).
+func (h *Handle[T]) dequeueBlock(n int64) response[T] {
+	t := h.loadTree(h.leaf)
+	_, prev := h.treeMax(t)
+	b := &block[T]{
+		index:    prev.index + 1,
+		isDeq:    true,
+		deqCount: n,
+		sumEnq:   prev.sumEnq,
+		sumDeq:   prev.sumDeq + n,
+	}
+	h.append(t, prev, b)
+
+	res, err := h.completeDeqN(h.leaf, b.index, n)
 	if err != nil {
 		// A needed block was garbage collected, which (Invariant 27 /
 		// Lemma 28) implies a helper already computed our response and
@@ -50,12 +109,7 @@ func (h *Handle[T]) Dequeue() (T, bool) {
 		// becoming visible to us.
 		res = h.awaitResponse(b)
 	}
-	if res.ok {
-		h.counter.EndOp(metrics.OpDequeue)
-	} else {
-		h.counter.EndOp(metrics.OpNullDequeue)
-	}
-	return res.val, res.ok
+	return res
 }
 
 // awaitResponse fetches the dequeue response written by a helper. By
@@ -78,9 +132,9 @@ func (h *Handle[T]) awaitResponse(b *block[T]) response[T] {
 
 // append installs b as the next block of the handle's leaf (single writer)
 // and propagates it to the root (Append, lines 218-221). t is the leaf tree
-// the block was built against.
-func (h *Handle[T]) append(t *blockTree[T], b *block[T]) {
-	t2 := h.addBlock(h.leaf, t, b)
+// the block was built against, prev its current max block.
+func (h *Handle[T]) append(t *blockTree[T], prev, b *block[T]) {
+	t2 := h.addBlock(h.leaf, t, prev, b)
 	h.storeTree(h.leaf, t2)
 	h.propagate(h.leaf.parent)
 }
@@ -106,7 +160,7 @@ func (h *Handle[T]) refresh(v *node[T]) bool {
 	if b == nil {
 		return true
 	}
-	t2 := h.addBlock(v, t, b)
+	t2 := h.addBlock(v, t, last, b)
 	return h.casTree(v, t, t2)
 }
 
@@ -140,10 +194,17 @@ func (h *Handle[T]) createBlock(v *node[T], t *blockTree[T], prev *block[T]) *bl
 	return b
 }
 
-// addBlock inserts b into t, first running a garbage-collection phase if
-// b.index is a multiple of G (AddBlock, lines 222-233).
-func (h *Handle[T]) addBlock(v *node[T], t *blockTree[T], b *block[T]) *blockTree[T] {
-	if b.index%h.queue.gcEvery == 0 {
+// addBlock inserts b into t, first running a garbage-collection phase when
+// the insert crosses a multiple of G in the node's cumulative *operation*
+// count (AddBlock, lines 222-233). The paper triggers on every G-th block;
+// with multi-op batch blocks that would stretch the collection interval by
+// the batch size and let live space grow proportionally, so the trigger
+// counts operations (sumEnq+sumDeq) instead. For single-op histories the
+// two rules coincide at the leaves (index == op count there), and the
+// Theorem 31 space bound keeps the same +G slack either way.
+func (h *Handle[T]) addBlock(v *node[T], t *blockTree[T], prev, b *block[T]) *blockTree[T] {
+	g := h.queue.gcEvery
+	if (b.sumEnq+b.sumDeq)/g > (prev.sumEnq+prev.sumDeq)/g {
 		s := h.splitIndex(v)
 		h.help()
 		t = h.treeDropBelow(t, s)

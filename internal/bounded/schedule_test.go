@@ -26,7 +26,7 @@ func (h *Handle[T]) stepAppendEnq(e T) *block[T] {
 		sumEnq:  prev.sumEnq + 1,
 		sumDeq:  prev.sumDeq,
 	}
-	t2 := h.addBlock(h.leaf, t, b)
+	t2 := h.addBlock(h.leaf, t, prev, b)
 	h.storeTree(h.leaf, t2)
 	return b
 }
@@ -36,19 +36,20 @@ func (h *Handle[T]) stepAppendDeq() *block[T] {
 	t := h.loadTree(h.leaf)
 	_, prev := h.treeMax(t)
 	b := &block[T]{
-		index:  prev.index + 1,
-		isDeq:  true,
-		sumEnq: prev.sumEnq,
-		sumDeq: prev.sumDeq + 1,
+		index:    prev.index + 1,
+		isDeq:    true,
+		deqCount: 1,
+		sumEnq:   prev.sumEnq,
+		sumDeq:   prev.sumDeq + 1,
 	}
-	t2 := h.addBlock(h.leaf, t, b)
+	t2 := h.addBlock(h.leaf, t, prev, b)
 	h.storeTree(h.leaf, t2)
 	return b
 }
 
 // stepFinish resolves a previously appended dequeue (must be propagated).
 func (h *Handle[T]) stepFinish(b *block[T]) (T, bool) {
-	res, err := h.completeDeq(h.leaf, b.index)
+	res, err := h.completeDeqN(h.leaf, b.index, 1)
 	if err != nil {
 		res = h.awaitResponse(b)
 	}
@@ -143,7 +144,7 @@ func exploreBoundedSchedule(t *testing.T, rng *rand.Rand, procs, opsPerProc int,
 			// Resolve the previous dequeue before starting the next op, as
 			// a real process would (its response affects last[] and GC).
 			if !prev.isEnq && prev.block.response.Load() == nil {
-				if res, err := handles[p].completeDeq(q.leaves[p], prev.block.index); err == nil {
+				if res, err := handles[p].completeDeqN(q.leaves[p], prev.block.index, 1); err == nil {
 					prev.block.response.CompareAndSwap(nil, &res)
 				}
 			}

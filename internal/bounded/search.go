@@ -8,15 +8,35 @@ package bounded
 // errDiscarded, which by Invariant 27 / Lemma 28 means the operation's
 // response has already been computed and published by a helper.
 
-// completeDeq computes the response of the dequeue stored in
+// completeDeqN computes the response of the n-dequeue batch block stored in
 // leaf.blocks[idx], which must have been propagated to the root
-// (CompleteDeq, lines 212-217).
-func (h *Handle[T]) completeDeq(leaf *node[T], idx int64) (response[T], error) {
+// (CompleteDeq, lines 212-217, generalized to multi-op blocks). The batch
+// is located in the root once; each op rank then resolves with its own
+// FindResponse. n == 1 responses carry the value inline (no slice); batch
+// responses collect the successful prefix into vals.
+func (h *Handle[T]) completeDeqN(leaf *node[T], idx, n int64) (response[T], error) {
 	b, i, err := h.indexDequeue(leaf, idx, 1)
 	if err != nil {
 		return response[T]{}, err
 	}
-	return h.findResponse(b, i)
+	if n == 1 {
+		return h.findResponse(b, i)
+	}
+	var res response[T]
+	for j := int64(0); j < n; j++ {
+		r, err := h.findResponse(b, i+j)
+		if err != nil {
+			return response[T]{}, err
+		}
+		if !r.ok {
+			break // within one root block, nulls are a suffix
+		}
+		res.vals = append(res.vals, r.val)
+	}
+	if len(res.vals) > 0 {
+		res.val, res.ok = res.vals[0], true
+	}
+	return res, nil
 }
 
 // indexDequeue returns (b', i') such that the i-th dequeue of
@@ -170,7 +190,9 @@ func (h *Handle[T]) getEnqueue(v *node[T], blkB, prevB *block[T], i int64) (T, e
 		i -= candPrev.sumEnq - prevChild
 		v, blkB, prevB = child, cand, candPrev
 	}
-	return blkB.element, nil
+	// A leaf block carries one enqueue (element) or a whole batch (elems);
+	// i survived the descent as the rank within this block.
+	return blkB.enqAt(i), nil
 }
 
 // propagated reports whether v.blocks[b] has been propagated to the root

@@ -29,13 +29,29 @@ type block[T any] struct {
 	// (root blocks only).
 	size int64
 
-	// element is the enqueued value (leaf blocks representing an enqueue).
+	// element is the enqueued value (leaf blocks representing a single
+	// enqueue). Multi-op enqueue blocks store their values in elems instead,
+	// so the single-op hot path never pays a slice allocation.
 	element T
+
+	// elems are the enqueued values of a multi-op leaf block (batch append),
+	// in enqueue order. nil for single-op blocks and dequeue blocks; when
+	// set, element is unused.
+	elems []T
 
 	// super is the approximate index of this block's superblock in the
 	// parent's blocks array; it may be one less than the true index
 	// (Lemma 12). 0 means unset.
 	super atomic.Int64
+}
+
+// enqAt returns the i-th (1-based) enqueue argument of a leaf block, which
+// must contain at least i enqueues.
+func (b *block[T]) enqAt(i int64) T {
+	if b.elems != nil {
+		return b.elems[i-1]
+	}
+	return b.element
 }
 
 // numEnqueues returns |E(B)| given the previous block in the same node.

@@ -12,33 +12,52 @@ import "repro/internal/metrics"
 
 // Enqueue adds e to the back of the queue. It completes in O(log p)
 // shared-memory steps and O(log p) CAS instructions regardless of
-// scheduling.
+// scheduling. Enqueue is the m=1 case of EnqueueBatch: both install one
+// leaf block through the same append/propagate path.
 func (h *Handle[T]) Enqueue(e T) {
 	h.counter.BeginOp()
+	h.enqueueBlock([]T{e})
+	h.counter.EndOp(metrics.OpEnqueue)
+}
+
+// EnqueueBatch adds the elements of es to the back of the queue as one
+// multi-op leaf block: all len(es) enqueues ride a single append and a
+// single O(log p) propagation pass, so the tree walk and its CAS traffic
+// are amortized over the batch (the paper's blocks carry operation *sets*;
+// this exposes that capacity to callers). The elements are linearized
+// consecutively in slice order. es is copied; the caller keeps ownership.
+func (h *Handle[T]) EnqueueBatch(es []T) {
+	if len(es) == 0 {
+		return
+	}
+	h.counter.BeginOp()
+	h.enqueueBlock(es)
+	h.counter.EndBatch(int64(len(es)), 0, 0)
+}
+
+// enqueueBlock installs one leaf block carrying the len(es) >= 1 enqueues
+// of es and propagates it to the root.
+func (h *Handle[T]) enqueueBlock(es []T) {
 	prev := h.readBlock(h.leaf, h.readHead(h.leaf)-1)
 	b := &block[T]{
-		element: e,
-		sumEnq:  prev.sumEnq + 1,
-		sumDeq:  prev.sumDeq,
+		sumEnq: prev.sumEnq + int64(len(es)),
+		sumDeq: prev.sumDeq,
+	}
+	if len(es) == 1 {
+		b.element = es[0]
+	} else {
+		b.elems = append([]T(nil), es...)
 	}
 	h.append(b)
-	h.counter.EndOp(metrics.OpEnqueue)
 }
 
 // Dequeue removes and returns the element at the front of the queue. The
 // second result is false if the queue was empty at the dequeue's
 // linearization point (the paper's "null dequeue"), in which case the first
-// result is the zero value of T.
+// result is the zero value of T. Dequeue is the n=1 case of DequeueBatch.
 func (h *Handle[T]) Dequeue() (T, bool) {
 	h.counter.BeginOp()
-	hd := h.readHead(h.leaf)
-	prev := h.readBlock(h.leaf, hd-1)
-	b := &block[T]{
-		sumEnq: prev.sumEnq,
-		sumDeq: prev.sumDeq + 1,
-	}
-	h.append(b)
-	rootIdx, rank := h.indexDequeue(h.leaf, hd, 1)
+	rootIdx, rank := h.dequeueBlock(1)
 	v, ok := h.findResponse(rootIdx, rank)
 	if ok {
 		h.counter.EndOp(metrics.OpDequeue)
@@ -46,6 +65,53 @@ func (h *Handle[T]) Dequeue() (T, bool) {
 		h.counter.EndOp(metrics.OpNullDequeue)
 	}
 	return v, ok
+}
+
+// DequeueBatch removes up to n elements from the front of the queue in one
+// multi-op leaf block and one propagation pass. It returns the removed
+// elements in FIFO order and their count; a count below n means the queue
+// was empty when the (count+1)-th dequeue of the batch took effect.
+//
+// All n dequeues linearize consecutively (they are one block, so they land
+// in one root block), which has two useful consequences: the batch's null
+// dequeues are always a suffix, and response resolution can locate the
+// batch in the root once (one IndexDequeue walk) and then resolve each op
+// rank with its own doubling search.
+func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
+	if n <= 0 {
+		return nil, 0
+	}
+	h.counter.BeginOp()
+	rootIdx, rank := h.dequeueBlock(int64(n))
+	var out []T
+	for j := int64(0); j < int64(n); j++ {
+		v, ok := h.findResponse(rootIdx, rank+j)
+		if !ok {
+			break // within one root block, nulls are a suffix
+		}
+		if out == nil {
+			out = make([]T, 0, n)
+		}
+		out = append(out, v)
+	}
+	h.counter.EndBatch(0, int64(len(out)), int64(n-len(out)))
+	return out, len(out)
+}
+
+// dequeueBlock installs one leaf block carrying n dequeues, propagates it,
+// and returns the root location (block index, dequeue rank) of the batch's
+// first dequeue. The i-th dequeue of the batch is rank+i-1 in the same
+// root block: IndexDequeue's walk is independent of the rank argument,
+// which only accumulates additive offsets.
+func (h *Handle[T]) dequeueBlock(n int64) (int64, int64) {
+	hd := h.readHead(h.leaf)
+	prev := h.readBlock(h.leaf, hd-1)
+	b := &block[T]{
+		sumEnq: prev.sumEnq,
+		sumDeq: prev.sumDeq + n,
+	}
+	h.append(b)
+	return h.indexDequeue(h.leaf, hd, 1)
 }
 
 // append installs b in the next slot of the handle's leaf and propagates it

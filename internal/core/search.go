@@ -148,5 +148,7 @@ func (h *Handle[T]) getEnqueue(v *node[T], b, i int64) T {
 		i -= h.readBlock(child, bp-1).sumEnq - prevChild
 		v, b = child, bp
 	}
-	return h.readBlock(v, b).element
+	// A leaf block carries one enqueue (element) or a whole batch (elems);
+	// i survived the descent as the rank within this block.
+	return h.readBlock(v, b).enqAt(i)
 }

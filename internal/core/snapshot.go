@@ -84,7 +84,12 @@ func (q *Queue[T]) Snapshot() TreeSnapshot {
 				prev := n.blocks.Get(i - 1)
 				if b.sumEnq > prev.sumEnq {
 					bs.Kind = KindEnqueue
-					bs.Element = b.element
+					if b.elems != nil {
+						// Multi-op batch block: expose the whole value set.
+						bs.Element = b.elems
+					} else {
+						bs.Element = b.element
+					}
 				} else {
 					bs.Kind = KindDequeue
 				}

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// ExpBatchAmortization (T12): the batch-native operation path amortizes the
+// ordering tree across a batch. A single-op workload pays one leaf block
+// plus up to one block per tree level for every operation; an m-op batch
+// pays the same once for m operations, so blocks installed per operation —
+// the direct count of propagation work and root-CAS bandwidth — must fall
+// roughly as 1/m toward the helping-dedup floor, with steps/op and CAS/op
+// following. Every cell also verifies exact conservation (each enqueued
+// value dequeued exactly once; lost and dup must be 0).
+func ExpBatchAmortization(ms []int, procs, opsPerProc int) (*Table, error) {
+	t := &Table{
+		ID: "T12",
+		Title: fmt.Sprintf("Batch amortization vs batch size m (p=%d, %d ops/proc, pairs workload)",
+			procs, opsPerProc),
+		Columns: []string{"m", "blocks/op", "steps/op", "cas/op", "Mops/s", "lost", "dup"},
+		Notes: []string{
+			"blocks/op = tree blocks installed / completed operations: the propagation work and root-CAS bandwidth paid per op.",
+			"One m-op batch installs one leaf block and propagates once, so blocks/op falls toward 1/m x the single-op cost (helping dedups the rest).",
+			"conservation requires lost = dup = 0 at every m.",
+		},
+	}
+	prev := -1.0
+	decreasing := true
+	for _, m := range ms {
+		if m < 1 {
+			return nil, fmt.Errorf("harness: batch size %d must be positive", m)
+		}
+		r, err := runBatchPairs(procs, opsPerProc, m)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m, r.blocksPerOp, r.stepsPerOp, r.casPerOp, r.mops, r.lost, r.dup)
+		if r.lost != 0 || r.dup != 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("CONSERVATION VIOLATION at m=%d: lost=%d dup=%d", m, r.lost, r.dup))
+		}
+		if prev >= 0 && r.blocksPerOp >= prev {
+			decreasing = false
+		}
+		prev = r.blocksPerOp
+	}
+	if decreasing && len(ms) > 1 {
+		t.Notes = append(t.Notes, "blocks/op strictly decreasing across the m sweep: amortization confirmed.")
+	}
+	return t, nil
+}
+
+type batchRun struct {
+	blocksPerOp float64
+	stepsPerOp  float64
+	casPerOp    float64
+	mops        float64
+	lost        int64
+	dup         int64
+}
+
+// runBatchPairs drives p concurrent handles through a pairs workload in
+// batches of m (enqueue a batch, dequeue a batch) on a fresh unbounded
+// queue, then drains the residue and checks conservation.
+func runBatchPairs(procs, opsPerProc, m int) (batchRun, error) {
+	q, err := core.New[int64](procs)
+	if err != nil {
+		return batchRun{}, err
+	}
+	counters := make([]*metrics.Counter, procs)
+	got := make([][]int64, procs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		h := q.MustHandle(p)
+		counters[p] = &metrics.Counter{}
+		h.SetCounter(counters[p])
+		wg.Add(1)
+		go func(p int, h *core.Handle[int64]) {
+			defer wg.Done()
+			for enq := 0; enq < opsPerProc; {
+				k := m
+				if left := opsPerProc - enq; k > left {
+					k = left
+				}
+				es := make([]int64, k)
+				for i := range es {
+					es[i] = int64(p)*1_000_000_000 + int64(enq+i)
+				}
+				h.EnqueueBatch(es)
+				enq += k
+				vs, _ := h.DequeueBatch(k)
+				got[p] = append(got[p], vs...)
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Drain the residue (still counted: its blocks and steps are part of
+	// delivering the workload's values).
+	h := q.MustHandle(0)
+	for {
+		vs, n := h.DequeueBatch(m)
+		if n == 0 {
+			break
+		}
+		got[0] = append(got[0], vs...)
+	}
+
+	var r batchRun
+	seen := make(map[int64]int64, procs*opsPerProc)
+	for _, vs := range got {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for _, n := range seen {
+		if n > 1 {
+			r.dup += n - 1
+		}
+	}
+	r.lost = int64(procs*opsPerProc) - int64(len(seen))
+
+	sum := metrics.Summarize(counters...)
+	if sum.Ops > 0 {
+		r.blocksPerOp = float64(q.BlocksInstalled()) / float64(sum.Ops)
+	}
+	r.stepsPerOp = sum.StepsPerOp
+	r.casPerOp = sum.CASPerOp
+	if elapsed > 0 {
+		// Throughput counts the timed phase's completed operations (one
+		// dequeue attempt per enqueue), not the untimed drain.
+		r.mops = float64(2*procs*opsPerProc) / elapsed.Seconds() / 1e6
+	}
+	return r, nil
+}

@@ -85,6 +85,22 @@ const (
 
 // EndOp closes out the operation opened by the matching BeginOp.
 func (c *Counter) EndOp(kind OpKind) {
+	switch kind {
+	case OpEnqueue:
+		c.EndBatch(1, 0, 0)
+	case OpDequeue:
+		c.EndBatch(0, 1, 0)
+	case OpNullDequeue:
+		c.EndBatch(0, 0, 1)
+	}
+}
+
+// EndBatch closes out a batch of operations opened by one BeginOp: enqs
+// enqueues, deqs successful dequeues, nulls null dequeues. The batch's
+// combined step count feeds MaxOpSteps as a single unit, because the batch
+// really is one propagation pass — per-op averages (StepsPerOp, CASPerOp)
+// then show the amortization directly.
+func (c *Counter) EndBatch(enqs, deqs, nulls int64) {
 	if c == nil {
 		return
 	}
@@ -93,14 +109,9 @@ func (c *Counter) EndOp(kind OpKind) {
 	if opSteps > c.MaxOpSteps {
 		c.MaxOpSteps = opSteps
 	}
-	switch kind {
-	case OpEnqueue:
-		c.Enqueues++
-	case OpDequeue:
-		c.Dequeues++
-	case OpNullDequeue:
-		c.NullDeqs++
-	}
+	c.Enqueues += enqs
+	c.Dequeues += deqs
+	c.NullDeqs += nulls
 }
 
 // TotalOps returns the number of completed operations.

@@ -42,13 +42,19 @@ type nrHandle struct {
 	h *core.Handle[int64]
 }
 
-var _ Handle = nrHandle{}
+var _ BatchHandle = nrHandle{}
 
 // Enqueue implements Handle.
 func (n nrHandle) Enqueue(v int64) { n.h.Enqueue(v) }
 
+// EnqueueBatch implements BatchHandle.
+func (n nrHandle) EnqueueBatch(vs []int64) { n.h.EnqueueBatch(vs) }
+
 // Dequeue implements Handle.
 func (n nrHandle) Dequeue() (int64, bool) { return n.h.Dequeue() }
+
+// DequeueBatch implements BatchHandle.
+func (n nrHandle) DequeueBatch(k int) ([]int64, int) { return n.h.DequeueBatch(k) }
 
 // SetCounter implements Handle.
 func (n nrHandle) SetCounter(c *metrics.Counter) { n.h.SetCounter(c) }

@@ -55,13 +55,19 @@ type boundedHandle struct {
 	h *bounded.Handle[int64]
 }
 
-var _ Handle = boundedHandle{}
+var _ BatchHandle = boundedHandle{}
 
 // Enqueue implements Handle.
 func (b boundedHandle) Enqueue(v int64) { b.h.Enqueue(v) }
 
+// EnqueueBatch implements BatchHandle.
+func (b boundedHandle) EnqueueBatch(vs []int64) { b.h.EnqueueBatch(vs) }
+
 // Dequeue implements Handle.
 func (b boundedHandle) Dequeue() (int64, bool) { return b.h.Dequeue() }
+
+// DequeueBatch implements BatchHandle.
+func (b boundedHandle) DequeueBatch(n int) ([]int64, int) { return b.h.DequeueBatch(n) }
 
 // SetCounter implements Handle.
 func (b boundedHandle) SetCounter(c *metrics.Counter) { b.h.SetCounter(c) }

@@ -69,7 +69,7 @@ type shardedHandle struct {
 	h *shard.Handle[int64]
 }
 
-var _ Handle = shardedHandle{}
+var _ BatchHandle = shardedHandle{}
 
 // Enqueue implements Handle. The adapter never closes the fabric, so an
 // ErrClosed here is an invariant violation, not an expected condition.
@@ -79,8 +79,18 @@ func (s shardedHandle) Enqueue(v int64) {
 	}
 }
 
+// EnqueueBatch implements BatchHandle.
+func (s shardedHandle) EnqueueBatch(vs []int64) {
+	if err := s.h.EnqueueBatch(vs); err != nil {
+		panic(fmt.Sprintf("sharded adapter: %v", err))
+	}
+}
+
 // Dequeue implements Handle.
 func (s shardedHandle) Dequeue() (int64, bool) { return s.h.Dequeue() }
+
+// DequeueBatch implements BatchHandle.
+func (s shardedHandle) DequeueBatch(n int) ([]int64, int) { return s.h.DequeueBatch(n) }
 
 // SetCounter implements Handle.
 func (s shardedHandle) SetCounter(c *metrics.Counter) { s.h.SetCounter(c) }

@@ -37,6 +37,21 @@ type Handle interface {
 	SetCounter(c *metrics.Counter)
 }
 
+// BatchHandle is the optional batch extension of Handle: implementations
+// whose leaf blocks can carry several operations (the paper's queue and
+// everything layered on it) expose it; coarse-grained baselines need not.
+// Callers discover support with a type assertion.
+type BatchHandle interface {
+	Handle
+	// EnqueueBatch adds all of vs to the queue as one multi-op block,
+	// linearized consecutively in slice order.
+	EnqueueBatch(vs []int64)
+	// DequeueBatch removes up to n elements in one multi-op block,
+	// returning them in FIFO order with their count; a short count means
+	// the queue was empty when the batch's remaining dequeues took effect.
+	DequeueBatch(n int) ([]int64, int)
+}
+
 // Factory constructs a queue for a given process count.
 type Factory struct {
 	Name string

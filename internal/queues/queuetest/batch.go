@@ -1,0 +1,221 @@
+package queuetest
+
+// Batch/single interleaving conformance: these tests run against every
+// implementation whose handles expose the optional queues.BatchHandle
+// extension (the paper's queue, its bounded variant, the sharded fabric,
+// and the network service over loopback) and are skipped for baselines
+// that only implement single operations.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/queues"
+)
+
+// runBatch executes the batch conformance subtests; Run wires it in.
+func runBatch(t *testing.T, factory queues.Factory) {
+	t.Helper()
+	t.Run("BatchUnsupportedOrSupported", func(t *testing.T) { testBatchSupport(t, factory) })
+	t.Run("BatchThenSingles", func(t *testing.T) { testBatchThenSingles(t, factory) })
+	t.Run("SinglesThenBatch", func(t *testing.T) { testSinglesThenBatch(t, factory) })
+	t.Run("BatchSequentialModel", func(t *testing.T) { testBatchSequentialModel(t, factory) })
+	t.Run("BatchChurnConservation", func(t *testing.T) { testBatchChurnConservation(t, factory) })
+}
+
+// mustBatchHandle skips the test when the implementation has no batch
+// support; otherwise it returns the batch surface of handle i.
+func mustBatchHandle(t *testing.T, q queues.Queue, i int) queues.BatchHandle {
+	t.Helper()
+	h := mustHandle(t, q, i)
+	bh, ok := h.(queues.BatchHandle)
+	if !ok {
+		t.Skipf("%s: handles do not implement queues.BatchHandle", q.Name())
+	}
+	return bh
+}
+
+// testBatchSupport only documents which side of the skip we are on, so a
+// suite run shows batch coverage explicitly.
+func testBatchSupport(t *testing.T, factory queues.Factory) {
+	q := mustQueue(t, factory, 1)
+	mustBatchHandle(t, q, 0)
+}
+
+// testBatchThenSingles: batch enqueue, then single dequeues must see the
+// batch's elements in slice order before anything enqueued later.
+func testBatchThenSingles(t *testing.T, factory queues.Factory) {
+	q := mustQueue(t, factory, 1)
+	h := mustBatchHandle(t, q, 0)
+	h.EnqueueBatch([]int64{10, 11, 12, 13})
+	h.Enqueue(14)
+	for want := int64(10); want <= 14; want++ {
+		v, ok := h.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = (%d,%v), want %d", v, ok, want)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+// testSinglesThenBatch: single enqueues, then one batch dequeue returns
+// them all in order; an oversized batch dequeue reports the short count.
+func testSinglesThenBatch(t *testing.T, factory queues.Factory) {
+	q := mustQueue(t, factory, 1)
+	h := mustBatchHandle(t, q, 0)
+	const n = 6
+	for i := int64(0); i < n; i++ {
+		h.Enqueue(i)
+	}
+	vs, got := h.DequeueBatch(n + 3)
+	if got != n || len(vs) != n {
+		t.Fatalf("DequeueBatch(%d) = (%v,%d), want %d values", n+3, vs, got, n)
+	}
+	for i, v := range vs {
+		if v != int64(i) {
+			t.Fatalf("vs[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if vs, got := h.DequeueBatch(4); got != 0 || len(vs) != 0 {
+		t.Fatalf("DequeueBatch on empty = (%v,%d)", vs, got)
+	}
+}
+
+// testBatchSequentialModel interleaves batch and single operations randomly
+// against a model FIFO on a single handle and on several handles in turn.
+func testBatchSequentialModel(t *testing.T, factory queues.Factory) {
+	for _, procs := range []int{1, 3} {
+		procs := procs
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			q := mustQueue(t, factory, procs)
+			handles := make([]queues.BatchHandle, procs)
+			for i := range handles {
+				handles[i] = mustBatchHandle(t, q, i)
+			}
+			var model []int64
+			rng := rand.New(rand.NewSource(1234 + int64(procs)))
+			next := int64(0)
+			for step := 0; step < 1500; step++ {
+				h := handles[rng.Intn(procs)]
+				m := 1 + rng.Intn(5)
+				switch rng.Intn(4) {
+				case 0: // batch enqueue
+					es := make([]int64, m)
+					for i := range es {
+						es[i] = next
+						next++
+					}
+					h.EnqueueBatch(es)
+					model = append(model, es...)
+				case 1: // single enqueue
+					h.Enqueue(next)
+					model = append(model, next)
+					next++
+				case 2: // batch dequeue
+					vs, got := h.DequeueBatch(m)
+					want := m
+					if len(model) < want {
+						want = len(model)
+					}
+					if got != want {
+						t.Fatalf("step %d: DequeueBatch(%d) count = %d, model has %d", step, m, got, len(model))
+					}
+					for i := 0; i < got; i++ {
+						if vs[i] != model[i] {
+							t.Fatalf("step %d: vs[%d] = %d, model %d", step, i, vs[i], model[i])
+						}
+					}
+					model = model[got:]
+				default: // single dequeue
+					got, gotOK := h.Dequeue()
+					wantOK := len(model) > 0
+					var want int64
+					if wantOK {
+						want, model = model[0], model[1:]
+					}
+					if gotOK != wantOK || (gotOK && got != want) {
+						t.Fatalf("step %d: Dequeue = (%d,%v), model (%d,%v)", step, got, gotOK, want, wantOK)
+					}
+				}
+			}
+		})
+	}
+}
+
+// testBatchChurnConservation mixes concurrent batch producers and batch
+// consumers (each goroutine doing both, plus a final drain) and verifies
+// exact conservation and per-producer FIFO — the invariants that must
+// survive any interleaving of batch and single operations. Run with -race
+// in CI.
+func testBatchChurnConservation(t *testing.T, factory queues.Factory) {
+	const procs = 6
+	const perProc = 600
+	q := mustQueue(t, factory, procs)
+	// Probe for support before spawning goroutines (Skip inside a goroutine
+	// is illegal).
+	mustBatchHandle(t, q, 0)
+	got := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		h := mustBatchHandle(t, q, p)
+		wg.Add(1)
+		go func(p int, h queues.BatchHandle) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p) + 999))
+			enq := int64(0)
+			for enq < perProc {
+				m := 1 + rng.Intn(6)
+				switch rng.Intn(4) {
+				case 0:
+					es := make([]int64, 0, m)
+					for i := 0; i < m && enq < perProc; i++ {
+						es = append(es, int64(p)*1_000_000+enq)
+						enq++
+					}
+					h.EnqueueBatch(es)
+				case 1:
+					h.Enqueue(int64(p)*1_000_000 + enq)
+					enq++
+				case 2:
+					vs, _ := h.DequeueBatch(m)
+					got[p] = append(got[p], vs...)
+				default:
+					if v, ok := h.Dequeue(); ok {
+						got[p] = append(got[p], v)
+					}
+				}
+			}
+		}(p, h)
+	}
+	wg.Wait()
+	h := mustBatchHandle(t, q, 0)
+	for {
+		vs, n := h.DequeueBatch(32)
+		if n == 0 {
+			break
+		}
+		got[0] = append(got[0], vs...)
+	}
+	seen := make(map[int64]bool, procs*perProc)
+	for c, vs := range got {
+		last := map[int64]int64{}
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+			prod, seq := v/1_000_000, v%1_000_000
+			if prev, ok := last[prod]; ok && seq < prev {
+				t.Fatalf("consumer %d: producer %d out of order (%d after %d)", c, prod, seq, prev)
+			}
+			last[prod] = seq
+		}
+	}
+	if len(seen) != procs*perProc {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), procs*perProc)
+	}
+}

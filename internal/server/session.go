@@ -24,6 +24,14 @@ type session struct {
 	// request that arrives while W requests are pending is answered BUSY.
 	reqCh chan frame
 
+	// stash holds values already dequeued from the fabric but not yet
+	// shipped, because fitting them into the current reply would have
+	// pushed it past the frame cap. The batch worker owns it exclusively
+	// and serves it before touching the fabric again, preserving the
+	// session's dequeue order; teardown re-enqueues any remainder so no
+	// value is lost when a client disconnects mid-overflow.
+	stash [][]byte
+
 	// lastActive is the unix-nano time of the last frame read from the
 	// connection; the reaper closes sessions idle past the idle timeout.
 	lastActive atomic.Int64

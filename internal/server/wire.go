@@ -51,6 +51,11 @@ const (
 	OpLen     byte = 0x03 // no payload
 	OpStats   byte = 0x04 // no payload
 
+	// Batch opcodes: one frame carries a whole multi-op batch, which the
+	// server hands to the fabric as a single multi-op leaf block.
+	OpEnqueueBatch byte = 0x05 // payload: count-prefixed values (see encodeBatch)
+	OpDequeueBatch byte = 0x06 // payload: uint32 max element count
+
 	// Response statuses (server to client).
 	StatusOK     byte = 0x80 // payload: dequeue value / 8-byte length / stats JSON
 	StatusEmpty  byte = 0x81 // dequeue: fabric certified empty
@@ -67,6 +72,22 @@ const (
 	// value's size). It exists so one malformed or hostile length prefix
 	// cannot make the peer allocate gigabytes.
 	DefaultMaxFrame = 1 << 20
+
+	// MaxBatchOps caps the element count of one OpDequeueBatch request.
+	// Enqueue batches are implicitly capped by the frame size; a dequeue
+	// batch request is 4 bytes however large its count, so without this cap
+	// a hostile frame could demand a multi-gigabyte reply reservation.
+	MaxBatchOps = 1 << 16
+
+	// batchReplyOverhead is the batch encoding's cost for shipping a lone
+	// value: the count word plus the value's length word. Every value
+	// admitted into the fabric must satisfy len <= maxFrame - frameHeader -
+	// batchReplyOverhead (enforced at enqueue on both sides), so any value
+	// a dequeue pulls out can always be shipped in a batch reply — without
+	// this invariant a value within 8 bytes of the cap would fit its single
+	// OpEnqueue frame but no DEQ_BATCH reply, and batch consumers would be
+	// told "empty" forever while it sat in the session stash.
+	batchReplyOverhead = 4 + 4
 )
 
 // Protocol-level errors.
@@ -123,4 +144,65 @@ func readFrame(r *bufio.Reader, maxFrame int) (frame, error) {
 		f.payload = body[frameHeader:]
 	}
 	return f, nil
+}
+
+// Batch payload layout (OpEnqueueBatch requests and OpDequeueBatch StatusOK
+// replies): uint32 count, then count x (uint32 length, value bytes), all
+// big-endian. The layout is capped by the frame size like any other
+// payload, so neither side ever allocates beyond its configured maxFrame.
+
+// encodedBatchSize returns the payload size of a count-prefixed batch.
+func encodedBatchSize(vals [][]byte) int {
+	n := 4
+	for _, v := range vals {
+		n += 4 + len(v)
+	}
+	return n
+}
+
+// encodeBatch renders vals as a count-prefixed batch payload. The value
+// bytes are copied, so callers may reuse their buffers immediately.
+func encodeBatch(vals [][]byte) []byte {
+	buf := make([]byte, 4, encodedBatchSize(vals))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(vals)))
+	var lenBuf [4]byte
+	for _, v := range vals {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(v)))
+		buf = append(buf, lenBuf[:]...)
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// decodeBatch parses a count-prefixed batch payload. The returned values
+// alias payload (each frame body is freshly allocated, so the aliasing is
+// safe for values that outlive the read loop).
+func decodeBatch(payload []byte) ([][]byte, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: batch payload %d bytes", ErrBadFrame, len(payload))
+	}
+	count := binary.BigEndian.Uint32(payload[:4])
+	payload = payload[4:]
+	// Every entry needs at least its 4-byte length, so a count beyond
+	// len(payload)/4 is malformed however the rest parses.
+	if count > uint32(len(payload)/4) {
+		return nil, fmt.Errorf("%w: batch count %d exceeds payload", ErrBadFrame, count)
+	}
+	vals := make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("%w: truncated batch entry %d", ErrBadFrame, i)
+		}
+		n := binary.BigEndian.Uint32(payload[:4])
+		payload = payload[4:]
+		if uint64(n) > uint64(len(payload)) {
+			return nil, fmt.Errorf("%w: batch entry %d length %d exceeds payload", ErrBadFrame, i, n)
+		}
+		vals = append(vals, payload[:n:n])
+		payload = payload[n:]
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrBadFrame, len(payload))
+	}
+	return vals, nil
 }

@@ -53,6 +53,30 @@ func (h *Handle[T]) Enqueue(v T) error {
 	return nil
 }
 
+// EnqueueBatch appends all of vs to the handle's home shard as one multi-op
+// leaf block: the whole batch rides a single sub-call and a single
+// propagation pass, and because it targets one shard in one block, the
+// batch's elements stay contiguous in that shard's FIFO order — per-producer
+// order is preserved exactly as for single enqueues. It returns ErrClosed
+// once the fabric is closed (the batch is then not enqueued at all; batches
+// are all-or-nothing).
+func (h *Handle[T]) EnqueueBatch(vs []T) error {
+	h.check()
+	if len(vs) == 0 {
+		return nil
+	}
+	if h.q.closed.Load() {
+		return ErrClosed
+	}
+	j := h.home
+	h.sub[j].EnqueueBatch(vs)
+	h.enq += int64(len(vs))
+	// As for Enqueue: the elements are at the shard's root before the bit is
+	// set, so clear-then-recheck in dequeueFrom cannot strand them.
+	h.q.bitmap.set(j)
+	return nil
+}
+
 // Dequeue removes an element from some nonempty shard: it samples up to d
 // shards from the nonempty bitmap, takes the fullest, and falls back to a
 // deterministic sweep of all shards before reporting ok == false. The
@@ -93,6 +117,64 @@ func (h *Handle[T]) Dequeue() (T, bool) {
 	}
 	var zero T
 	return zero, false
+}
+
+// DequeueBatch removes up to n elements from the fabric, returning them
+// with their count (len of the result). It first drains the home shard
+// (locality fast path), then refills via d-random-choice over the nonempty
+// bitmap, and finally certifies emptiness with a deterministic sweep of all
+// shards — the same three phases as Dequeue, but each phase issues one
+// multi-op sub-dequeue for everything still missing instead of one
+// sub-operation per element. Values pulled from the same shard are
+// contiguous and FIFO-ordered; values of different shards may interleave in
+// any order, exactly as for single dequeues. A count below n certifies that
+// every shard was observed empty after the batch's last successful pull.
+func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
+	h.check()
+	if n <= 0 {
+		return nil, 0
+	}
+	q := h.q
+	var out []T
+	if q.bitmap.isSet(h.home) {
+		out = h.batchFrom(h.home, n, out)
+	}
+	for attempt := 0; attempt < 2 && len(out) < n; attempt++ {
+		j := h.pickShard()
+		if j < 0 {
+			break
+		}
+		out = h.batchFrom(j, n, out)
+	}
+	for i := 0; i < len(q.shards) && len(out) < n; i++ {
+		j := h.home + i
+		if j >= len(q.shards) {
+			j -= len(q.shards)
+		}
+		out = h.batchFrom(j, n, out)
+	}
+	return out, len(out)
+}
+
+// batchFrom issues one multi-op sub-dequeue on shard j for everything out
+// still lacks, appending the values and maintaining the nonempty bitmap.
+// The bitmap update is batch-aware: a shard that filled the whole request
+// may well have more elements, so only a short pull (the shard certified
+// empty mid-batch) triggers the clear-then-recheck.
+func (h *Handle[T]) batchFrom(j, n int, out []T) []T {
+	want := n - len(out)
+	vs, got := h.sub[j].DequeueBatch(want)
+	if got > 0 {
+		h.deqs[j] += int64(got)
+		out = append(out, vs...)
+	}
+	if got < want {
+		h.q.bitmap.clear(j)
+		if h.q.shards[j].len() > 0 {
+			h.q.bitmap.set(j)
+		}
+	}
+	return out
 }
 
 // pickShard samples up to d set bits from the nonempty bitmap and returns

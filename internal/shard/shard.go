@@ -66,10 +66,14 @@ var (
 )
 
 // subHandle is the per-shard handle surface the fabric needs; both
-// core.Handle and bounded.Handle satisfy it.
+// core.Handle and bounded.Handle satisfy it. The batch methods install one
+// multi-op leaf block per call, which is what lets the fabric route a whole
+// client batch through a single O(log p) propagation pass.
 type subHandle[T any] interface {
 	Enqueue(v T)
+	EnqueueBatch(vs []T)
 	Dequeue() (T, bool)
+	DequeueBatch(n int) ([]T, int)
 	SetCounter(c *metrics.Counter)
 }
 

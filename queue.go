@@ -19,6 +19,22 @@
 // handles, q = queue length), using only single-word CAS. The queue is
 // linearizable and wait-free.
 //
+// The operation path is batch-native: a handle can install many operations
+// in one leaf block, paying the ordering-tree walk once per batch instead
+// of once per operation (the paper's blocks carry operation sets; the batch
+// API exposes that capacity):
+//
+//	h.EnqueueBatch([]string{"a", "b", "c"}) // one block, one propagation
+//	vs, n := h.DequeueBatch(8)              // up to 8 elements, ditto
+//
+// Batch elements linearize consecutively and interleave with single
+// operations in FIFO order; a short DequeueBatch count means the queue was
+// empty when the batch's remaining dequeues took effect. The same methods
+// exist on BoundedHandle, ShardedHandle (whole batch to the home shard,
+// preserving per-producer order), and the service client (native
+// ENQ_BATCH/DEQ_BATCH wire frames; see Serve below). Experiment T12 in
+// EXPERIMENTS.md quantifies the amortization.
+//
 // NewBoundedQueue builds the space-bounded variant (Section 6 of the
 // paper), which garbage-collects blocks that are no longer needed and keeps
 // memory polynomial in p and the maximum queue length while retaining
