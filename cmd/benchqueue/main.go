@@ -1,10 +1,11 @@
-// Command benchqueue regenerates the reproduction tables (T1-T11 in
+// Command benchqueue regenerates the reproduction tables (T1-T13 in
 // DESIGN.md) that validate the paper's analytical claims: CAS bounds
 // (Proposition 19), step complexity (Theorem 22), the CAS retry problem of
 // the baselines, space bounds (Theorem 31) and bounded-variant amortized
 // steps (Theorem 32), a wall-clock throughput comparison, the sharded
-// fabric's throughput scaling with shard count, and the network queue
-// service's latency under open-loop load.
+// fabric's throughput scaling with shard count, the network queue
+// service's latency under open-loop load, batch amortization, and
+// multi-tenant per-queue isolation.
 //
 // Usage:
 //
@@ -16,7 +17,7 @@
 //
 // Experiments: casbound, enqsteps, deqsteps, retry, adversary, space,
 // boundedsteps, throughput, waitfree, ablation, sharded, service, batch,
-// all.
+// multitenant, all.
 package main
 
 import (
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch all)")
+		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch multitenant all)")
 		ops     = flag.Int("ops", 2000, "operations per process per measurement")
 		procs   = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
 		psFlag  = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
@@ -131,6 +132,13 @@ func run(exp string, cfg runConfig) error {
 			return show(harness.ExpServiceLatency([]int{1000, 4000, 16000},
 				harness.ServiceConfig{Shards: cfg.shards, Backend: cfg.backend}))
 		},
+		"multitenant": func() error {
+			// T13: per-queue throughput isolation as tenants multiply at
+			// equal aggregate offered load; cmd/qload -tenants drives the
+			// full-knob version against an external queued.
+			return show(harness.ExpMultiTenant([]int{1, 2, 4},
+				harness.MultiTenantConfig{Shards: cfg.shards, Backend: cfg.backend}))
+		},
 		"ablation": func() error {
 			if err := show(harness.ExpAblationSearch(4, 16, []int{0, 4, 16, 64, 256}, 500)); err != nil {
 				return err
@@ -143,7 +151,8 @@ func run(exp string, cfg runConfig) error {
 	}
 	if exp == "all" {
 		for _, name := range []string{"casbound", "enqsteps", "deqsteps", "retry", "adversary",
-			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded", "batch", "service"} {
+			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded", "batch", "service",
+			"multitenant"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

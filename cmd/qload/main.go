@@ -1,5 +1,7 @@
 // Command qload drives a queued instance with open-loop load and reports
-// end-to-end latency percentiles per offered rate (experiment T11).
+// end-to-end latency percentiles per offered rate (experiment T11), or —
+// in multi-tenant sweep mode — per-queue throughput isolation as the
+// tenant count grows (experiment T13).
 //
 // The generator is open-loop: enqueue send times follow the target rate
 // regardless of how fast the service responds, and every latency is
@@ -7,8 +9,8 @@
 // queueing delay in the percentiles instead of silently throttling the
 // offered load. Producers pipeline enqueues within a bounded window;
 // consumers drain concurrently; after the producing phase the run verifies
-// exact conservation — every acknowledged value dequeued exactly once —
-// and qload exits 1 if any value was lost or duplicated.
+// exact conservation — every acknowledged value dequeued exactly once,
+// per queue — and qload exits 1 if any value was lost or duplicated.
 //
 // Usage:
 //
@@ -17,9 +19,17 @@
 //	qload -addr 127.0.0.1:7474 -rates 8000 -producers 4 -consumers 4 \
 //	      -value-size 256 -burst 16 -json bench_results
 //	qload -addr 127.0.0.1:7474 -rates 20000 -batch 16   # native batch frames
+//	qload -addr 127.0.0.1:7474 -rates 8000 -queue jobs  # one named queue
+//	qload -addr 127.0.0.1:7474 -rates 16000 -tenants 1,2,4 -json bench_results
 //
-// -json emits bench_results/BENCH_T11.json in the same schema as
-// cmd/benchqueue's tables.
+// -queue runs the T11 sweep against one named queue instead of the
+// default queue. -tenants switches to the T13 sweep: for each tenant
+// count N, N concurrent open-loop runs each drive their own named queue
+// at 1/N of the single -rates value, so rows compare at equal aggregate
+// offered load; conservation is checked per queue.
+//
+// -json emits bench_results/BENCH_T11.json (or BENCH_T13.json in tenant
+// mode) in the same schema as cmd/benchqueue's tables.
 package main
 
 import (
@@ -46,7 +56,9 @@ func main() {
 		batch     = flag.Int("batch", 1, "values per wire frame; >1 uses the native ENQ_BATCH/DEQ_BATCH opcodes end to end")
 		window    = flag.Int("window", 32, "max in-flight enqueues per producer connection")
 		drain     = flag.Duration("drain", 10*time.Second, "max wait for consumers to finish after producers stop")
-		jsonDir   = flag.String("json", "", "write the T11 table as BENCH_T11.json into this directory")
+		queue     = flag.String("queue", "", "drive this named queue instead of the default queue")
+		tenants   = flag.String("tenants", "", "comma-separated tenant counts: run the T13 multi-queue sweep at the single -rates value as aggregate load")
+		jsonDir   = flag.String("json", "", "write the result table as BENCH_T11.json (or BENCH_T13.json with -tenants) into this directory")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -58,20 +70,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qload:", err)
 		os.Exit(2)
 	}
-	cfg := harness.ServiceConfig{
-		Addr: *addr,
-		Load: server.LoadConfig{
-			Duration:     *duration,
-			Producers:    *producers,
-			Consumers:    *consumers,
-			ValueSize:    *valueSize,
-			Burst:        *burst,
-			Batch:        *batch,
-			Window:       *window,
-			DrainTimeout: *drain,
-		},
+	load := server.LoadConfig{
+		Duration:     *duration,
+		Producers:    *producers,
+		Consumers:    *consumers,
+		ValueSize:    *valueSize,
+		Burst:        *burst,
+		Batch:        *batch,
+		Window:       *window,
+		DrainTimeout: *drain,
+		Queue:        *queue,
 	}
-	table, results, err := harness.ExpServiceLatencyResults(rates, cfg)
+	if *tenants != "" {
+		runTenantSweep(*addr, *tenants, rates, load, *jsonDir)
+		return
+	}
+	table, results, err := harness.ExpServiceLatencyResults(rates, harness.ServiceConfig{Addr: *addr, Load: load})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qload:", err)
 		os.Exit(1)
@@ -99,16 +113,66 @@ func main() {
 	}
 }
 
-// parseRates parses the -rates list.
+// runTenantSweep executes the T13 multi-tenant experiment against a
+// running queued and exits 1 if any tenant at any count lost or
+// duplicated a value.
+func runTenantSweep(addr, tenantsFlag string, rates []int, load server.LoadConfig, jsonDir string) {
+	counts, err := parseRates(tenantsFlag) // same grammar: positive ints
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qload: -tenants:", err)
+		os.Exit(2)
+	}
+	if len(rates) != 1 {
+		fmt.Fprintln(os.Stderr, "qload: -tenants needs exactly one -rates value (the aggregate offered rate)")
+		os.Exit(2)
+	}
+	if load.Queue != "" {
+		fmt.Fprintln(os.Stderr, "qload: -queue conflicts with -tenants (tenant queues are named automatically)")
+		os.Exit(2)
+	}
+	load.Rate = rates[0]
+	table, results, err := harness.ExpMultiTenantResults(counts, harness.MultiTenantConfig{Addr: addr, Load: load})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qload:", err)
+		os.Exit(1)
+	}
+	fmt.Println(table.String())
+
+	violated := false
+	for i, row := range results {
+		for j, res := range row {
+			if !res.Conserved() {
+				fmt.Fprintf(os.Stderr, "qload: tenants=%d queue %d: lost=%d dup=%d\n",
+					counts[i], j, res.Lost, res.Dup)
+				violated = true
+			}
+		}
+	}
+	if jsonDir != "" {
+		path, err := harness.WriteTableJSON(jsonDir, table)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "qload: wrote", path)
+	}
+	if violated {
+		fmt.Fprintln(os.Stderr, "qload: CONSERVATION VIOLATION (values lost or duplicated)")
+		os.Exit(1)
+	}
+}
+
+// parseRates parses a comma-separated list of positive integers (-rates,
+// -tenants).
 func parseRates(s string) ([]int, error) {
 	out := make([]int, 0, 4)
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			return nil, fmt.Errorf("invalid rate %q", part)
+			return nil, fmt.Errorf("invalid value %q", part)
 		}
 		if n < 1 {
-			return nil, fmt.Errorf("rate %d must be positive", n)
+			return nil, fmt.Errorf("value %d must be positive", n)
 		}
 		out = append(out, n)
 	}

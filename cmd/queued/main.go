@@ -1,18 +1,24 @@
-// Command queued serves a sharded queue fabric over TCP: the repository's
-// wait-free queue as a network service. Connections lease fabric handles
-// through the dynamic registry for their lifetime, pipelined requests are
-// batched into single fabric passes, and a bounded per-connection window
-// turns overload into explicit BUSY replies. An optional HTTP endpoint
-// exposes /statsz, a JSON snapshot of service counters, per-shard routing
-// traffic, and handle-lease churn.
+// Command queued serves a multi-tenant namespace of sharded queue
+// fabrics over TCP: the repository's wait-free queue as a network
+// service. Connections lease fabric handles through the dynamic registry
+// per (connection, queue), pipelined requests are batched into single
+// fabric passes, and a bounded per-connection window turns overload into
+// explicit BUSY replies. Clients address the default queue with the
+// pre-namespace opcodes or OPEN named queues — each its own fabric,
+// created on first use, capped by -max-queues, and torn down after
+// -queue-idle without bound sessions or backlog. An optional HTTP
+// endpoint exposes /statsz, a JSON snapshot of service counters,
+// per-shard routing traffic, handle-lease churn, and per-queue stats.
 //
 // Usage:
 //
 //	queued -addr 127.0.0.1:7474 -shards 8 -backend core
 //	queued -addr 127.0.0.1:0 -addr-file /tmp/queued.addr   # ephemeral port
 //	queued -statsz 127.0.0.1:7475      # curl http://127.0.0.1:7475/statsz
+//	queued -max-queues 128 -queue-idle 10m                 # tenant knobs
 //
-// Drive it with cmd/qload, the open-loop load generator.
+// Drive it with cmd/qload, the open-loop load generator (-queue targets a
+// named queue; -tenants sweeps several at once).
 package main
 
 import (
@@ -30,26 +36,29 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7474", "TCP listen address (use port 0 for an ephemeral port)")
-		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts using an ephemeral port)")
-		shards   = flag.Int("shards", 4, "shard count of the backing fabric")
-		backend  = flag.String("backend", "core", "per-shard queue backend: core or bounded")
-		handles  = flag.Int("max-handles", 0, "leasable handle slots = max concurrent sessions (0 = fabric default)")
-		window   = flag.Int("window", 64, "per-connection in-flight request window (overflow gets BUSY)")
-		batch    = flag.Int("batch", 0, "max requests per batched fabric pass (0 = window)")
-		idle     = flag.Duration("idle", 2*time.Minute, "reap sessions idle this long (0 disables)")
-		maxFrame = flag.Int("max-frame", server.DefaultMaxFrame, "max request frame size in bytes")
-		statsz   = flag.String("statsz", "", "HTTP listen address for the /statsz JSON endpoint (empty disables)")
+		addr      = flag.String("addr", "127.0.0.1:7474", "TCP listen address (use port 0 for an ephemeral port)")
+		addrFile  = flag.String("addr-file", "", "write the resolved listen address to this file (for scripts using an ephemeral port)")
+		shards    = flag.Int("shards", 4, "shard count of the backing fabric")
+		backend   = flag.String("backend", "core", "per-shard queue backend: core or bounded")
+		handles   = flag.Int("max-handles", 0, "leasable handle slots = max concurrent sessions (0 = fabric default)")
+		window    = flag.Int("window", 64, "per-connection in-flight request window (overflow gets BUSY)")
+		batch     = flag.Int("batch", 0, "max requests per batched fabric pass (0 = window)")
+		idle      = flag.Duration("idle", 2*time.Minute, "reap sessions idle this long (0 disables)")
+		maxFrame  = flag.Int("max-frame", server.DefaultMaxFrame, "max request frame size in bytes")
+		maxQueues = flag.Int("max-queues", server.DefaultMaxQueues, "max named queues (each its own fabric; OPEN beyond the cap is refused)")
+		queueIdle = flag.Duration("queue-idle", 5*time.Minute, "tear down named queues unbound and empty this long (0 disables)")
+		statsz    = flag.String("statsz", "", "HTTP listen address for the /statsz JSON endpoint (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *addrFile, *shards, *backend, *handles, *window, *batch, *idle, *maxFrame, *statsz); err != nil {
+	if err := run(*addr, *addrFile, *shards, *backend, *handles, *window, *batch, *idle,
+		*maxFrame, *maxQueues, *queueIdle, *statsz); err != nil {
 		fmt.Fprintln(os.Stderr, "queued:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, addrFile string, shards int, backend string, handles, window, batch int,
-	idle time.Duration, maxFrame int, statsz string) error {
+	idle time.Duration, maxFrame, maxQueues int, queueIdle time.Duration, statsz string) error {
 	q, err := newFabric(shards, backend, handles)
 	if err != nil {
 		return err
@@ -58,13 +67,15 @@ func run(addr, addrFile string, shards int, backend string, handles, window, bat
 		server.WithWindow(window),
 		server.WithBatchMax(batch),
 		server.WithIdleTimeout(idle),
-		server.WithMaxFrame(maxFrame))
+		server.WithMaxFrame(maxFrame),
+		server.WithMaxQueues(maxQueues),
+		server.WithQueueIdleTimeout(queueIdle))
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("queued: listening on %s (%d shards, %s backend, %d handle slots)\n",
-		srv.Addr(), q.Shards(), q.Backend(), q.MaxHandles())
+	fmt.Printf("queued: listening on %s (%d shards, %s backend, %d handle slots, %d named queues max)\n",
+		srv.Addr(), q.Shards(), q.Backend(), q.MaxHandles(), maxQueues)
 	if addrFile != "" {
 		if err := os.WriteFile(addrFile, []byte(srv.Addr().String()), 0o644); err != nil {
 			return fmt.Errorf("write -addr-file: %w", err)
@@ -92,6 +103,8 @@ func run(addr, addrFile string, shards int, backend string, handles, window, bat
 	fmt.Printf("queued: served %d sessions (%d reaped, %d denied), %d requests (%d busy), %.1f ops/batch\n",
 		snap.Server.SessionsTotal, snap.Server.SessionsReaped, snap.Server.SessionsDenied,
 		snap.Server.Requests, snap.Server.Busy, snap.Server.OpsPerBatch)
+	fmt.Printf("queued: %d queues live (%d opened, %d deleted, %d idle-expired)\n",
+		snap.Server.QueuesOpen, snap.Server.QueuesOpened, snap.Server.QueuesDeleted, snap.Server.QueuesExpired)
 	return nil
 }
 

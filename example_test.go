@@ -128,6 +128,64 @@ func ExampleNewShardedQueue() {
 	// Output: 15 0 true
 }
 
+// ExampleQueueClient_Open shows multi-tenant named queues: one server,
+// one connection, several independent FIFO queues. Each named queue is
+// its own server-side sharded fabric, created on the first Open of its
+// name, so values never cross queues and each queue keeps per-producer
+// FIFO order. Unqualified client calls (c.Enqueue, c.Dequeue) keep
+// addressing the default queue 0.
+func ExampleQueueClient_Open() {
+	fabric, err := repro.NewShardedQueue[[]byte](2)
+	if err != nil {
+		panic(err)
+	}
+	srv, err := repro.Serve("127.0.0.1:0", fabric)
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	c, err := repro.Dial(srv.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	jobs, err := c.Open("jobs") // created on first use
+	if err != nil {
+		panic(err)
+	}
+	logs, err := c.Open("logs")
+	if err != nil {
+		panic(err)
+	}
+	// Interleave traffic across tenants on the one connection.
+	jobs.Enqueue([]byte("build"))
+	logs.Enqueue([]byte("starting up"))
+	jobs.Enqueue([]byte("test"))
+	c.Enqueue([]byte("untagged")) // default queue 0
+
+	for _, q := range []*repro.NamedRemoteQueue{jobs, logs} {
+		for {
+			v, ok, err := q.Dequeue()
+			if err != nil {
+				panic(err)
+			}
+			if !ok {
+				break
+			}
+			fmt.Printf("%s: %s\n", q.Name(), v)
+		}
+	}
+	v, _, _ := c.Dequeue()
+	fmt.Printf("default: %s\n", v)
+	// Output:
+	// jobs: build
+	// jobs: test
+	// logs: starting up
+	// default: untagged
+}
+
 // ExampleNewVector shows the Section 7 append-only sequence.
 func ExampleNewVector() {
 	v, err := repro.NewVector[string](2)

@@ -1,0 +1,109 @@
+// Command multitenant demonstrates the multi-tenant queue service: one
+// queued-style server, several tenants on their own named queues — each
+// a full sharded fabric of its own — plus the default queue, all
+// multiplexed over per-tenant client connections.
+//
+// Two tenants ("video" and "mail") run producer/consumer pairs
+// concurrently; each verifies at the end that it got back exactly the
+// values it put in, in per-producer FIFO order, untouched by the other
+// tenant's traffic. The demo then deletes one queue, shows the stale id
+// failing loudly, and prints the server's per-queue stats.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro"
+)
+
+const perTenant = 500
+
+func main() {
+	fabric, err := repro.NewShardedQueue[[]byte](4)
+	if err != nil {
+		panic(err)
+	}
+	srv, err := repro.Serve("127.0.0.1:0", fabric, repro.WithServeMaxQueues(8))
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr().String()
+	fmt.Println("serving a queue namespace on an ephemeral port")
+
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"video", "mail"} {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			runTenant(addr, tenant)
+		}(tenant)
+	}
+	wg.Wait()
+
+	// Namespace lifecycle: delete a queue, observe the stale id fail.
+	c, err := repro.Dial(addr)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	video, err := c.Open("video")
+	if err != nil {
+		panic(err)
+	}
+	if err := video.Delete(); err != nil {
+		panic(err)
+	}
+	if err := video.Enqueue([]byte("after the fall")); err != nil {
+		fmt.Println("enqueue on deleted queue refused:", err != nil)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		panic(err)
+	}
+	var snap repro.ServerSnapshot
+	if err := json.Unmarshal(stats, &snap); err != nil {
+		panic(err)
+	}
+	fmt.Printf("queues live: %d (opened %d, deleted %d)\n",
+		snap.Server.QueuesOpen, snap.Server.QueuesOpened, snap.Server.QueuesDeleted)
+	for _, qs := range snap.Queues {
+		fmt.Printf("  queue %q: %d enqueued, %d dequeued\n", qs.Name, qs.Enqueues, qs.Dequeues)
+	}
+}
+
+// runTenant drives one named queue: enqueue perTenant tagged values,
+// dequeue them all back, and verify exact per-queue conservation and
+// FIFO order.
+func runTenant(addr, tenant string) {
+	c, err := repro.Dial(addr)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	q, err := c.Open(tenant)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < perTenant; i++ {
+		if err := q.Enqueue([]byte(fmt.Sprintf("%s-%d", tenant, i))); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < perTenant; i++ {
+		v, ok, err := q.Dequeue()
+		if err != nil || !ok {
+			panic(fmt.Sprintf("%s: dequeue %d: ok=%v err=%v", tenant, i, ok, err))
+		}
+		if want := fmt.Sprintf("%s-%d", tenant, i); string(v) != want {
+			panic(fmt.Sprintf("%s: got %q, want %q (cross-tenant leak or reorder)", tenant, v, want))
+		}
+	}
+	if _, ok, _ := q.Dequeue(); ok {
+		panic(tenant + ": queue not empty after drain")
+	}
+	fmt.Printf("tenant %s: %d values conserved in FIFO order\n", tenant, perTenant)
+}

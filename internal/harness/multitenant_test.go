@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestExpMultiTenantSmoke runs a tiny T13 sweep in-process: both rows
+// must conserve per queue and produce sane fairness numbers.
+func TestExpMultiTenantSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a server and paces real time")
+	}
+	tab, results, err := ExpMultiTenantResults([]int{1, 2}, MultiTenantConfig{
+		Shards: 2,
+		Load: server.LoadConfig{
+			Rate:         2000,
+			Duration:     300 * time.Millisecond,
+			Producers:    1,
+			Consumers:    1,
+			DrainTimeout: 5 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "T13" {
+		t.Fatalf("table ID = %q, want T13", tab.ID)
+	}
+	if len(tab.Rows) != 2 || len(results) != 2 {
+		t.Fatalf("rows = %d, result sets = %d, want 2/2", len(tab.Rows), len(results))
+	}
+	if len(results[1]) != 2 {
+		t.Fatalf("tenants=2 row has %d results, want 2", len(results[1]))
+	}
+	for i, row := range results {
+		for j, res := range row {
+			if !res.Conserved() {
+				t.Errorf("row %d tenant %d: lost=%d dup=%d", i, j, res.Lost, res.Dup)
+			}
+			if res.Foreign != 0 {
+				t.Errorf("row %d tenant %d: %d foreign values crossed queues", i, j, res.Foreign)
+			}
+			if res.Acked == 0 {
+				t.Errorf("row %d tenant %d: nothing acknowledged", i, j)
+			}
+		}
+	}
+	for _, note := range tab.Notes {
+		if strings.Contains(note, "VIOLATION") {
+			t.Errorf("table notes report a violation: %s", note)
+		}
+	}
+}

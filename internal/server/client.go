@@ -203,17 +203,24 @@ func statusErr(f frame) error {
 	}
 }
 
-// Enqueue appends v to the remote fabric (routed to the session's home
-// shard, so one client's enqueues stay FIFO-ordered). Values that cannot
-// fit a reply frame — including the batch reply's 8-byte overhead, so any
-// enqueued value remains deliverable to batch dequeuers — are rejected
-// locally: sending one would only get a server-side rejection anyway.
-func (c *Client) Enqueue(v []byte) error {
+// Enqueue appends v to the remote default queue (routed to the session's
+// home shard, so one client's enqueues stay FIFO-ordered). Values that
+// cannot fit a reply frame — including the batch reply's 8-byte overhead,
+// so any enqueued value remains deliverable to batch dequeuers — are
+// rejected locally: sending one would only get a server-side rejection
+// anyway.
+func (c *Client) Enqueue(v []byte) error { return c.enqueue(0, v) }
+
+func (c *Client) enqueue(qid uint32, v []byte) error {
 	if len(v)+frameHeader+batchReplyOverhead > c.maxFrame {
 		return fmt.Errorf("%w: %d-byte value exceeds the %d-byte frame cap (less batch reply headroom)",
 			ErrFrameTooLarge, len(v), c.maxFrame)
 	}
-	f, err := c.roundTrip(OpEnqueue, v)
+	op, payload := OpEnqueue, v
+	if qid != 0 {
+		op, payload = OpEnqueueQ, qualify(qid, v)
+	}
+	f, err := c.roundTrip(op, payload)
 	if err != nil {
 		return err
 	}
@@ -231,15 +238,25 @@ func (c *Client) Enqueue(v []byte) error {
 // The encoded batch must fit the frame cap; oversized batches are rejected
 // locally — split them instead of raising the cap blindly, the server
 // enforces its own limit.
-func (c *Client) EnqueueBatch(vs [][]byte) error {
+func (c *Client) EnqueueBatch(vs [][]byte) error { return c.enqueueBatch(0, vs) }
+
+func (c *Client) enqueueBatch(qid uint32, vs [][]byte) error {
 	if len(vs) == 0 {
 		return nil
 	}
-	if encodedBatchSize(vs)+frameHeader > c.maxFrame {
+	prefix := 0
+	if qid != 0 {
+		prefix = queueIDLen // qualified frames spend 4 payload bytes on the queue id
+	}
+	if encodedBatchSize(vs)+frameHeader+prefix > c.maxFrame {
 		return fmt.Errorf("%w: %d-byte batch exceeds the %d-byte frame cap",
 			ErrFrameTooLarge, encodedBatchSize(vs), c.maxFrame)
 	}
-	f, err := c.roundTrip(OpEnqueueBatch, encodeBatch(vs))
+	op, payload := OpEnqueueBatch, encodeBatch(vs)
+	if qid != 0 {
+		op, payload = OpEnqueueBatchQ, qualify(qid, payload)
+	}
+	f, err := c.roundTrip(op, payload)
 	if err != nil {
 		return err
 	}
@@ -254,13 +271,19 @@ func (c *Client) EnqueueBatch(vs [][]byte) error {
 // certified empty. The server may return fewer than n values even when
 // more exist, if shipping them would exceed the frame cap; it holds the
 // overflow for this session's next dequeue, so simply call again.
-func (c *Client) DequeueBatch(n int) ([][]byte, error) {
+func (c *Client) DequeueBatch(n int) ([][]byte, error) { return c.dequeueBatch(0, n) }
+
+func (c *Client) dequeueBatch(qid uint32, n int) ([][]byte, error) {
 	if n <= 0 {
 		return nil, nil
 	}
 	var req [4]byte
 	binary.BigEndian.PutUint32(req[:], uint32(min(n, MaxBatchOps)))
-	f, err := c.roundTrip(OpDequeueBatch, req[:])
+	op, payload := OpDequeueBatch, req[:]
+	if qid != 0 {
+		op, payload = OpDequeueBatchQ, qualify(qid, payload)
+	}
+	f, err := c.roundTrip(op, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -274,10 +297,16 @@ func (c *Client) DequeueBatch(n int) ([][]byte, error) {
 	}
 }
 
-// Dequeue removes an element from the remote fabric. ok is false when the
-// fabric certified empty at the server.
-func (c *Client) Dequeue() ([]byte, bool, error) {
-	f, err := c.roundTrip(OpDequeue, nil)
+// Dequeue removes an element from the remote default queue. ok is false
+// when the fabric certified empty at the server.
+func (c *Client) Dequeue() ([]byte, bool, error) { return c.dequeue(0) }
+
+func (c *Client) dequeue(qid uint32) ([]byte, bool, error) {
+	op, payload := OpDequeue, []byte(nil)
+	if qid != 0 {
+		op, payload = OpDequeueQ, qualify(qid, nil)
+	}
+	f, err := c.roundTrip(op, payload)
 	if err != nil {
 		return nil, false, err
 	}
@@ -291,9 +320,15 @@ func (c *Client) Dequeue() ([]byte, bool, error) {
 	}
 }
 
-// Len returns the fabric's total backlog estimate.
-func (c *Client) Len() (int, error) {
-	f, err := c.roundTrip(OpLen, nil)
+// Len returns the default queue's backlog estimate.
+func (c *Client) Len() (int, error) { return c.length(0) }
+
+func (c *Client) length(qid uint32) (int, error) {
+	op, payload := OpLen, []byte(nil)
+	if qid != 0 {
+		op, payload = OpLenQ, qualify(qid, nil)
+	}
+	f, err := c.roundTrip(op, payload)
 	if err != nil {
 		return 0, err
 	}
@@ -318,3 +353,84 @@ func (c *Client) Stats() ([]byte, error) {
 	}
 	return f.payload, nil
 }
+
+// Open binds this client to the named queue, creating the queue on first
+// use (each named queue is its own server-side sharded fabric, so its
+// FIFO and conservation guarantees are exactly the single-queue ones).
+// The returned NamedQueue shares this client's connection and session;
+// its operations ride the same pipeline as the client's default-queue
+// operations. Opening the reserved name "default" binds queue 0.
+func (c *Client) Open(name string) (*NamedQueue, error) {
+	if len(name) == 0 || len(name) > MaxQueueName {
+		return nil, fmt.Errorf("server: queue name must be 1..%d bytes (got %d)", MaxQueueName, len(name))
+	}
+	f, err := c.roundTrip(OpOpen, []byte(name))
+	if err != nil {
+		return nil, err
+	}
+	if f.kind != StatusOK {
+		return nil, statusErr(f)
+	}
+	if len(f.payload) != queueIDLen {
+		return nil, fmt.Errorf("%w: open reply payload %d bytes, want %d", ErrBadFrame, len(f.payload), queueIDLen)
+	}
+	return &NamedQueue{c: c, id: binary.BigEndian.Uint32(f.payload), name: name}, nil
+}
+
+// Delete removes the named queue from the server: the name disappears at
+// once (a subsequent Open creates a fresh queue), its fabric is closed,
+// and values still inside are dropped — deletion is explicit data loss,
+// exactly like closing a local fabric that still holds elements. The
+// default queue cannot be deleted.
+func (c *Client) Delete(name string) error {
+	f, err := c.roundTrip(OpDelete, []byte(name))
+	if err != nil {
+		return err
+	}
+	if f.kind != StatusOK {
+		return statusErr(f)
+	}
+	return nil
+}
+
+// NamedQueue is a client-side binding to one named queue, obtained with
+// Client.Open. It shares the parent client's connection: methods are safe
+// for concurrent use and pipeline with other requests on the same
+// session. All enqueues through one NamedQueue stay FIFO-ordered among
+// themselves (one session leases one handle per queue, and a handle's
+// enqueues all route to its home shard).
+type NamedQueue struct {
+	c    *Client
+	id   uint32
+	name string
+}
+
+// ID returns the server-assigned queue id. Ids are never reused within a
+// server's lifetime: after a Delete, a stale id fails with an "unknown
+// queue" error instead of touching a new tenant's data.
+func (q *NamedQueue) ID() uint32 { return q.id }
+
+// Name returns the queue's name.
+func (q *NamedQueue) Name() string { return q.name }
+
+// Enqueue appends v to the named queue.
+func (q *NamedQueue) Enqueue(v []byte) error { return q.c.enqueue(q.id, v) }
+
+// EnqueueBatch appends all of vs to the named queue as one wire frame and
+// one multi-op fabric batch (all-or-nothing, like Client.EnqueueBatch).
+func (q *NamedQueue) EnqueueBatch(vs [][]byte) error { return q.c.enqueueBatch(q.id, vs) }
+
+// Dequeue removes an element from the named queue. ok is false when its
+// fabric certified empty at the server.
+func (q *NamedQueue) Dequeue() ([]byte, bool, error) { return q.c.dequeue(q.id) }
+
+// DequeueBatch removes up to n elements from the named queue with one
+// wire round trip, with the same frame-cap overflow contract as
+// Client.DequeueBatch.
+func (q *NamedQueue) DequeueBatch(n int) ([][]byte, error) { return q.c.dequeueBatch(q.id, n) }
+
+// Len returns the named queue's backlog estimate.
+func (q *NamedQueue) Len() (int, error) { return q.c.length(q.id) }
+
+// Delete removes this queue from the server (see Client.Delete).
+func (q *NamedQueue) Delete() error { return q.c.Delete(q.name) }

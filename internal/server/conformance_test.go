@@ -18,22 +18,31 @@ import (
 // The backing fabric has a single shard, where the relaxed cross-shard
 // order vanishes and the service must behave as one linearizable FIFO.
 type netQueue struct {
-	clients []*Client
+	handles []wireQueue
 	name    string
 }
 
 func (q *netQueue) Name() string { return q.name }
-func (q *netQueue) Procs() int   { return len(q.clients) }
+func (q *netQueue) Procs() int   { return len(q.handles) }
 func (q *netQueue) Handle(i int) (queues.Handle, error) {
-	if i < 0 || i >= len(q.clients) {
-		return nil, fmt.Errorf("net: handle index %d out of range [0,%d)", i, len(q.clients))
+	if i < 0 || i >= len(q.handles) {
+		return nil, fmt.Errorf("net: handle index %d out of range [0,%d)", i, len(q.handles))
 	}
-	return netHandle{c: q.clients[i]}, nil
+	return netHandle{c: q.handles[i]}, nil
+}
+
+// wireQueue is the operation surface netHandle needs; both *Client (the
+// default queue) and *NamedQueue (a named tenant) provide it.
+type wireQueue interface {
+	Enqueue(v []byte) error
+	Dequeue() ([]byte, bool, error)
+	EnqueueBatch(vs [][]byte) error
+	DequeueBatch(n int) ([][]byte, error)
 }
 
 // netHandle is one client connection as a queues.Handle. Wire values are
 // the int64's big-endian bytes.
-type netHandle struct{ c *Client }
+type netHandle struct{ c wireQueue }
 
 func (h netHandle) Enqueue(v int64) {
 	var buf [8]byte
@@ -122,7 +131,54 @@ func TestLoopbackConformance(t *testing.T) {
 					return nil, err
 				}
 				t.Cleanup(func() { c.Close() })
-				nq.clients = append(nq.clients, c)
+				nq.handles = append(nq.handles, c)
+			}
+			return nq, nil
+		},
+	}
+	queuetest.Run(t, factory)
+}
+
+// TestNamedLoopbackConformance runs the same suite against a *named*
+// queue: every connection Opens the same name and operates through
+// queue-qualified frames, so the whole namespace path — OPEN handshake,
+// per-(connection, queue) leases, qualified coalescing — must preserve
+// the single-queue FIFO and conservation semantics at k=1. The default
+// queue of the serving fabric is left untouched; any value leaking
+// between queue 0 and the named tenant fails the suite.
+func TestNamedLoopbackConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback conformance pays a round trip per op")
+	}
+	factory := queues.Factory{
+		Name: "net(named-1)",
+		New: func(procs int) (queues.Queue, error) {
+			if procs < 1 {
+				return nil, fmt.Errorf("net: procs %d must be at least 1", procs)
+			}
+			q, err := shard.New[[]byte](1, shard.WithMaxHandles(procs))
+			if err != nil {
+				return nil, err
+			}
+			srv, err := Serve("127.0.0.1:0", q, WithQueueFactory(func() (*shard.Queue[[]byte], error) {
+				return shard.New[[]byte](1, shard.WithMaxHandles(procs))
+			}))
+			if err != nil {
+				return nil, err
+			}
+			t.Cleanup(func() { srv.Close() })
+			nq := &netQueue{name: "net(named-1)"}
+			for i := 0; i < procs; i++ {
+				c, err := Dial(srv.Addr().String())
+				if err != nil {
+					return nil, err
+				}
+				t.Cleanup(func() { c.Close() })
+				named, err := c.Open("conformance")
+				if err != nil {
+					return nil, err
+				}
+				nq.handles = append(nq.handles, named)
 			}
 			return nq, nil
 		},

@@ -27,6 +27,15 @@ type LoadConfig struct {
 	Batch     int           // values per enqueue frame (default 1; >1 uses the native batch opcodes on both sides)
 	Window    int           // max in-flight request frames per producer connection (default 32)
 
+	// Queue names the target queue. Empty drives the default queue 0;
+	// otherwise every producer and consumer connection Opens the named
+	// queue and all traffic rides the queue-qualified opcodes, so several
+	// RunLoad calls with distinct names load independent tenants of one
+	// server — each with its own exact conservation check (a value of one
+	// queue surfacing in another would be reported Foreign there and Lost
+	// here).
+	Queue string
+
 	// DrainTimeout bounds how long consumers may chase the acked backlog
 	// after producers stop (default 10s). Values still unconsumed at the
 	// deadline are reported Lost.
@@ -70,7 +79,23 @@ func (cfg *LoadConfig) setDefaults() error {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
 	}
+	if len(cfg.Queue) > MaxQueueName {
+		return fmt.Errorf("loadgen: queue name %d bytes exceeds the %d-byte cap", len(cfg.Queue), MaxQueueName)
+	}
 	return nil
+}
+
+// openTarget resolves cfg.Queue on a fresh connection: queue id 0 for the
+// default queue, else an OpOpen round trip.
+func openTarget(c *Client, cfg LoadConfig) (uint32, error) {
+	if cfg.Queue == "" {
+		return 0, nil
+	}
+	nq, err := c.Open(cfg.Queue)
+	if err != nil {
+		return 0, err
+	}
+	return nq.ID(), nil
 }
 
 // LoadResult is the outcome of one open-loop run.
@@ -277,6 +302,10 @@ func runProducer(addr string, cfg LoadConfig, p int, ps *producerState, nonce ui
 		return err
 	}
 	defer c.Close()
+	qid, err := openTarget(c, cfg)
+	if err != nil {
+		return err
+	}
 
 	// Completions arrive on one shared channel; tokens bound the in-flight
 	// window. done's capacity exceeds the window so the client's read loop
@@ -333,10 +362,17 @@ pacing:
 				binary.BigEndian.PutUint64(values[k][8:16], uint64(sched.UnixNano()))
 			}
 			var err error
-			if cfg.Batch == 1 {
+			switch {
+			case cfg.Batch == 1 && qid == 0:
 				_, err = c.start(OpEnqueue, values[0], done, enqMeta{seq: seq, count: 1, sched: sched})
-			} else {
+			case cfg.Batch == 1:
+				_, err = c.start(OpEnqueueQ, qualify(qid, values[0]), done,
+					enqMeta{seq: seq, count: 1, sched: sched})
+			case qid == 0:
 				_, err = c.start(OpEnqueueBatch, encodeBatch(values), done,
+					enqMeta{seq: seq, count: cfg.Batch, sched: sched})
+			default:
+				_, err = c.start(OpEnqueueBatchQ, qualify(qid, encodeBatch(values)), done,
 					enqMeta{seq: seq, count: cfg.Batch, sched: sched})
 			}
 			if err != nil {
@@ -382,6 +418,10 @@ func runConsumer(addr string, cfg LoadConfig, stop <-chan struct{},
 		return out, err
 	}
 	defer c.Close()
+	qid, err := openTarget(c, cfg)
+	if err != nil {
+		return out, err
+	}
 	record := func(v []byte) {
 		if len(v) < MinValueSize {
 			out.foreign++ // malformed for this run's layout: not ours
@@ -404,7 +444,7 @@ func runConsumer(addr string, cfg LoadConfig, stop <-chan struct{},
 		)
 		if cfg.Batch > 1 {
 			var vs [][]byte
-			vs, err = c.DequeueBatch(cfg.Batch)
+			vs, err = c.dequeueBatch(qid, cfg.Batch)
 			for _, v := range vs {
 				record(v)
 			}
@@ -412,7 +452,7 @@ func runConsumer(addr string, cfg LoadConfig, stop <-chan struct{},
 		} else {
 			var v []byte
 			var ok bool
-			v, ok, err = c.Dequeue()
+			v, ok, err = c.dequeue(qid)
 			if ok {
 				record(v)
 				got = 1

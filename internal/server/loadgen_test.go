@@ -84,6 +84,53 @@ func TestOpenLoopBackpressure(t *testing.T) {
 	t.Logf("offered=%d acked=%d busy=%d", res.Offered, res.Acked, res.Busy)
 }
 
+// TestOpenLoopNamedQueues runs two concurrent loads against two named
+// queues on one server — single-op frames on one, native batch frames on
+// the other — and requires exact per-queue conservation with zero
+// cross-queue traffic. The default queue must stay empty throughout.
+func TestOpenLoopNamedQueues(t *testing.T) {
+	srv, q := newTestServer(t, 2, nil)
+	base := LoadConfig{
+		Rate:         2000,
+		Duration:     300 * time.Millisecond,
+		Producers:    1,
+		Consumers:    1,
+		DrainTimeout: 5 * time.Second,
+	}
+	type out struct {
+		res *LoadResult
+		err error
+	}
+	outs := make(chan out, 2)
+	for _, cfg := range []LoadConfig{
+		func() LoadConfig { c := base; c.Queue = "tenant-a"; return c }(),
+		func() LoadConfig { c := base; c.Queue = "tenant-b"; c.Batch = 4; return c }(),
+	} {
+		go func(cfg LoadConfig) {
+			res, err := RunLoad(srv.Addr().String(), cfg)
+			outs <- out{res, err}
+		}(cfg)
+	}
+	for i := 0; i < 2; i++ {
+		o := <-outs
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.res.Acked == 0 {
+			t.Fatalf("tenant %q: nothing acknowledged", o.res.Config.Queue)
+		}
+		if !o.res.Conserved() {
+			t.Fatalf("tenant %q: lost=%d dup=%d", o.res.Config.Queue, o.res.Lost, o.res.Dup)
+		}
+		if o.res.Foreign != 0 {
+			t.Errorf("tenant %q: %d foreign values crossed queues", o.res.Config.Queue, o.res.Foreign)
+		}
+	}
+	if n := q.Len(); n != 0 {
+		t.Errorf("default queue picked up %d values from named-queue runs", n)
+	}
+}
+
 // TestOpenLoopForeignBacklog plants values from "a previous run" before
 // the load starts: the run must report them Foreign and still certify
 // conservation for its own values.

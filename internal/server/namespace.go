@@ -1,0 +1,239 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// Namespace errors, shipped to clients as StatusErr payload text.
+var (
+	// ErrUnknownQueue reports an operation against a queue id or name the
+	// namespace does not hold (never created, deleted, or idle-expired).
+	ErrUnknownQueue = errors.New("server: unknown queue")
+	// ErrTooManyQueues reports an OpOpen that would exceed the server's
+	// named-queue cap.
+	ErrTooManyQueues = errors.New("server: named queue limit reached")
+	// ErrBadQueueName reports an empty or oversized queue name.
+	ErrBadQueueName = errors.New("server: queue name must be 1..255 bytes")
+	// errDefaultQueue reports an OpDelete aimed at the default queue.
+	errDefaultQueue = errors.New("server: the default queue cannot be deleted")
+)
+
+// DefaultQueueName is the reserved name of queue 0, the fabric the server
+// was started with. Opening it returns id 0; deleting it is refused.
+const DefaultQueueName = "default"
+
+// tenant is one queue in the server's namespace: the default fabric
+// (id 0) or a named fabric created on first OpOpen. Each tenant owns an
+// entire ShardedQueue, so every per-queue guarantee — per-producer FIFO,
+// wait-freedom, conservation — is exactly the single-queue guarantee;
+// the namespace multiplies queues, it does not weaken them.
+type tenant struct {
+	id      uint32
+	name    string
+	q       *shard.Queue[[]byte]
+	created time.Time
+
+	// refs counts sessions currently bound to this queue; lastUse is the
+	// time of the last bind/unbind transition. Both are guarded by the
+	// namespace mutex. The idle clock only matters while refs == 0.
+	refs    int
+	lastUse time.Time
+
+	// Per-queue operation tallies, counted at the service layer when ops
+	// are acknowledged (values, not frames). Atomics: bumped by batch
+	// workers without the namespace lock.
+	enqueues atomic.Int64
+	dequeues atomic.Int64
+}
+
+// namespace is the server's queue registry: name -> tenant and id ->
+// tenant, with create-on-first-open, an upper bound on named queues, and
+// idle teardown for queues no session is bound to. Ids are never reused,
+// so a client holding the id of a deleted queue gets ErrUnknownQueue
+// rather than another tenant's data.
+type namespace struct {
+	mu      sync.Mutex
+	byName  map[string]*tenant
+	byID    map[uint32]*tenant
+	nextID  uint32
+	max     int // cap on named queues (the default queue is not counted)
+	factory func() (*shard.Queue[[]byte], error)
+
+	opened  atomic.Int64 // named queues created
+	dropped atomic.Int64 // named queues removed by OpDelete
+	expired atomic.Int64 // named queues removed by the idle reaper
+}
+
+// init seeds the namespace with the default queue as tenant 0.
+func (ns *namespace) init(def *shard.Queue[[]byte], maxQueues int, factory func() (*shard.Queue[[]byte], error)) {
+	t := &tenant{id: 0, name: DefaultQueueName, q: def, created: time.Now(), lastUse: time.Now()}
+	ns.byName = map[string]*tenant{t.name: t}
+	ns.byID = map[uint32]*tenant{0: t}
+	ns.max = maxQueues
+	ns.factory = factory
+}
+
+// open returns the tenant for name, instantiating its fabric on first use.
+// When bind is set the calling session is counted as bound (refs) under
+// the same lock, so a concurrent idle reap cannot tear the queue down
+// between creation and first use.
+func (ns *namespace) open(name string, bind bool) (*tenant, error) {
+	if len(name) == 0 || len(name) > MaxQueueName {
+		return nil, ErrBadQueueName
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	t, ok := ns.byName[name]
+	if !ok {
+		if len(ns.byName)-1 >= ns.max {
+			return nil, fmt.Errorf("%w (max %d)", ErrTooManyQueues, ns.max)
+		}
+		q, err := ns.factory()
+		if err != nil {
+			return nil, err
+		}
+		ns.nextID++
+		t = &tenant{id: ns.nextID, name: name, q: q, created: time.Now(), lastUse: time.Now()}
+		ns.byName[name] = t
+		ns.byID[t.id] = t
+		ns.opened.Add(1)
+	}
+	if bind {
+		t.refs++
+		t.lastUse = time.Now()
+	}
+	return t, nil
+}
+
+// bind resolves a queue id and counts the calling session as bound.
+func (ns *namespace) bind(qid uint32) (*tenant, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	t, ok := ns.byID[qid]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownQueue, qid)
+	}
+	t.refs++
+	t.lastUse = time.Now()
+	return t, nil
+}
+
+// unbind reverses one bind; the queue's idle clock starts when the last
+// session unbinds.
+func (ns *namespace) unbind(t *tenant) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	t.refs--
+	t.lastUse = time.Now()
+}
+
+// lookup resolves a queue id without binding (for OpLen, which needs no
+// handle lease).
+func (ns *namespace) lookup(qid uint32) (*tenant, bool) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	t, ok := ns.byID[qid]
+	return t, ok
+}
+
+// remove deletes a named queue: it disappears from the namespace at once
+// (subsequent opens create a fresh queue under a fresh id) and its fabric
+// is closed, so bound sessions' enqueues start failing StatusClosed while
+// their dequeues may drain the remainder. Values still inside the fabric
+// are dropped with it — deletion is the owner's explicit choice, exactly
+// like closing a local fabric that still holds elements.
+func (ns *namespace) remove(name string) error {
+	ns.mu.Lock()
+	t, ok := ns.byName[name]
+	if !ok {
+		ns.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownQueue, name)
+	}
+	if t.id == 0 {
+		ns.mu.Unlock()
+		return errDefaultQueue
+	}
+	delete(ns.byName, name)
+	delete(ns.byID, t.id)
+	ns.dropped.Add(1)
+	ns.mu.Unlock()
+	t.q.Close()
+	return nil
+}
+
+// reapIdle removes named queues that have had no bound session since
+// cutoff and are empty, closing their fabrics, and reports how many it
+// removed. Emptiness is part of the predicate: an idle queue still
+// holding a backlog is someone's data and survives until drained or
+// explicitly deleted.
+func (ns *namespace) reapIdle(cutoff time.Time) int {
+	ns.mu.Lock()
+	var victims []*tenant
+	for _, t := range ns.byID {
+		if t.id == 0 || t.refs > 0 || t.lastUse.After(cutoff) {
+			continue
+		}
+		if t.q.Len() > 0 {
+			continue
+		}
+		victims = append(victims, t)
+	}
+	for _, t := range victims {
+		delete(ns.byName, t.name)
+		delete(ns.byID, t.id)
+		ns.expired.Add(1)
+	}
+	ns.mu.Unlock()
+	for _, t := range victims {
+		t.q.Close()
+	}
+	return len(victims)
+}
+
+// count returns the number of live queues, including the default queue.
+func (ns *namespace) count() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return len(ns.byID)
+}
+
+// QueueStat is a point-in-time view of one queue in the namespace, part
+// of the stable /statsz JSON encoding. Enqueues/Dequeues count values
+// acknowledged at the service layer (a batch frame carrying m values adds
+// m), so per-queue conservation is auditable from the outside: for a
+// quiescent queue, Enqueues - Dequeues == Len.
+type QueueStat struct {
+	ID       uint32 `json:"id"`
+	Name     string `json:"name"`
+	Sessions int    `json:"sessions"` // sessions currently bound to this queue
+	Len      int    `json:"len"`      // fabric backlog estimate
+	Enqueues int64  `json:"enqueues"` // values acknowledged enqueued
+	Dequeues int64  `json:"dequeues"` // values delivered by dequeue replies
+}
+
+// queueStats snapshots every live queue, ordered by id (the default queue
+// first).
+func (ns *namespace) queueStats() []QueueStat {
+	ns.mu.Lock()
+	out := make([]QueueStat, 0, len(ns.byID))
+	for _, t := range ns.byID {
+		out = append(out, QueueStat{
+			ID:       t.id,
+			Name:     t.name,
+			Sessions: t.refs,
+			Len:      t.q.Len(),
+			Enqueues: t.enqueues.Load(),
+			Dequeues: t.dequeues.Load(),
+		})
+	}
+	ns.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -23,6 +23,9 @@ type options struct {
 	batchMax    int
 	idleTimeout time.Duration
 	maxFrame    int
+	maxQueues   int
+	queueIdle   time.Duration
+	factory     func() (*shard.Queue[[]byte], error)
 }
 
 // WithWindow sets the per-connection in-flight window W (default 64): the
@@ -51,6 +54,31 @@ func WithMaxFrame(n int) Option {
 	return func(o *options) { o.maxFrame = n }
 }
 
+// WithMaxQueues caps how many named queues the server will hold at once
+// (default DefaultMaxQueues; the default queue 0 is not counted). An
+// OpOpen beyond the cap is answered StatusErr.
+func WithMaxQueues(n int) Option {
+	return func(o *options) { o.maxQueues = n }
+}
+
+// WithQueueIdleTimeout sets how long a named queue may sit with no bound
+// session — and no backlog — before its fabric is torn down (default 5m;
+// 0 disables teardown). A torn-down name is recreated fresh on the next
+// OpOpen.
+func WithQueueIdleTimeout(d time.Duration) Option {
+	return func(o *options) { o.queueIdle = d }
+}
+
+// WithQueueFactory overrides how named queues' fabrics are built. The
+// default clones the default queue's shape: same shard count, backend,
+// and handle-slot count.
+func WithQueueFactory(f func() (*shard.Queue[[]byte], error)) Option {
+	return func(o *options) { o.factory = f }
+}
+
+// DefaultMaxQueues is the default cap on named queues per server.
+const DefaultMaxQueues = 64
+
 // serverStats are the service-level counters exported through Snapshot.
 // enqueues/dequeues count operations (values), not frames: a batch frame
 // carrying m values adds m.
@@ -70,11 +98,14 @@ type serverStats struct {
 	fabricBatchOps atomic.Int64 // queue ops carried by multi-op fabric calls
 }
 
-// Server is a TCP queue service fronting one sharded fabric.
+// Server is a TCP queue service fronting a namespace of sharded fabrics:
+// the default queue it was started with (id 0) plus any named queues
+// clients open.
 type Server struct {
 	q        *shard.Queue[[]byte]
 	ln       net.Listener
 	opts     options
+	ns       namespace
 	sessions sessionTable
 	stats    serverStats
 	wg       sync.WaitGroup
@@ -83,15 +114,19 @@ type Server struct {
 }
 
 // Serve listens on addr (e.g. "127.0.0.1:0" for an ephemeral port) and
-// serves q until Close. Each accepted connection leases one fabric handle
-// for its lifetime; when the registry is exhausted the connection is
-// refused with a StatusErr frame so clients can distinguish "service full"
-// from a network failure.
+// serves q — as the namespace's default queue 0 — until Close. Each
+// accepted connection leases one handle of q for its lifetime; when the
+// registry is exhausted the connection is refused with a StatusErr frame
+// so clients can distinguish "service full" from a network failure.
+// Handles of named queues are leased per (connection, queue) on first
+// use.
 func Serve(addr string, q *shard.Queue[[]byte], opts ...Option) (*Server, error) {
 	o := options{
 		window:      64,
 		idleTimeout: 2 * time.Minute,
 		maxFrame:    DefaultMaxFrame,
+		maxQueues:   DefaultMaxQueues,
+		queueIdle:   5 * time.Minute,
 	}
 	for _, opt := range opts {
 		opt(&o)
@@ -105,6 +140,18 @@ func Serve(addr string, q *shard.Queue[[]byte], opts ...Option) (*Server, error)
 	if o.maxFrame < frameHeader {
 		return nil, fmt.Errorf("server: max frame %d below header size", o.maxFrame)
 	}
+	if o.maxQueues < 0 {
+		return nil, fmt.Errorf("server: max queues must not be negative (got %d)", o.maxQueues)
+	}
+	if o.factory == nil {
+		// Named queues inherit the default fabric's shape. Each named queue
+		// is its own ShardedQueue, so its guarantees are per-queue exact.
+		o.factory = func() (*shard.Queue[[]byte], error) {
+			return shard.New[[]byte](q.Shards(),
+				shard.WithBackend(q.Backend()),
+				shard.WithMaxHandles(q.MaxHandles()))
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -115,6 +162,7 @@ func Serve(addr string, q *shard.Queue[[]byte], opts ...Option) (*Server, error)
 		opts: o,
 		done: make(chan struct{}),
 	}
+	srv.ns.init(q, o.maxQueues, o.factory)
 	srv.sessions.init()
 	srv.wg.Add(1)
 	go srv.acceptLoop()
@@ -122,13 +170,19 @@ func Serve(addr string, q *shard.Queue[[]byte], opts ...Option) (*Server, error)
 		srv.wg.Add(1)
 		go srv.reapLoop(o.idleTimeout)
 	}
+	if o.queueIdle > 0 {
+		srv.wg.Add(1)
+		go srv.queueReapLoop(o.queueIdle)
+	}
 	return srv, nil
 }
 
 // Addr returns the listener's address (with the ephemeral port resolved).
 func (srv *Server) Addr() net.Addr { return srv.ln.Addr() }
 
-// Queue returns the fabric this server fronts.
+// Queue returns the namespace's default queue 0, the fabric this server
+// was started with. Named queues' fabrics are server-owned and reachable
+// only through the wire protocol and Snapshot.
 func (srv *Server) Queue() *shard.Queue[[]byte] { return srv.q }
 
 // Close stops accepting, closes every live session (releasing its handle
@@ -168,8 +222,8 @@ func (srv *Server) acceptLoop() {
 	}
 }
 
-// startSession leases a handle for conn and spawns its read loop + batch
-// worker pair.
+// startSession leases a default-queue handle for conn and spawns its read
+// loop + batch worker pair.
 func (srv *Server) startSession(conn net.Conn) {
 	h, err := srv.q.Acquire()
 	if err != nil {
@@ -182,11 +236,17 @@ func (srv *Server) startSession(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	def, err := srv.ns.bind(0)
+	if err != nil { // unreachable: tenant 0 always exists
+		h.Release()
+		conn.Close()
+		return
+	}
 	s := &session{
-		conn:  conn,
-		h:     h,
-		srv:   srv,
-		reqCh: make(chan frame, srv.opts.window),
+		conn:     conn,
+		srv:      srv,
+		bindings: map[uint32]*binding{0: {t: def, h: h}},
+		reqCh:    make(chan frame, srv.opts.window),
 	}
 	s.touch()
 	srv.sessions.add(s)
@@ -287,29 +347,34 @@ func (srv *Server) batchWorker(s *session) {
 }
 
 // processWindow executes one drained window. Runs of adjacent single-op
-// enqueue (resp. dequeue) frames are coalesced into one fabric batch call;
-// everything else executes frame by frame. Coalescing preserves the
-// session's request order — runs never reorder across a frame of a
-// different kind — so pipelined enqueue-then-dequeue sequences observe
-// exactly the single-op semantics.
+// enqueue (resp. dequeue) frames targeting the same queue are coalesced
+// into one fabric batch call; everything else executes frame by frame.
+// Coalescing preserves the session's request order — runs never reorder
+// across a frame of a different kind or queue — so pipelined
+// enqueue-then-dequeue sequences observe exactly the single-op semantics.
 func (srv *Server) processWindow(s *session, window []frame, bw *bufio.Writer) error {
+	decs := s.decs[:0]
+	for _, f := range window {
+		decs = append(decs, decodeOp(f))
+	}
+	s.decs = decs
 	for i := 0; i < len(window); {
-		kind := window[i].kind
+		d := decs[i]
 		j := i + 1
-		if kind == OpEnqueue || kind == OpDequeue {
-			for j < len(window) && window[j].kind == kind {
+		if !d.bad && (d.op == OpEnqueue || d.op == OpDequeue) {
+			for j < len(window) && !decs[j].bad && decs[j].op == d.op && decs[j].qid == d.qid {
 				j++
 			}
 		}
 		run := window[i:j]
 		var err error
 		switch {
-		case len(run) > 1 && kind == OpEnqueue:
-			err = srv.executeEnqueueRun(s, run, bw)
-		case len(run) > 1 && kind == OpDequeue:
-			err = srv.executeDequeueRun(s, run, bw)
+		case len(run) > 1 && d.op == OpEnqueue:
+			err = srv.executeEnqueueRun(s, d.qid, run, decs[i:j], bw)
+		case len(run) > 1 && d.op == OpDequeue:
+			err = srv.executeDequeueRun(s, d.qid, run, bw)
 		default:
-			err = srv.execute(s, run[0], bw)
+			err = srv.execute(s, run[0], d, bw)
 		}
 		if err != nil {
 			return err
@@ -319,29 +384,45 @@ func (srv *Server) processWindow(s *session, window []frame, bw *bufio.Writer) e
 	return nil
 }
 
+// refuseRun answers every frame of a run with the same request-scoped
+// error (unknown queue, per-queue registry exhausted).
+func (srv *Server) refuseRun(run []frame, err error, bw *bufio.Writer) error {
+	for _, f := range run {
+		if werr := writeFrame(bw, f.id, StatusErr, []byte(err.Error())); werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
 // executeEnqueueRun installs a coalesced run of single-enqueue frames as
-// one fabric batch and writes each frame's reply. Oversized values (ones a
-// batch reply could not ship back) are rare enough that the whole run
-// falls back to frame-by-frame execution, where they are rejected
-// individually.
-func (srv *Server) executeEnqueueRun(s *session, run []frame, bw *bufio.Writer) error {
+// one fabric batch on the run's queue and writes each frame's reply.
+// Oversized values (ones a batch reply could not ship back) are rare
+// enough that the whole run falls back to frame-by-frame execution, where
+// they are rejected individually.
+func (srv *Server) executeEnqueueRun(s *session, qid uint32, run []frame, decs []decoded, bw *bufio.Writer) error {
+	b, berr := s.bind(qid)
+	if berr != nil {
+		return srv.refuseRun(run, berr, bw)
+	}
 	vals := make([][]byte, len(run))
-	for i, f := range run {
-		if !srv.enqueueFits(f.payload) {
-			for _, f := range run {
-				if err := srv.execute(s, f, bw); err != nil {
+	for i, d := range decs {
+		if !srv.enqueueFits(d.rest) {
+			for k, f := range run {
+				if err := srv.execute(s, f, decs[k], bw); err != nil {
 					return err
 				}
 			}
 			return nil
 		}
-		vals[i] = f.payload
+		vals[i] = d.rest
 	}
-	err := s.h.EnqueueBatch(vals)
+	err := b.h.EnqueueBatch(vals)
 	if err == nil {
 		srv.noteFabricBatch(int64(len(run)))
 		srv.stats.enqueues.Add(int64(len(run)))
 		srv.stats.batchedOps.Add(int64(len(run)))
+		b.t.enqueues.Add(int64(len(run)))
 	}
 	for _, f := range run {
 		status := StatusOK
@@ -356,13 +437,18 @@ func (srv *Server) executeEnqueueRun(s *session, run []frame, bw *bufio.Writer) 
 }
 
 // executeDequeueRun serves a coalesced run of single-dequeue frames from
-// one fabric batch call (stash first — see session.stash), assigning the
-// values to the frames in order; frames beyond the values get StatusEmpty.
-// A reply that fails to write was not delivered (the client cannot parse a
-// truncated length-prefixed frame), so its value and everything after it
-// go back to the stash for teardown to re-enqueue.
-func (srv *Server) executeDequeueRun(s *session, run []frame, bw *bufio.Writer) error {
-	vals, fromFabric := s.takeValues(len(run))
+// one fabric batch call on the run's queue (stash first — see
+// binding.stash), assigning the values to the frames in order; frames
+// beyond the values get StatusEmpty. A reply that fails to write was not
+// delivered (the client cannot parse a truncated length-prefixed frame),
+// so its value and everything after it go back to the stash for teardown
+// to re-enqueue.
+func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, bw *bufio.Writer) error {
+	b, berr := s.bind(qid)
+	if berr != nil {
+		return srv.refuseRun(run, berr, bw)
+	}
+	vals, fromFabric := b.takeValues(len(run))
 	if fromFabric > 0 {
 		srv.noteFabricBatch(fromFabric)
 	}
@@ -370,10 +456,11 @@ func (srv *Server) executeDequeueRun(s *session, run []frame, bw *bufio.Writer) 
 	for i, f := range run {
 		if i < len(vals) {
 			if err := writeFrame(bw, f.id, StatusOK, vals[i]); err != nil {
-				s.stash = append(s.stash, vals[i:]...)
+				b.stash = append(b.stash, vals[i:]...)
 				return err
 			}
 			srv.stats.dequeues.Add(1)
+			b.t.dequeues.Add(1)
 			continue
 		}
 		srv.stats.emptyDeqs.Add(1)
@@ -384,20 +471,20 @@ func (srv *Server) executeDequeueRun(s *session, run []frame, bw *bufio.Writer) 
 	return nil
 }
 
-// takeValues returns up to n dequeued values — the session's stash first
+// takeValues returns up to n dequeued values — the binding's stash first
 // (values dequeued earlier that overflowed a reply), then one fabric batch
 // call for the remainder — and how many of them came from the fabric call.
-func (s *session) takeValues(n int) (vals [][]byte, fromFabric int64) {
-	if len(s.stash) > 0 {
-		k := min(n, len(s.stash))
-		vals = append(vals, s.stash[:k]...)
-		s.stash = s.stash[k:]
-		if len(s.stash) == 0 {
-			s.stash = nil
+func (b *binding) takeValues(n int) (vals [][]byte, fromFabric int64) {
+	if len(b.stash) > 0 {
+		k := min(n, len(b.stash))
+		vals = append(vals, b.stash[:k]...)
+		b.stash = b.stash[k:]
+		if len(b.stash) == 0 {
+			b.stash = nil
 		}
 	}
 	if len(vals) < n {
-		vs, got := s.h.DequeueBatch(n - len(vals))
+		vs, got := b.h.DequeueBatch(n - len(vals))
 		vals = append(vals, vs...)
 		fromFabric = int64(got)
 	}
@@ -417,31 +504,47 @@ func (srv *Server) noteFabricBatch(n int64) {
 	srv.stats.fabricBatchOps.Add(n)
 }
 
-// execute runs one request against the session's leased handle and writes
-// (but does not flush) the reply.
-func (srv *Server) execute(s *session, f frame, bw *bufio.Writer) error {
-	switch f.kind {
+// execute runs one request against its target queue's session lease and
+// writes (but does not flush) the reply. Queue resolution failures —
+// unknown id, per-queue registry exhausted, bad name — are request-scoped
+// StatusErr replies, never connection failures.
+func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) error {
+	if d.bad {
+		return writeFrame(bw, f.id, StatusErr,
+			[]byte(fmt.Sprintf("opcode 0x%02x payload %d bytes, too short for its queue id",
+				f.kind, len(f.payload))))
+	}
+	switch d.op {
 	case StatusBusy: // BUSY marker injected by the read loop
 		return writeFrame(bw, f.id, StatusBusy, nil)
 	case OpEnqueue:
-		if !srv.enqueueFits(f.payload) {
+		if !srv.enqueueFits(d.rest) {
 			return writeFrame(bw, f.id, StatusErr,
 				[]byte(fmt.Sprintf("value of %d bytes cannot fit a reply within the %d-byte frame cap",
-					len(f.payload), srv.opts.maxFrame)))
+					len(d.rest), srv.opts.maxFrame)))
 		}
-		if err := s.h.Enqueue(f.payload); err != nil {
+		b, err := s.bind(d.qid)
+		if err != nil {
+			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+		}
+		if err := b.h.Enqueue(d.rest); err != nil {
 			return writeFrame(bw, f.id, StatusClosed, nil)
 		}
 		srv.stats.enqueues.Add(1)
 		srv.stats.batchedOps.Add(1)
+		b.t.enqueues.Add(1)
 		return writeFrame(bw, f.id, StatusOK, nil)
 	case OpDequeue:
+		b, err := s.bind(d.qid)
+		if err != nil {
+			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+		}
 		var v []byte
 		ok := false
-		if len(s.stash) > 0 { // ship overflow values before new fabric pulls
-			v, ok = s.popStash(), true
+		if len(b.stash) > 0 { // ship overflow values before new fabric pulls
+			v, ok = b.popStash(), true
 		} else {
-			v, ok = s.h.Dequeue()
+			v, ok = b.h.Dequeue()
 		}
 		srv.stats.batchedOps.Add(1)
 		if !ok {
@@ -449,39 +552,54 @@ func (srv *Server) execute(s *session, f frame, bw *bufio.Writer) error {
 			return writeFrame(bw, f.id, StatusEmpty, nil)
 		}
 		if err := writeFrame(bw, f.id, StatusOK, v); err != nil {
-			s.stash = append(s.stash, v) // undelivered: teardown re-enqueues
+			b.stash = append(b.stash, v) // undelivered: teardown re-enqueues
 			return err
 		}
 		srv.stats.dequeues.Add(1)
+		b.t.dequeues.Add(1)
 		return nil
 	case OpEnqueueBatch:
-		vals, err := decodeBatch(f.payload)
+		vals, err := decodeBatch(d.rest)
 		if err != nil {
 			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
 		}
 		if len(vals) == 0 {
 			return writeFrame(bw, f.id, StatusOK, nil)
 		}
-		if err := s.h.EnqueueBatch(vals); err != nil {
+		b, err := s.bind(d.qid)
+		if err != nil {
+			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+		}
+		if err := b.h.EnqueueBatch(vals); err != nil {
 			return writeFrame(bw, f.id, StatusClosed, nil)
 		}
 		srv.noteFabricBatch(int64(len(vals)))
 		srv.stats.enqueues.Add(int64(len(vals)))
 		srv.stats.batchedOps.Add(int64(len(vals)))
+		b.t.enqueues.Add(int64(len(vals)))
 		return writeFrame(bw, f.id, StatusOK, nil)
 	case OpDequeueBatch:
-		if len(f.payload) != 4 {
+		if len(d.rest) != 4 {
 			return writeFrame(bw, f.id, StatusErr,
-				[]byte(fmt.Sprintf("dequeue batch payload %d bytes, want 4", len(f.payload))))
+				[]byte(fmt.Sprintf("dequeue batch payload %d bytes, want 4", len(d.rest))))
 		}
-		n := int(binary.BigEndian.Uint32(f.payload))
+		n := int(binary.BigEndian.Uint32(d.rest))
 		if n > MaxBatchOps {
 			n = MaxBatchOps
 		}
-		return srv.executeDequeueBatch(s, f.id, n, bw)
+		b, err := s.bind(d.qid)
+		if err != nil {
+			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+		}
+		return srv.executeDequeueBatch(b, f.id, n, bw)
 	case OpLen:
+		t, ok := srv.ns.lookup(d.qid)
+		if !ok {
+			return writeFrame(bw, f.id, StatusErr,
+				[]byte(fmt.Sprintf("%s: id %d", ErrUnknownQueue.Error(), d.qid)))
+		}
 		var buf [8]byte
-		binary.BigEndian.PutUint64(buf[:], uint64(srv.q.Len()))
+		binary.BigEndian.PutUint64(buf[:], uint64(t.q.Len()))
 		return writeFrame(bw, f.id, StatusOK, buf[:])
 	case OpStats:
 		data, err := json.Marshal(srv.Snapshot())
@@ -489,19 +607,54 @@ func (srv *Server) execute(s *session, f frame, bw *bufio.Writer) error {
 			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
 		}
 		return writeFrame(bw, f.id, StatusOK, data)
+	case OpOpen:
+		t, err := srv.openQueue(s, string(d.rest))
+		if err != nil {
+			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+		}
+		var buf [queueIDLen]byte
+		binary.BigEndian.PutUint32(buf[:], t.id)
+		return writeFrame(bw, f.id, StatusOK, buf[:])
+	case OpDelete:
+		if err := srv.ns.remove(string(d.rest)); err != nil {
+			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+		}
+		return writeFrame(bw, f.id, StatusOK, nil)
 	default:
 		return writeFrame(bw, f.id, StatusErr,
 			[]byte(fmt.Sprintf("unknown opcode 0x%02x", f.kind)))
 	}
 }
 
-// executeDequeueBatch serves one OpDequeueBatch request: up to n values,
-// stash first, then the fabric, capped so the encoded reply never exceeds
-// the frame limit. Values that were pulled from the fabric but would
-// overflow the reply go to the session's stash and are shipped by the next
-// dequeue request instead — the frame cap must bound every frame the
-// server emits, not only the ones it reads.
-func (srv *Server) executeDequeueBatch(s *session, id uint64, n int, bw *bufio.Writer) error {
+// openQueue resolves OpOpen for one session: the named queue is created
+// on first use (its fabric instantiated then, not before), and the
+// session binds to it so the idle reaper leaves it alone while the
+// session lives. Creation and binding happen under one namespace lock,
+// so the reaper cannot tear a pre-existing idle queue down between the
+// two; a re-open of a queue this session already holds undoes the extra
+// ref. The handle lease itself stays lazy — opening a queue reserves no
+// registry slot until the first data operation.
+func (srv *Server) openQueue(s *session, name string) (*tenant, error) {
+	t, err := srv.ns.open(name, true)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := s.bindings[t.id]; ok {
+		srv.ns.unbind(t) // already bound: one ref per (session, queue)
+	} else {
+		s.bindings[t.id] = &binding{t: t}
+	}
+	return t, nil
+}
+
+// executeDequeueBatch serves one OpDequeueBatch request against one
+// queue binding: up to n values, stash first, then the fabric, capped so
+// the encoded reply never exceeds the frame limit. Values that were
+// pulled from the fabric but would overflow the reply go to the binding's
+// stash and are shipped by the next dequeue request instead — the frame
+// cap must bound every frame the server emits, not only the ones it
+// reads.
+func (srv *Server) executeDequeueBatch(b *binding, id uint64, n int, bw *bufio.Writer) error {
 	budget := srv.opts.maxFrame - frameHeader - 4 // payload bytes after the count word
 	var out [][]byte
 	take := func(v []byte) bool {
@@ -513,16 +666,16 @@ func (srv *Server) executeDequeueBatch(s *session, id uint64, n int, bw *bufio.W
 		return true
 	}
 	full := false
-	for len(s.stash) > 0 && len(out) < n && !full {
-		if take(s.stash[0]) {
-			s.popStash()
+	for len(b.stash) > 0 && len(out) < n && !full {
+		if take(b.stash[0]) {
+			b.popStash()
 		} else {
 			full = true
 		}
 	}
 	for !full && len(out) < n {
 		want := n - len(out)
-		vs, got := s.h.DequeueBatch(want)
+		vs, got := b.h.DequeueBatch(want)
 		if got > 0 {
 			srv.noteFabricBatch(int64(got))
 		}
@@ -531,7 +684,7 @@ func (srv *Server) executeDequeueBatch(s *session, id uint64, n int, bw *bufio.W
 				continue
 			}
 			// Reply full: everything already pulled is owed to this session.
-			s.stash = append(s.stash, vs[i:]...)
+			b.stash = append(b.stash, vs[i:]...)
 			full = true
 			break
 		}
@@ -548,38 +701,45 @@ func (srv *Server) executeDequeueBatch(s *session, id uint64, n int, bw *bufio.W
 	if err := writeFrame(bw, id, StatusOK, encodeBatch(out)); err != nil {
 		// The reply never reached the client as a parseable frame; keep its
 		// values for teardown to re-enqueue.
-		s.stash = append(s.stash, out...)
+		b.stash = append(b.stash, out...)
 		return err
 	}
 	srv.stats.dequeues.Add(int64(len(out)))
+	b.t.dequeues.Add(int64(len(out)))
 	return nil
 }
 
 // popStash removes and returns the stash head; the stash must be nonempty.
-func (s *session) popStash() []byte {
-	v := s.stash[0]
-	s.stash = s.stash[1:]
-	if len(s.stash) == 0 {
-		s.stash = nil
+func (b *binding) popStash() []byte {
+	v := b.stash[0]
+	b.stash = b.stash[1:]
+	if len(b.stash) == 0 {
+		b.stash = nil
 	}
 	return v
 }
 
-// finishSession releases the session's handle lease and unregisters it.
-// Stashed values (dequeued from the fabric but never shipped) are returned
-// to the fabric first, so a client disconnecting between an overflowing
-// batch dequeue and the next request cannot lose values; the re-enqueue
-// appends them behind the current backlog, trading their FIFO position for
-// conservation. Only a fabric closed by its owner can make this fail, and
-// then the loss is the owner's explicit choice.
+// finishSession releases every queue lease the session holds and
+// unregisters it. Per queue, stashed values (dequeued from that queue's
+// fabric but never shipped) are returned to the same fabric first, so a
+// client disconnecting between an overflowing batch dequeue and the next
+// request cannot lose values; the re-enqueue appends them behind the
+// current backlog, trading their FIFO position for conservation. Only a
+// fabric closed by its owner — or a named queue its owner deleted — can
+// make this fail, and then the loss is the owner's explicit choice.
 func (srv *Server) finishSession(s *session) {
 	s.shutdown()
 	if srv.sessions.remove(s.id) {
-		if len(s.stash) > 0 {
-			s.h.EnqueueBatch(s.stash)
-			s.stash = nil
+		for _, b := range s.bindings {
+			if b.h != nil {
+				if len(b.stash) > 0 {
+					b.h.EnqueueBatch(b.stash)
+					b.stash = nil
+				}
+				b.h.Release()
+			}
+			srv.ns.unbind(b.t)
 		}
-		s.h.Release()
 	}
 }
 
@@ -606,14 +766,23 @@ type Stats struct {
 	OpsPerBatch    float64 `json:"ops_per_batch"`    // BatchedOps / Batches
 	Window         int     `json:"window"`
 	BatchMax       int     `json:"batch_max"`
+
+	// Namespace counters: live queue count (default queue included) and
+	// named-queue lifecycle churn.
+	QueuesOpen    int   `json:"queues_open"`
+	QueuesOpened  int64 `json:"queues_opened"`  // named queues created by OpOpen
+	QueuesDeleted int64 `json:"queues_deleted"` // named queues removed by OpDelete
+	QueuesExpired int64 `json:"queues_expired"` // named queues torn down by the idle reaper
 }
 
 // Snapshot is the stable JSON document served by /statsz and OpStats:
-// service counters plus the fabric's own snapshot (per-shard routing
-// traffic, registry lease churn, optional cost-model summaries).
+// service counters, the default fabric's own snapshot (per-shard routing
+// traffic, registry lease churn, optional cost-model summaries), and one
+// entry per live queue in the namespace.
 type Snapshot struct {
 	Server Stats          `json:"server"`
 	Fabric shard.Snapshot `json:"fabric"`
+	Queues []QueueStat    `json:"queues"`
 }
 
 // Snapshot captures the server and fabric statistics.
@@ -635,11 +804,15 @@ func (srv *Server) Snapshot() Snapshot {
 		FabricBatchOps: srv.stats.fabricBatchOps.Load(),
 		Window:         srv.opts.window,
 		BatchMax:       srv.opts.batchMax,
+		QueuesOpen:     srv.ns.count(),
+		QueuesOpened:   srv.ns.opened.Load(),
+		QueuesDeleted:  srv.ns.dropped.Load(),
+		QueuesExpired:  srv.ns.expired.Load(),
 	}
 	if st.Batches > 0 {
 		st.OpsPerBatch = float64(st.BatchedOps) / float64(st.Batches)
 	}
-	return Snapshot{Server: st, Fabric: srv.q.Snapshot()}
+	return Snapshot{Server: st, Fabric: srv.q.Snapshot(), Queues: srv.ns.queueStats()}
 }
 
 // StatszHandler serves the Snapshot as JSON — mount it at /statsz.

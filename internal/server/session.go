@@ -9,28 +9,32 @@ import (
 	"repro/internal/shard"
 )
 
-// session is one accepted connection and the fabric handle leased to it.
-// The lease spans the connection's lifetime: Acquire at accept, Release at
-// teardown, so the paper's per-process handle becomes a per-client
+// session is one accepted connection and the fabric handles leased to it.
+// Leases are per (connection, queue): the default queue's handle is
+// acquired at accept (so a full registry refuses the connection up
+// front), named queues' handles are acquired lazily on the first
+// operation that targets them, and every lease is released at teardown —
+// the paper's per-process handle becomes a per-client-per-queue
 // capability and registry churn mirrors connection churn.
 type session struct {
 	id   uint64
 	conn net.Conn
-	h    *shard.Handle[[]byte]
 	srv  *Server
+
+	// bindings maps queue id -> this session's lease on that queue. The
+	// batch worker owns it exclusively (the default binding is installed
+	// before the worker starts), so no lock is needed; cross-session
+	// bookkeeping (tenant refcounts) lives in the namespace.
+	bindings map[uint32]*binding
 
 	// reqCh is the bounded in-flight window between the connection's read
 	// loop and its batch worker. Its capacity is the window size W: a
 	// request that arrives while W requests are pending is answered BUSY.
 	reqCh chan frame
 
-	// stash holds values already dequeued from the fabric but not yet
-	// shipped, because fitting them into the current reply would have
-	// pushed it past the frame cap. The batch worker owns it exclusively
-	// and serves it before touching the fabric again, preserving the
-	// session's dequeue order; teardown re-enqueues any remainder so no
-	// value is lost when a client disconnects mid-overflow.
-	stash [][]byte
+	// decs is the batch worker's scratch for the current window's decoded
+	// queue addressing, reused across passes.
+	decs []decoded
 
 	// lastActive is the unix-nano time of the last frame read from the
 	// connection; the reaper closes sessions idle past the idle timeout.
@@ -39,6 +43,57 @@ type session struct {
 	// closeConn guards against double-closing the connection: teardown can
 	// be triggered by a read error, server shutdown, or the idle reaper.
 	closeConn sync.Once
+}
+
+// binding is one session's attachment to one queue: the tenant (refs
+// counted in the namespace), the handle leased from that queue's fabric,
+// and the session's per-queue overflow stash.
+type binding struct {
+	t *tenant
+
+	// h is the handle leased from the tenant's fabric. It is nil between
+	// OpOpen and the first data operation: opening a queue reserves it
+	// (refs keep the idle reaper away) without spending a registry slot.
+	h *shard.Handle[[]byte]
+
+	// stash holds values already dequeued from this queue's fabric but not
+	// yet shipped, because fitting them into the current reply would have
+	// pushed it past the frame cap. The batch worker owns it exclusively
+	// and serves it before touching the fabric again, preserving the
+	// session's per-queue dequeue order; teardown re-enqueues any
+	// remainder into the same queue so no value is lost when a client
+	// disconnects mid-overflow.
+	stash [][]byte
+}
+
+// bind resolves the session's binding for a queue id, creating it (and
+// leasing a handle from the queue's fabric) on first use. A failure is
+// request-scoped — the reply is StatusErr — never connection-scoped: an
+// unknown id or an exhausted per-queue registry must not kill a session
+// that is happily using other queues.
+func (s *session) bind(qid uint32) (*binding, error) {
+	if b, ok := s.bindings[qid]; ok {
+		if b.h == nil {
+			h, err := b.t.q.Acquire()
+			if err != nil {
+				return nil, err // not cached: a slot may free up later
+			}
+			b.h = h
+		}
+		return b, nil
+	}
+	t, err := s.srv.ns.bind(qid)
+	if err != nil {
+		return nil, err
+	}
+	h, err := t.q.Acquire()
+	if err != nil {
+		s.srv.ns.unbind(t)
+		return nil, err
+	}
+	b := &binding{t: t, h: h}
+	s.bindings[qid] = b
+	return b, nil
 }
 
 // touch records activity for the idle reaper.
@@ -121,5 +176,23 @@ func (srv *Server) reapLoop(timeout time.Duration) {
 				s.shutdown()
 			}
 		}
+	}
+}
+
+// queueReapLoop tears down named queues that have been empty and unbound
+// longer than timeout, so a tenant that opened a queue, drained it, and
+// went away does not pin a whole fabric forever. It wakes at half the
+// timeout, mirroring the session reaper's cadence.
+func (srv *Server) queueReapLoop(timeout time.Duration) {
+	defer srv.wg.Done()
+	tick := time.NewTicker(timeout / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-srv.done:
+			return
+		case <-tick.C:
+		}
+		srv.ns.reapIdle(time.Now().Add(-timeout))
 	}
 }

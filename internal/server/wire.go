@@ -7,16 +7,24 @@
 // socket flush, so a round-trip's fixed costs (syscalls, scheduling) are
 // paid once per batch rather than once per operation.
 //
-// Three pieces make up the service:
+// Four pieces make up the service:
 //
 //   - A length-prefixed binary wire protocol (this file) carrying
-//     Enqueue/Dequeue/Len/Stats requests and their replies, each tagged
-//     with a client-chosen id so requests can be pipelined and replies
-//     matched out of band.
-//   - A session manager (session.go): every accepted connection leases one
-//     fabric handle from the dynamic registry for its lifetime (Acquire on
-//     connect, Release on close) and is reaped when idle, so a dead client
-//     cannot pin a handle slot forever.
+//     Enqueue/Dequeue/Len/Stats/Open/Delete requests and their replies,
+//     each tagged with a client-chosen id so requests can be pipelined
+//     and replies matched out of band. Data opcodes come in two flavors:
+//     unqualified (targeting the default queue 0, wire-compatible with
+//     pre-namespace clients) and queue-qualified (the payload leads with
+//     a uint32 queue id from OPEN).
+//   - A queue namespace (namespace.go): named queues inside one server,
+//     created on first OPEN — each a full sharded fabric of its own, so
+//     naming multiplies queues without weakening any per-queue guarantee
+//     — deleted explicitly or torn down when idle and empty.
+//   - A session manager (session.go): every accepted connection leases
+//     fabric handles from the dynamic registries per (connection, queue)
+//     — the default queue's at accept, named queues' on first use, all
+//     released at teardown — and is reaped when idle, so a dead client
+//     cannot pin handle slots forever.
 //   - A per-connection batcher (server.go) with a bounded in-flight
 //     window: requests beyond the window are answered with an immediate
 //     BUSY reply instead of being buffered without bound, and once the
@@ -56,6 +64,29 @@ const (
 	OpEnqueueBatch byte = 0x05 // payload: count-prefixed values (see encodeBatch)
 	OpDequeueBatch byte = 0x06 // payload: uint32 max element count
 
+	// Namespace opcodes: named queues inside one server process. OpOpen
+	// creates the named queue on first use (each named queue is its own
+	// sharded fabric) and replies with its uint32 queue id; OpDelete
+	// removes it and closes its fabric. The default queue — the fabric the
+	// server was started with — has the reserved id 0 and the reserved
+	// name "default"; it cannot be deleted.
+	OpOpen   byte = 0x07 // payload: queue name (1..MaxQueueName bytes); reply: uint32 queue id
+	OpDelete byte = 0x08 // payload: queue name
+
+	// OpQueueFlag marks the queue-qualified variant of a data opcode: the
+	// payload begins with the uint32 queue id returned by OpOpen, followed
+	// by the base opcode's payload. Unqualified opcodes keep their pre-
+	// namespace meaning — they target the default queue 0 — so clients
+	// that predate the namespace interoperate unchanged.
+	OpQueueFlag byte = 0x10
+
+	// Queue-qualified data opcodes (base opcode | OpQueueFlag).
+	OpEnqueueQ      = OpEnqueue | OpQueueFlag      // 0x11: uint32 queue id + value bytes
+	OpDequeueQ      = OpDequeue | OpQueueFlag      // 0x12: uint32 queue id
+	OpLenQ          = OpLen | OpQueueFlag          // 0x13: uint32 queue id
+	OpEnqueueBatchQ = OpEnqueueBatch | OpQueueFlag // 0x15: uint32 queue id + count-prefixed values
+	OpDequeueBatchQ = OpDequeueBatch | OpQueueFlag // 0x16: uint32 queue id + uint32 max element count
+
 	// Response statuses (server to client).
 	StatusOK     byte = 0x80 // payload: dequeue value / 8-byte length / stats JSON
 	StatusEmpty  byte = 0x81 // dequeue: fabric certified empty
@@ -78,6 +109,15 @@ const (
 	// batch request is 4 bytes however large its count, so without this cap
 	// a hostile frame could demand a multi-gigabyte reply reservation.
 	MaxBatchOps = 1 << 16
+
+	// MaxQueueName caps a queue name's length in bytes. Names travel in
+	// OpOpen/OpDelete payloads and in /statsz JSON; the cap keeps a hostile
+	// client from parking megabytes in the namespace table.
+	MaxQueueName = 255
+
+	// queueIDLen is the size of the queue-id prefix a qualified opcode
+	// carries (see OpQueueFlag).
+	queueIDLen = 4
 
 	// batchReplyOverhead is the batch encoding's cost for shipping a lone
 	// value: the count word plus the value's length word. Every value
@@ -144,6 +184,48 @@ func readFrame(r *bufio.Reader, maxFrame int) (frame, error) {
 		f.payload = body[frameHeader:]
 	}
 	return f, nil
+}
+
+// decoded is a request frame with its queue addressing resolved: the base
+// opcode (queue flag stripped), the target queue id (0 for unqualified
+// opcodes), and the payload with any queue-id prefix removed.
+type decoded struct {
+	op   byte   // base opcode, or the BUSY status marker injected by the read loop
+	qid  uint32 // target queue id; 0 is the default queue
+	rest []byte // payload after the queue-id prefix, if any
+	bad  bool   // a qualified frame too short to carry its queue id
+}
+
+// decodeOp resolves a frame's queue addressing. Unqualified opcodes target
+// queue 0; qualified ones consume a uint32 queue-id prefix from the
+// payload. Only the five defined qualified opcodes are rewritten — any
+// other flag-bearing byte (0x14, 0x17, ...) passes through untouched so
+// it is rejected as unknown rather than silently aliasing a defined op.
+// Status markers (>= 0x80) also pass through untouched.
+func decodeOp(f frame) decoded {
+	d := decoded{op: f.kind, rest: f.payload}
+	switch f.kind {
+	case OpEnqueueQ, OpDequeueQ, OpLenQ, OpEnqueueBatchQ, OpDequeueBatchQ:
+	default:
+		return d
+	}
+	d.op = f.kind &^ OpQueueFlag
+	if len(f.payload) < queueIDLen {
+		d.bad = true
+		return d
+	}
+	d.qid = binary.BigEndian.Uint32(f.payload[:queueIDLen])
+	d.rest = f.payload[queueIDLen:]
+	return d
+}
+
+// qualify prepends a queue id to an op payload, producing the payload of
+// the queue-qualified variant of the opcode.
+func qualify(qid uint32, payload []byte) []byte {
+	buf := make([]byte, queueIDLen+len(payload))
+	binary.BigEndian.PutUint32(buf[:queueIDLen], qid)
+	copy(buf[queueIDLen:], payload)
+	return buf
 }
 
 // Batch payload layout (OpEnqueueBatch requests and OpDequeueBatch StatusOK

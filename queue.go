@@ -53,10 +53,11 @@
 //	h.Enqueue("job")
 //	v, ok := h.Dequeue()
 //
-// Serve exposes a byte-valued fabric over TCP — each client connection
-// leases a fabric handle for its lifetime, pipelined requests are batched
-// into single fabric passes, and overload is answered with explicit BUSY
-// replies instead of unbounded buffering:
+// Serve exposes a byte-valued fabric over TCP as the default queue of a
+// multi-tenant namespace — each client connection leases fabric handles
+// per (connection, queue), pipelined requests are batched into single
+// fabric passes, and overload is answered with explicit BUSY replies
+// instead of unbounded buffering:
 //
 //	q, err := repro.NewShardedQueue[[]byte](8)
 //	srv, err := repro.Serve("127.0.0.1:0", q)
@@ -66,10 +67,22 @@
 //	err = c.Enqueue([]byte("job"))
 //	v, ok, err := c.Dequeue() // ok == false: queue was empty
 //
-// (cmd/queued serves a standalone instance; cmd/qload load-tests it.)
+// Named queues multiply tenants on one server without weakening any
+// per-queue guarantee: QueueClient.Open creates a queue on first use —
+// each named queue is its own sharded fabric, torn down again when idle
+// and empty — and returns a binding whose operations pipeline on the
+// same connection:
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction results.
+//	jobs, err := c.Open("jobs")
+//	err = jobs.Enqueue([]byte("render"))
+//	v2, ok, err := jobs.Dequeue()
+//	err = c.Delete("jobs") // explicit teardown; stale ids then fail loudly
+//
+// (cmd/queued serves a standalone instance; cmd/qload load-tests it,
+// including a multi-tenant sweep mode.)
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduction results.
 package repro
 
 import (

@@ -6,19 +6,33 @@ import (
 	"repro/internal/server"
 )
 
-// QueueServer is a TCP queue service fronting a ShardedQueue[[]byte]: each
-// accepted connection leases one fabric handle for its lifetime (returned
-// when the connection closes or is idle-reaped), pipelined requests are
-// coalesced into batched fabric passes, and overload is answered with
+// QueueServer is a TCP queue service fronting a namespace of sharded
+// fabrics: the default ShardedQueue[[]byte] it was started with (queue 0)
+// plus any named queues clients open — each named queue its own fabric,
+// created on first use and torn down when idle and empty. Each accepted
+// connection leases fabric handles per (connection, queue) — the default
+// queue's at accept, named queues' on first use, all returned when the
+// connection closes or is idle-reaped — pipelined requests are coalesced
+// into batched fabric passes per queue, and overload is answered with
 // explicit BUSY replies through a bounded in-flight window. See package
 // internal/server for the wire protocol.
 type QueueServer = server.Server
 
 // QueueClient speaks the queue service's wire protocol over one TCP
 // connection; it is safe for concurrent use, pipelining concurrent
-// requests. One client holds one server-side handle lease, so a client's
-// enqueues preserve FIFO order among themselves.
+// requests. Unqualified operations target the server's default queue;
+// Open binds named queues on the same connection. One client holds one
+// server-side handle lease per queue it touches, so a client's enqueues
+// into any one queue preserve FIFO order among themselves.
 type QueueClient = server.Client
+
+// NamedRemoteQueue is a client-side binding to one named queue on a
+// QueueServer, obtained with QueueClient.Open; it shares the parent
+// client's connection and pipelines with it.
+type NamedRemoteQueue = server.NamedQueue
+
+// ServerQueueStat is the per-queue entry of ServerSnapshot.Queues.
+type ServerQueueStat = server.QueueStat
 
 // ServeOption configures Serve.
 type ServeOption = server.Option
@@ -51,6 +65,17 @@ func WithServeIdleTimeout(d time.Duration) ServeOption { return server.WithIdleT
 // WithServeMaxFrame bounds a request frame's size, and so an enqueued
 // value's size (default 1 MiB).
 func WithServeMaxFrame(n int) ServeOption { return server.WithMaxFrame(n) }
+
+// WithServeMaxQueues caps how many named queues the server holds at once
+// (default 64; the default queue is not counted).
+func WithServeMaxQueues(n int) ServeOption { return server.WithMaxQueues(n) }
+
+// WithServeQueueIdleTimeout sets how long a named queue may sit with no
+// bound session and no backlog before its fabric is torn down (default
+// 5m; 0 disables teardown).
+func WithServeQueueIdleTimeout(d time.Duration) ServeOption {
+	return server.WithQueueIdleTimeout(d)
+}
 
 // Serve listens on addr and serves q over the queue service's wire
 // protocol until the returned server is Closed. Pass "127.0.0.1:0" to
