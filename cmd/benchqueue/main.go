@@ -17,7 +17,7 @@
 //
 // Experiments: casbound, enqsteps, deqsteps, retry, adversary, space,
 // boundedsteps, throughput, waitfree, ablation, sharded, service, batch,
-// multitenant, all.
+// multitenant, elastic, all.
 package main
 
 import (
@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch multitenant all)")
+		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch multitenant elastic all)")
 		ops     = flag.Int("ops", 2000, "operations per process per measurement")
 		procs   = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
 		psFlag  = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
@@ -139,6 +139,13 @@ func run(exp string, cfg runConfig) error {
 			return show(harness.ExpMultiTenant([]int{1, 2, 4},
 				harness.MultiTenantConfig{Shards: cfg.shards, Backend: cfg.backend}))
 		},
+		"elastic": func() error {
+			// T14: the autoscaler tracking a grow -> shrink -> grow load
+			// ramp, conservation-checked per phase; cmd/qload -ramp drives
+			// the full-knob version against an external autoscaling queued.
+			return show(harness.ExpElasticScaling([]int{8000, 400, 8000},
+				harness.ElasticConfig{Backend: cfg.backend}))
+		},
 		"ablation": func() error {
 			if err := show(harness.ExpAblationSearch(4, 16, []int{0, 4, 16, 64, 256}, 500)); err != nil {
 				return err
@@ -152,7 +159,7 @@ func run(exp string, cfg runConfig) error {
 	if exp == "all" {
 		for _, name := range []string{"casbound", "enqsteps", "deqsteps", "retry", "adversary",
 			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded", "batch", "service",
-			"multitenant"} {
+			"multitenant", "elastic"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -6,9 +6,14 @@
 // explicit BUSY replies. Clients address the default queue with the
 // pre-namespace opcodes or OPEN named queues — each its own fabric,
 // created on first use, capped by -max-queues, and torn down after
-// -queue-idle without bound sessions or backlog. An optional HTTP
-// endpoint exposes /statsz, a JSON snapshot of service counters,
-// per-shard routing traffic, handle-lease churn, and per-queue stats.
+// -queue-idle without bound sessions or backlog. Queue fabrics are
+// elastic: -autoscale-interval starts a per-queue shard autoscaler that
+// grows and shrinks each fabric live — conservation-preserving shrink
+// migrations included — between -min-shards and -max-shards, and clients
+// can resize manually through the wire-level RESIZE opcode. An optional
+// HTTP endpoint exposes /statsz, a JSON snapshot of service counters,
+// per-shard routing traffic, handle-lease churn, and per-queue stats
+// (shard count, topology epoch, and resize history included).
 //
 // Usage:
 //
@@ -16,6 +21,7 @@
 //	queued -addr 127.0.0.1:0 -addr-file /tmp/queued.addr   # ephemeral port
 //	queued -statsz 127.0.0.1:7475      # curl http://127.0.0.1:7475/statsz
 //	queued -max-queues 128 -queue-idle 10m                 # tenant knobs
+//	queued -autoscale-interval 500ms -min-shards 1 -max-shards 16
 //
 // Drive it with cmd/qload, the open-loop load generator (-queue targets a
 // named queue; -tenants sweeps several at once).
@@ -48,17 +54,21 @@ func main() {
 		maxQueues = flag.Int("max-queues", server.DefaultMaxQueues, "max named queues (each its own fabric; OPEN beyond the cap is refused)")
 		queueIdle = flag.Duration("queue-idle", 5*time.Minute, "tear down named queues unbound and empty this long (0 disables)")
 		statsz    = flag.String("statsz", "", "HTTP listen address for the /statsz JSON endpoint (empty disables)")
+		minShards = flag.Int("min-shards", server.DefaultMinShards, "lower bound on any queue's shard count (autoscaler and wire RESIZE)")
+		maxShards = flag.Int("max-shards", server.DefaultMaxShards, "upper bound on any queue's shard count (autoscaler and wire RESIZE)")
+		autoscale = flag.Duration("autoscale-interval", 0, "per-queue shard autoscaler tick (0 disables autoscaling)")
 	)
 	flag.Parse()
 	if err := run(*addr, *addrFile, *shards, *backend, *handles, *window, *batch, *idle,
-		*maxFrame, *maxQueues, *queueIdle, *statsz); err != nil {
+		*maxFrame, *maxQueues, *queueIdle, *statsz, *minShards, *maxShards, *autoscale); err != nil {
 		fmt.Fprintln(os.Stderr, "queued:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, addrFile string, shards int, backend string, handles, window, batch int,
-	idle time.Duration, maxFrame, maxQueues int, queueIdle time.Duration, statsz string) error {
+	idle time.Duration, maxFrame, maxQueues int, queueIdle time.Duration, statsz string,
+	minShards, maxShards int, autoscale time.Duration) error {
 	q, err := newFabric(shards, backend, handles)
 	if err != nil {
 		return err
@@ -69,13 +79,19 @@ func run(addr, addrFile string, shards int, backend string, handles, window, bat
 		server.WithIdleTimeout(idle),
 		server.WithMaxFrame(maxFrame),
 		server.WithMaxQueues(maxQueues),
-		server.WithQueueIdleTimeout(queueIdle))
+		server.WithQueueIdleTimeout(queueIdle),
+		server.WithShardBounds(minShards, maxShards),
+		server.WithAutoscale(autoscale))
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	fmt.Printf("queued: listening on %s (%d shards, %s backend, %d handle slots, %d named queues max)\n",
 		srv.Addr(), q.Shards(), q.Backend(), q.MaxHandles(), maxQueues)
+	if autoscale > 0 {
+		fmt.Printf("queued: autoscaling every %s within [%d, %d] shards per queue\n",
+			autoscale, minShards, maxShards)
+	}
 	if addrFile != "" {
 		if err := os.WriteFile(addrFile, []byte(srv.Addr().String()), 0o644); err != nil {
 			return fmt.Errorf("write -addr-file: %w", err)
@@ -105,6 +121,9 @@ func run(addr, addrFile string, shards int, backend string, handles, window, bat
 		snap.Server.Requests, snap.Server.Busy, snap.Server.OpsPerBatch)
 	fmt.Printf("queued: %d queues live (%d opened, %d deleted, %d idle-expired)\n",
 		snap.Server.QueuesOpen, snap.Server.QueuesOpened, snap.Server.QueuesDeleted, snap.Server.QueuesExpired)
+	fmt.Printf("queued: %d autoscale grows, %d shrinks, %d wire resizes; default queue at %d shards (epoch %d)\n",
+		snap.Server.AutoscaleGrows, snap.Server.AutoscaleShrinks, snap.Server.WireResizes,
+		snap.Fabric.Shards, snap.Fabric.Resize.Epoch)
 	return nil
 }
 

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// ElasticConfig shapes the T14 elastic-scaling experiment.
+type ElasticConfig struct {
+	// Target address of a running queue service whose autoscaler is
+	// enabled. Empty means: start an in-process server (fields below) on a
+	// loopback ephemeral port for the duration of the experiment.
+	Addr    string
+	Shards  int // initial shard count (default 1, so the first phase must grow)
+	Backend shard.Backend
+
+	// Autoscaler envelope for the in-process server (ignored with Addr).
+	MinShards, MaxShards        int           // default 1..8
+	Interval                    time.Duration // autoscale tick (default 50ms)
+	LowWatermark, HighWatermark float64       // served ops/s per shard (default 300 / 1500)
+
+	// Load is the per-phase run shape; Rate is overridden per phase.
+	Load server.LoadConfig
+}
+
+// ExpElasticScaling (T14): throughput and conservation across a load ramp
+// that forces the per-queue autoscaler through grow -> shrink -> grow
+// transitions. Each phase is one open-loop run at its offered rate against
+// the server's default queue; between and during phases the autoscaler
+// resizes the queue's fabric from its served rate, occupancy, and
+// null-dequeue signals. Each row reports the phase's achieved rate, the
+// shard count and topology epoch at phase end, the cumulative
+// grow/shrink/migration counters, the end-to-end p99, and the phase's
+// exact-conservation verdict — a migration that lost or duplicated an
+// element would surface directly in the lost/dup columns.
+func ExpElasticScaling(rates []int, cfg ElasticConfig) (*Table, error) {
+	t, _, err := ExpElasticScalingResults(rates, cfg)
+	return t, err
+}
+
+// ExpElasticScalingResults is ExpElasticScaling, additionally returning
+// the per-phase load results so callers (cmd/qload) can act on raw counts
+// — e.g. exit nonzero when any phase's conservation failed.
+func ExpElasticScalingResults(rates []int, cfg ElasticConfig) (*Table, []*server.LoadResult, error) {
+	if len(rates) == 0 {
+		return nil, nil, fmt.Errorf("harness: no ramp rates")
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		if cfg.Shards <= 0 {
+			cfg.Shards = 1
+		}
+		if cfg.Backend == "" {
+			cfg.Backend = shard.BackendCore
+		}
+		if cfg.MinShards <= 0 {
+			cfg.MinShards = 1
+		}
+		if cfg.MaxShards <= 0 {
+			cfg.MaxShards = 8
+		}
+		if cfg.Interval <= 0 {
+			cfg.Interval = 50 * time.Millisecond
+		}
+		if cfg.HighWatermark <= 0 {
+			cfg.HighWatermark = 1500
+		}
+		if cfg.LowWatermark <= 0 {
+			cfg.LowWatermark = 300
+		}
+		q, err := shard.New[[]byte](cfg.Shards, shard.WithBackend(cfg.Backend))
+		if err != nil {
+			return nil, nil, err
+		}
+		srv, err := server.Serve("127.0.0.1:0", q,
+			server.WithAutoscale(cfg.Interval),
+			server.WithShardBounds(cfg.MinShards, cfg.MaxShards),
+			server.WithAutoscaleWatermarks(cfg.LowWatermark, cfg.HighWatermark))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer srv.Close()
+		addr = srv.Addr().String()
+	}
+	if cfg.Load.Duration <= 0 {
+		cfg.Load.Duration = time.Second
+	}
+
+	// One long-lived client observes the autoscaler between phases.
+	observer, err := server.Dial(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer observer.Close()
+	observe := func() (server.Snapshot, error) {
+		var snap server.Snapshot
+		data, err := observer.Stats()
+		if err != nil {
+			return snap, err
+		}
+		return snap, json.Unmarshal(data, &snap)
+	}
+	start, err := observe()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	t := &Table{
+		ID: "T14",
+		Title: fmt.Sprintf("Elastic scaling: autoscaler tracking a load ramp (%s per phase, default queue, start k=%d)",
+			cfg.Load.Duration, start.Fabric.Shards),
+		Columns: []string{"phase", "rate/s", "achieved/s", "shards", "epoch",
+			"grows", "shrinks", "migrated", "e2e p99 ms", "busy", "lost", "dup"},
+		Notes: []string{
+			"each phase is one open-loop run; the autoscaler resizes the queue's fabric live from served ops/s, occupancy, and null-dequeue rate.",
+			"shards/epoch are the fabric's state at phase end; grows/shrinks/migrated are cumulative across the ramp.",
+			"migrated counts elements drained from retired shards into survivors by shrink migrations.",
+			"conservation requires lost = dup = 0 in every phase — a migration dropping or duplicating an element would land here.",
+		},
+	}
+	results := make([]*server.LoadResult, 0, len(rates))
+	prevGrows, prevShrinks := start.Fabric.Resize.Grows, start.Fabric.Resize.Shrinks
+	for i, rate := range rates {
+		load := cfg.Load
+		load.Rate = rate
+		res, err := server.RunLoad(addr, load)
+		if err != nil {
+			return nil, nil, fmt.Errorf("phase %d (rate %d): %w", i, rate, err)
+		}
+		results = append(results, res)
+		snap, err := observe()
+		if err != nil {
+			return nil, nil, fmt.Errorf("phase %d stats: %w", i, err)
+		}
+		rs := snap.Fabric.Resize
+		t.AddRow(i, rate, res.AchievedRate(), snap.Fabric.Shards, rs.Epoch,
+			rs.Grows, rs.Shrinks, rs.Migrated,
+			stats.Percentile(res.E2ELatMs, 99), res.Busy, res.Lost, res.Dup)
+		if !res.Conserved() {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"CONSERVATION VIOLATION in phase %d: lost=%d dup=%d", i, res.Lost, res.Dup))
+		}
+		if rs.Grows == prevGrows && rs.Shrinks == prevShrinks {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"phase %d: no resize transitions — widen the ramp or lower the watermarks if a transition was expected", i))
+		}
+		prevGrows, prevShrinks = rs.Grows, rs.Shrinks
+	}
+	return t, results, nil
+}

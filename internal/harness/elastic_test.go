@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestExpElasticScalingSmoke runs a miniature T14 ramp in-process: the
+// high phases must grow the fabric, the low phase must shrink it, and
+// every phase must conserve exactly.
+func TestExpElasticScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elastic scaling smoke needs real time to ramp")
+	}
+	table, results, err := ExpElasticScalingResults([]int{3000, 150, 3000}, ElasticConfig{
+		Shards:        1,
+		MaxShards:     4,
+		Interval:      25 * time.Millisecond,
+		LowWatermark:  200,
+		HighWatermark: 800,
+		Load: server.LoadConfig{
+			Duration:     400 * time.Millisecond,
+			Producers:    2,
+			Consumers:    2,
+			DrainTimeout: 5 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(table.Rows))
+	}
+	for i, res := range results {
+		if !res.Conserved() {
+			t.Errorf("phase %d: lost=%d dup=%d", i, res.Lost, res.Dup)
+		}
+	}
+	// Column 5/6 are cumulative grows/shrinks; the ramp must have forced
+	// at least one of each by its final row.
+	last := table.Rows[len(table.Rows)-1]
+	grows, _ := strconv.Atoi(last[5])
+	shrinks, _ := strconv.Atoi(last[6])
+	if grows < 1 || shrinks < 1 {
+		t.Errorf("ramp recorded %d grows / %d shrinks, want >= 1 each\n%s", grows, shrinks, table.String())
+	}
+}
+
+func TestExpElasticScalingValidation(t *testing.T) {
+	if _, err := ExpElasticScaling(nil, ElasticConfig{}); err == nil {
+		t.Error("ExpElasticScaling accepted an empty ramp")
+	}
+}

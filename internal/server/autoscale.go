@@ -1,0 +1,145 @@
+package server
+
+import (
+	"time"
+)
+
+// Autoscaler defaults; override with WithShardBounds and
+// WithAutoscaleWatermarks.
+const (
+	// DefaultMinShards / DefaultMaxShards bound the per-queue shard count
+	// the autoscaler (and the wire-level manual Resize) will apply.
+	DefaultMinShards = 1
+	DefaultMaxShards = 16
+
+	// DefaultHighWatermark is the served-operation rate per shard (ops/s,
+	// enqueues + dequeues) above which a queue's fabric grows, and
+	// DefaultLowWatermark the rate below which it shrinks. The gap between
+	// them (together with doubling/halving steps) is the hysteresis that
+	// keeps the scaler from flapping around a steady rate.
+	DefaultHighWatermark = 8000.0
+	DefaultLowWatermark  = 1000.0
+
+	// autoscaleBacklogPerShard is the occupancy watermark: a queue whose
+	// backlog exceeds this many elements per shard grows even when its
+	// served rate is below the high watermark (consumers are not keeping
+	// up, and more shards widen the dequeue path).
+	autoscaleBacklogPerShard = 4096
+)
+
+// scalerSample is the per-queue counter state one autoscale tick compares
+// the next tick against, so decisions are made on rate deltas rather than
+// lifetime totals.
+type scalerSample struct {
+	enq, deq, empty, polls int64
+}
+
+// autoscaleLoop periodically walks the namespace and resizes each queue's
+// fabric from its per-queue service counters: served ops/sec, occupancy,
+// and null-dequeue rate, between the configured low/high watermarks. One
+// goroutine serves all queues — Resize migrations are synchronous and
+// serialized per fabric, so a scaler fleet would only contend.
+func (srv *Server) autoscaleLoop(interval time.Duration) {
+	defer srv.wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	prev := make(map[uint32]scalerSample)
+	lastPass := time.Now()
+	for {
+		select {
+		case <-srv.done:
+			return
+		case <-tick.C:
+		}
+		// Rates divide by the measured gap between passes, not the nominal
+		// interval: a delayed tick (scheduler stall, GC pause, a slow
+		// migration in the previous pass) would otherwise inflate the
+		// apparent rate and trigger spurious grows.
+		now := time.Now()
+		elapsed := now.Sub(lastPass)
+		lastPass = now
+		if elapsed <= 0 {
+			continue
+		}
+		live := make(map[uint32]bool)
+		for _, t := range srv.ns.tenants() {
+			live[t.id] = true
+			srv.autoscaleQueue(t, prev, elapsed)
+		}
+		for id := range prev { // forget deleted/expired queues
+			if !live[id] {
+				delete(prev, id)
+			}
+		}
+	}
+}
+
+// autoscaleQueue makes one scaling decision for one queue. The served rate
+// is (enqueue + dequeue acks)/interval — offered load that the service
+// actually carried — and the null-dequeue rate is the fraction of dequeue
+// attempts that found the queue empty, a direct signal that consumers have
+// spare capacity.
+//
+//   - grow (double, clamped to max) when the served rate per shard exceeds
+//     the high watermark, or the backlog exceeds the occupancy watermark;
+//   - shrink (halve, clamped to min) when the served rate per shard is
+//     under the low watermark, the backlog is small, and dequeues mostly
+//     come up empty — capacity is provably idle, so retiring shards (and
+//     migrating their residue) is safe and cheap.
+func (srv *Server) autoscaleQueue(t *tenant, prev map[uint32]scalerSample, elapsed time.Duration) {
+	cur := scalerSample{
+		enq:   t.enqueues.Load(),
+		deq:   t.dequeues.Load(),
+		empty: t.emptyDeqs.Load(),
+		polls: t.deqPolls.Load(),
+	}
+	last, seen := prev[t.id]
+	prev[t.id] = cur
+	if !seen {
+		return // first sight of this queue: no rate window yet
+	}
+	k := t.q.Shards()
+	rate := float64(cur.enq-last.enq+cur.deq-last.deq) / elapsed.Seconds()
+	backlog := t.q.Len()
+	// Null-dequeue rate in per-request units: empty replies and polls both
+	// count one per dequeue request frame (a 64-value batch is one poll),
+	// so batch-heavy consumers do not dilute the idle signal.
+	attempts := cur.polls - last.polls
+	nullRate := 0.0
+	if attempts > 0 {
+		nullRate = float64(cur.empty-last.empty) / float64(attempts)
+	}
+
+	target := k
+	switch {
+	// A queue outside the configured envelope (started that way, or the
+	// bounds are tighter than the factory's shape) is pulled inside it
+	// unconditionally — the bounds are the operator's contract, not a
+	// suggestion the load signals may veto.
+	case k > srv.opts.maxShards:
+		target = srv.opts.maxShards
+	case k < srv.opts.minShards:
+		target = srv.opts.minShards
+	case k < srv.opts.maxShards &&
+		(rate/float64(k) > srv.opts.highWatermark || backlog > autoscaleBacklogPerShard*k):
+		target = min(2*k, srv.opts.maxShards)
+	case k > srv.opts.minShards &&
+		rate/float64(k) < srv.opts.lowWatermark &&
+		backlog <= autoscaleBacklogPerShard &&
+		(attempts == 0 || nullRate > 0.5):
+		target = max(k/2, srv.opts.minShards)
+	}
+	if target == k {
+		return
+	}
+	// A tenant deleted between the walk and here has a closed fabric;
+	// Resize refuses it and the queue is dropped from tracking next tick.
+	if err := t.q.Resize(target); err != nil {
+		return
+	}
+	if target > k {
+		srv.stats.autoGrows.Add(1)
+	} else {
+		srv.stats.autoShrinks.Add(1)
+	}
+}

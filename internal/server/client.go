@@ -341,6 +341,36 @@ func (c *Client) length(qid uint32) (int, error) {
 	return int(binary.BigEndian.Uint64(f.payload)), nil
 }
 
+// Resize asks the server to resize the default queue's fabric to k shards
+// and returns the shard count actually applied (the request is clamped to
+// the server's shard bounds). The resize is live — pipelined operations
+// keep flowing while the topology swaps — and conservation-preserving:
+// retired shards' residual elements are migrated into the survivors.
+func (c *Client) Resize(k int) (int, error) { return c.resize(0, k) }
+
+func (c *Client) resize(qid uint32, k int) (int, error) {
+	if k < 1 || k > 1<<31-1 {
+		return 0, fmt.Errorf("server: shard count %d out of range", k)
+	}
+	var req [4]byte
+	binary.BigEndian.PutUint32(req[:], uint32(k))
+	op, payload := OpResize, req[:]
+	if qid != 0 {
+		op, payload = OpResizeQ, qualify(qid, req[:])
+	}
+	f, err := c.roundTrip(op, payload)
+	if err != nil {
+		return 0, err
+	}
+	if f.kind != StatusOK {
+		return 0, statusErr(f)
+	}
+	if len(f.payload) != 4 {
+		return 0, fmt.Errorf("%w: resize reply payload %d bytes, want 4", ErrBadFrame, len(f.payload))
+	}
+	return int(binary.BigEndian.Uint32(f.payload)), nil
+}
+
 // Stats returns the server's Snapshot as raw JSON (the same document the
 // /statsz endpoint serves).
 func (c *Client) Stats() ([]byte, error) {
@@ -431,6 +461,10 @@ func (q *NamedQueue) DequeueBatch(n int) ([][]byte, error) { return q.c.dequeueB
 
 // Len returns the named queue's backlog estimate.
 func (q *NamedQueue) Len() (int, error) { return q.c.length(q.id) }
+
+// Resize asks the server to resize this queue's fabric to k shards and
+// returns the applied count (see Client.Resize for semantics).
+func (q *NamedQueue) Resize(k int) (int, error) { return q.c.resize(q.id, k) }
 
 // Delete removes this queue from the server (see Client.Delete).
 func (q *NamedQueue) Delete() error { return q.c.Delete(q.name) }

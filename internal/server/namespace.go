@@ -48,9 +48,15 @@ type tenant struct {
 
 	// Per-queue operation tallies, counted at the service layer when ops
 	// are acknowledged (values, not frames). Atomics: bumped by batch
-	// workers without the namespace lock.
-	enqueues atomic.Int64
-	dequeues atomic.Int64
+	// workers without the namespace lock. emptyDeqs and deqPolls count
+	// per *request frame* — one batch frame is one poll however many
+	// values it moves — so emptyDeqs/deqPolls is the autoscaler's
+	// null-dequeue rate in consistent units: the fraction of dequeue
+	// requests that found the queue empty.
+	enqueues  atomic.Int64
+	dequeues  atomic.Int64
+	emptyDeqs atomic.Int64
+	deqPolls  atomic.Int64
 }
 
 // namespace is the server's queue registry: name -> tenant and id ->
@@ -197,6 +203,18 @@ func (ns *namespace) reapIdle(cutoff time.Time) int {
 	return len(victims)
 }
 
+// tenants snapshots the live tenants so the autoscaler can walk them
+// without holding the namespace lock across Resize migrations.
+func (ns *namespace) tenants() []*tenant {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make([]*tenant, 0, len(ns.byID))
+	for _, t := range ns.byID {
+		out = append(out, t)
+	}
+	return out
+}
+
 // count returns the number of live queues, including the default queue.
 func (ns *namespace) count() int {
 	ns.mu.Lock()
@@ -216,6 +234,17 @@ type QueueStat struct {
 	Len      int    `json:"len"`      // fabric backlog estimate
 	Enqueues int64  `json:"enqueues"` // values acknowledged enqueued
 	Dequeues int64  `json:"dequeues"` // values delivered by dequeue replies
+
+	// Elastic-topology state of this queue's fabric: the current shard
+	// count, its topology epoch, lifetime grow/shrink counts (autoscaler
+	// and wire-level Resize combined), elements moved by shrink
+	// migrations, and the null-dequeue tally the autoscaler shrinks on.
+	Shards        int    `json:"shards"`
+	Epoch         uint64 `json:"epoch"`
+	Grows         int64  `json:"grows"`
+	Shrinks       int64  `json:"shrinks"`
+	Migrated      int64  `json:"migrated"`
+	EmptyDequeues int64  `json:"empty_dequeues"`
 }
 
 // queueStats snapshots every live queue, ordered by id (the default queue
@@ -224,13 +253,20 @@ func (ns *namespace) queueStats() []QueueStat {
 	ns.mu.Lock()
 	out := make([]QueueStat, 0, len(ns.byID))
 	for _, t := range ns.byID {
+		rs := t.q.ResizeStats()
 		out = append(out, QueueStat{
-			ID:       t.id,
-			Name:     t.name,
-			Sessions: t.refs,
-			Len:      t.q.Len(),
-			Enqueues: t.enqueues.Load(),
-			Dequeues: t.dequeues.Load(),
+			ID:            t.id,
+			Name:          t.name,
+			Sessions:      t.refs,
+			Len:           t.q.Len(),
+			Enqueues:      t.enqueues.Load(),
+			Dequeues:      t.dequeues.Load(),
+			Shards:        t.q.Shards(),
+			Epoch:         rs.Epoch,
+			Grows:         rs.Grows,
+			Shrinks:       rs.Shrinks,
+			Migrated:      rs.Migrated,
+			EmptyDequeues: t.emptyDeqs.Load(),
 		})
 	}
 	ns.mu.Unlock()

@@ -462,9 +462,16 @@ func TestSnapshotQueueJSONRoundTrip(t *testing.T) {
 	if snap.Server.QueuesOpened != 1 {
 		t.Fatalf("QueuesOpened = %d, want 1", snap.Server.QueuesOpened)
 	}
+	// Elastic-topology state rides every per-queue entry: fresh fabrics
+	// report their initial epoch and shard count with zero resize history.
+	if audit.Shards != 2 || audit.Epoch != 1 || audit.Grows != 0 || audit.Shrinks != 0 {
+		t.Fatalf("audit elastic stats = %+v, want 2 shards at epoch 1, no resizes", audit)
+	}
 	// The raw JSON must use the stable field names.
 	for _, key := range []string{`"queues_open"`, `"queues_opened"`, `"queues_deleted"`, `"queues_expired"`,
-		`"queues"`, `"sessions"`} {
+		`"queues"`, `"sessions"`, `"shards"`, `"epoch"`, `"grows"`, `"shrinks"`, `"migrated"`,
+		`"empty_dequeues"`, `"autoscale_grows"`, `"autoscale_shrinks"`, `"wire_resizes"`,
+		`"min_shards"`, `"max_shards"`} {
 		if !bytes.Contains(data, []byte(key)) {
 			t.Errorf("stats JSON lacks %s", key)
 		}

@@ -26,6 +26,12 @@ type options struct {
 	maxQueues   int
 	queueIdle   time.Duration
 	factory     func() (*shard.Queue[[]byte], error)
+
+	autoscale     time.Duration // autoscaler tick interval; 0 disables
+	minShards     int
+	maxShards     int
+	lowWatermark  float64 // served ops/s per shard below which a queue shrinks
+	highWatermark float64 // served ops/s per shard above which a queue grows
 }
 
 // WithWindow sets the per-connection in-flight window W (default 64): the
@@ -76,6 +82,31 @@ func WithQueueFactory(f func() (*shard.Queue[[]byte], error)) Option {
 	return func(o *options) { o.factory = f }
 }
 
+// WithAutoscale starts the per-queue shard autoscaler with the given tick
+// interval (0, the default, disables it). Every tick, each queue's fabric
+// is grown or shrunk — live, with exact conservation — from its served
+// ops/sec, occupancy, and null-dequeue rate, between the WithShardBounds
+// limits and around the WithAutoscaleWatermarks rates.
+func WithAutoscale(interval time.Duration) Option {
+	return func(o *options) { o.autoscale = interval }
+}
+
+// WithShardBounds bounds the per-queue shard count the autoscaler — and
+// the wire-level manual RESIZE — will apply (defaults DefaultMinShards,
+// DefaultMaxShards). A default queue or factory outside the bounds is
+// admitted as-is and pulled inside them at the first autoscale decision.
+func WithShardBounds(min, max int) Option {
+	return func(o *options) { o.minShards, o.maxShards = min, max }
+}
+
+// WithAutoscaleWatermarks sets the served-rate watermarks (ops/s per
+// shard): a queue grows above high and shrinks below low (defaults
+// DefaultLowWatermark, DefaultHighWatermark). Keep low well under high —
+// the gap is the scaler's hysteresis.
+func WithAutoscaleWatermarks(low, high float64) Option {
+	return func(o *options) { o.lowWatermark, o.highWatermark = low, high }
+}
+
 // DefaultMaxQueues is the default cap on named queues per server.
 const DefaultMaxQueues = 64
 
@@ -96,6 +127,9 @@ type serverStats struct {
 	batchedOps     atomic.Int64 // queue ops executed by batch passes (batch frames count each op they carry)
 	fabricBatches  atomic.Int64 // multi-op fabric calls (coalesced runs + native batch frames)
 	fabricBatchOps atomic.Int64 // queue ops carried by multi-op fabric calls
+	autoGrows      atomic.Int64 // queue fabrics grown by the autoscaler
+	autoShrinks    atomic.Int64 // queue fabrics shrunk by the autoscaler
+	wireResizes    atomic.Int64 // RESIZE requests applied over the wire
 }
 
 // Server is a TCP queue service fronting a namespace of sharded fabrics:
@@ -122,17 +156,29 @@ type Server struct {
 // use.
 func Serve(addr string, q *shard.Queue[[]byte], opts ...Option) (*Server, error) {
 	o := options{
-		window:      64,
-		idleTimeout: 2 * time.Minute,
-		maxFrame:    DefaultMaxFrame,
-		maxQueues:   DefaultMaxQueues,
-		queueIdle:   5 * time.Minute,
+		window:        64,
+		idleTimeout:   2 * time.Minute,
+		maxFrame:      DefaultMaxFrame,
+		maxQueues:     DefaultMaxQueues,
+		queueIdle:     5 * time.Minute,
+		minShards:     DefaultMinShards,
+		maxShards:     DefaultMaxShards,
+		lowWatermark:  DefaultLowWatermark,
+		highWatermark: DefaultHighWatermark,
 	}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	if o.batchMax <= 0 {
 		o.batchMax = o.window
+	}
+	if o.minShards < 1 || o.maxShards < o.minShards {
+		return nil, fmt.Errorf("server: shard bounds [%d, %d] invalid (want 1 <= min <= max)",
+			o.minShards, o.maxShards)
+	}
+	if o.autoscale > 0 && (o.lowWatermark < 0 || o.highWatermark <= o.lowWatermark) {
+		return nil, fmt.Errorf("server: autoscale watermarks low %.0f / high %.0f invalid (want 0 <= low < high)",
+			o.lowWatermark, o.highWatermark)
 	}
 	if o.window < 1 {
 		return nil, fmt.Errorf("server: window must be at least 1 (got %d)", o.window)
@@ -173,6 +219,10 @@ func Serve(addr string, q *shard.Queue[[]byte], opts ...Option) (*Server, error)
 	if o.queueIdle > 0 {
 		srv.wg.Add(1)
 		go srv.queueReapLoop(o.queueIdle)
+	}
+	if o.autoscale > 0 {
+		srv.wg.Add(1)
+		go srv.autoscaleLoop(o.autoscale)
 	}
 	return srv, nil
 }
@@ -448,6 +498,7 @@ func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, bw *bu
 	if berr != nil {
 		return srv.refuseRun(run, berr, bw)
 	}
+	b.t.deqPolls.Add(int64(len(run)))
 	vals, fromFabric := b.takeValues(len(run))
 	if fromFabric > 0 {
 		srv.noteFabricBatch(fromFabric)
@@ -464,6 +515,7 @@ func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, bw *bu
 			continue
 		}
 		srv.stats.emptyDeqs.Add(1)
+		b.t.emptyDeqs.Add(1)
 		if err := writeFrame(bw, f.id, StatusEmpty, nil); err != nil {
 			return err
 		}
@@ -541,6 +593,7 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		}
 		var v []byte
 		ok := false
+		b.t.deqPolls.Add(1)
 		if len(b.stash) > 0 { // ship overflow values before new fabric pulls
 			v, ok = b.popStash(), true
 		} else {
@@ -549,6 +602,7 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		srv.stats.batchedOps.Add(1)
 		if !ok {
 			srv.stats.emptyDeqs.Add(1)
+			b.t.emptyDeqs.Add(1)
 			return writeFrame(bw, f.id, StatusEmpty, nil)
 		}
 		if err := writeFrame(bw, f.id, StatusOK, v); err != nil {
@@ -607,6 +661,30 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
 		}
 		return writeFrame(bw, f.id, StatusOK, data)
+	case OpResize:
+		if len(d.rest) != 4 {
+			return writeFrame(bw, f.id, StatusErr,
+				[]byte(fmt.Sprintf("resize payload %d bytes, want 4", len(d.rest))))
+		}
+		k := int(binary.BigEndian.Uint32(d.rest))
+		t, ok := srv.ns.lookup(d.qid)
+		if !ok {
+			return writeFrame(bw, f.id, StatusErr,
+				[]byte(fmt.Sprintf("%s: id %d", ErrUnknownQueue.Error(), d.qid)))
+		}
+		// Manual resizes obey the same bounds as the autoscaler, so a
+		// client cannot push a queue outside the operator's envelope. The
+		// reply carries the clamped count this request applied, not a
+		// re-read of the fabric — a concurrent autoscaler tick could have
+		// already moved it again.
+		k = min(max(k, srv.opts.minShards), srv.opts.maxShards)
+		if err := t.q.Resize(k); err != nil {
+			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+		}
+		srv.stats.wireResizes.Add(1)
+		var buf [4]byte
+		binary.BigEndian.PutUint32(buf[:], uint32(k))
+		return writeFrame(bw, f.id, StatusOK, buf[:])
 	case OpOpen:
 		t, err := srv.openQueue(s, string(d.rest))
 		if err != nil {
@@ -655,6 +733,7 @@ func (srv *Server) openQueue(s *session, name string) (*tenant, error) {
 // cap must bound every frame the server emits, not only the ones it
 // reads.
 func (srv *Server) executeDequeueBatch(b *binding, id uint64, n int, bw *bufio.Writer) error {
+	b.t.deqPolls.Add(1)
 	budget := srv.opts.maxFrame - frameHeader - 4 // payload bytes after the count word
 	var out [][]byte
 	take := func(v []byte) bool {
@@ -695,6 +774,7 @@ func (srv *Server) executeDequeueBatch(b *binding, id uint64, n int, bw *bufio.W
 	if len(out) == 0 {
 		srv.stats.batchedOps.Add(1) // the empty reply still answers one op
 		srv.stats.emptyDeqs.Add(1)
+		b.t.emptyDeqs.Add(1)
 		return writeFrame(bw, id, StatusEmpty, nil)
 	}
 	srv.stats.batchedOps.Add(int64(len(out)))
@@ -773,6 +853,16 @@ type Stats struct {
 	QueuesOpened  int64 `json:"queues_opened"`  // named queues created by OpOpen
 	QueuesDeleted int64 `json:"queues_deleted"` // named queues removed by OpDelete
 	QueuesExpired int64 `json:"queues_expired"` // named queues torn down by the idle reaper
+
+	// Elasticity counters and envelope: per-queue resize activity split by
+	// initiator (the autoscaler vs wire-level RESIZE requests), plus the
+	// configured autoscale cadence and shard bounds.
+	AutoscaleGrows   int64   `json:"autoscale_grows"`
+	AutoscaleShrinks int64   `json:"autoscale_shrinks"`
+	WireResizes      int64   `json:"wire_resizes"`
+	AutoscaleMs      float64 `json:"autoscale_ms"` // tick interval in ms; 0 = autoscaler off
+	MinShards        int     `json:"min_shards"`
+	MaxShards        int     `json:"max_shards"`
 }
 
 // Snapshot is the stable JSON document served by /statsz and OpStats:
@@ -808,6 +898,13 @@ func (srv *Server) Snapshot() Snapshot {
 		QueuesOpened:   srv.ns.opened.Load(),
 		QueuesDeleted:  srv.ns.dropped.Load(),
 		QueuesExpired:  srv.ns.expired.Load(),
+
+		AutoscaleGrows:   srv.stats.autoGrows.Load(),
+		AutoscaleShrinks: srv.stats.autoShrinks.Load(),
+		WireResizes:      srv.stats.wireResizes.Load(),
+		AutoscaleMs:      float64(srv.opts.autoscale) / float64(time.Millisecond),
+		MinShards:        srv.opts.minShards,
+		MaxShards:        srv.opts.maxShards,
 	}
 	if st.Batches > 0 {
 		st.OpsPerBatch = float64(st.BatchedOps) / float64(st.Batches)

@@ -3,36 +3,170 @@ package shard
 import "repro/internal/metrics"
 
 // Handle is a leased capability to operate on the fabric. A handle may be
-// used by one goroutine at a time and owns one sub-handle in every shard:
-// enqueues are routed to the handle's home shard (preserving per-producer
-// order), dequeues roam the fabric via d-random-choice.
+// used by one goroutine at a time; per operation it loads the current
+// topology once and works against that snapshot, deriving (and caching)
+// one sub-handle per shard of the epoch. Enqueues are routed to the
+// handle's home shard (preserving per-producer order even across Resize —
+// see syncHome), dequeues roam the fabric via d-random-choice.
+//
+// The epoch cache pins the topology of the handle's last operation — for
+// a handle that sits idle across a shrink, that includes the retired
+// shards' queues — until the next operation refreshes it or Release
+// drops it. Release handles you are not going to use; the service layer
+// does this by reaping idle sessions.
 type Handle[T any] struct {
-	q        *Queue[T]
-	slot     int
-	home     int
-	rng      uint64
-	sub      []subHandle[T]
-	enq      int64              // home-shard enqueue tally, folded in on Release
-	deqs     []int64            // per-shard successful-dequeue tally
-	counters []*metrics.Counter // per-shard, only with WithShardMetrics
-	released bool
+	q    *Queue[T]
+	slot int
+	rng  uint64
+
+	// Epoch-scoped caches, rebuilt by refresh when the topology changes.
+	// topo is the last topology this handle derived sub-handles for; sub
+	// and deqs are indexed by that topology's shard indices.
+	topo *topology[T]
+	sub  []subHandle[T]
+	deqs []int64 // per-shard successful-dequeue tally, folded on refresh/Release
+
+	enq      int64 // home-shard enqueue tally
+	lastHome int   // home shard of the last enqueue path, for re-home detection
+
+	counters   []*metrics.Counter // per-shard, only with WithShardMetrics
+	counter    *metrics.Counter   // user-set aggregate counter (SetCounter), applied across refreshes
+	counterSet bool               // SetCounter was called — its value (nil included) outlives refreshes
+	released   bool
 }
 
 // Slot returns the registry slot this handle leases (useful in logs).
 func (h *Handle[T]) Slot() int { return h.slot }
 
-// Home returns the shard this handle routes enqueues to. Homes are assigned
-// round-robin across leases so concurrent producers spread over the shards.
-func (h *Handle[T]) Home() int { return h.home }
+// Home returns the shard this handle currently routes enqueues to. Homes
+// are assigned round-robin across leases so concurrent producers spread
+// over the shards; a shrink that retires a handle's home re-homes it to
+// home mod k.
+func (h *Handle[T]) Home() int {
+	return h.q.effHome(h.slot, h.q.topo.Load())
+}
 
 // SetCounter attaches a single step/CAS counter aggregating across every
 // shard this handle touches (nil disables accounting). It overrides the
 // per-shard counters installed by WithShardMetrics for this lease.
 func (h *Handle[T]) SetCounter(c *metrics.Counter) {
 	h.counters = nil
+	h.counter = c
+	h.counterSet = true // an explicit nil must survive epoch refreshes too
 	for j := range h.sub {
 		h.sub[j].SetCounter(c)
 	}
+}
+
+// enter begins one fabric operation: it loads the current topology and
+// publishes its epoch in the handle's slot, with a recheck so a Resize
+// racing the publication can rely on "no slot still publishes the old
+// epoch" meaning "no operation still touches the old epoch's shard view".
+// Callers must pair it with exit.
+func (h *Handle[T]) enter() *topology[T] {
+	for {
+		t := h.q.topo.Load()
+		h.q.slotEpochs[h.slot].v.Store(t.epoch)
+		if h.q.topo.Load() == t {
+			if h.topo != t {
+				h.refresh(t)
+			}
+			return t
+		}
+	}
+}
+
+// exit ends the operation begun by enter.
+func (h *Handle[T]) exit() { h.q.slotEpochs[h.slot].v.Store(0) }
+
+// refresh re-targets the handle at topology t: it folds the tallies (and
+// any per-shard counters) collected against the previous topology into
+// that topology's shard states, then rebuilds the sub-handle cache.
+// Because topologies are prefix-stable, sub-handles of surviving shards
+// are reused; only the new suffix derives fresh ones.
+func (h *Handle[T]) refresh(t *topology[T]) {
+	if h.topo != nil {
+		h.fold()
+	}
+	old := h.sub
+	var oldT *topology[T] = h.topo
+	h.topo = t
+	h.sub = make([]subHandle[T], len(t.shards))
+	h.deqs = make([]int64, len(t.shards))
+	for j := range t.shards {
+		if oldT != nil && j < len(old) && j < len(oldT.shards) && oldT.shards[j] == t.shards[j] {
+			h.sub[j] = old[j]
+			continue
+		}
+		sh, err := t.shards[j].q.handle(h.slot)
+		if err != nil {
+			// Slots are always < maxHandles+1, so this is unreachable.
+			panic("shard: " + err.Error())
+		}
+		// Sub-handles are recycled across leases; clear (or set) whatever
+		// counter the previous lessee left behind.
+		sh.SetCounter(h.counter)
+		h.sub[j] = sh
+	}
+	if !h.counterSet && h.q.cfg.perShard {
+		h.counters = make([]*metrics.Counter, len(t.shards))
+		for j := range h.counters {
+			h.counters[j] = &metrics.Counter{}
+			h.sub[j].SetCounter(h.counters[j])
+		}
+	}
+}
+
+// fold flushes the handle's buffered tallies into its cached topology's
+// shard states. The states keep their identity even if the topology has
+// since been superseded, and a state retired in the meantime forwards to
+// its migration destination (sink), so folding into a stale epoch never
+// loses recorded traffic.
+func (h *Handle[T]) fold() {
+	if h.enq != 0 {
+		h.topo.shards[h.lastHome%len(h.topo.shards)].sink().enqueues.Add(h.enq)
+		h.enq = 0
+	}
+	for j := range h.deqs {
+		if h.deqs[j] != 0 {
+			h.topo.shards[j].sink().dequeues.Add(h.deqs[j])
+			h.deqs[j] = 0
+		}
+	}
+	if h.counters != nil {
+		h.q.mergeShardCounters(h.topo.shards, h.counters)
+		h.counters = nil
+	}
+}
+
+// syncHome resolves the handle's home shard under topology t, and — when a
+// shrink has re-homed this handle since its last enqueue — blocks until
+// the topology's migration drains complete, so the handle's residual
+// elements reach the new home shard before the element about to be
+// enqueued. This wait is the enqueue path's only blocking point (the
+// other is Dequeue's empty-certification wait), it arises only on the
+// first enqueue after a re-homing, and the Resize that owns the drain
+// never waits on new-epoch operations, so it cannot deadlock.
+//
+// ok == false means the observed home change was written by a resize
+// NEWER than snapshot t (the homes rewrite runs after the new topology's
+// install, so reading the new home forces a topology re-load to observe
+// the successor): acting on it here would enqueue into the old epoch's
+// shard ahead of the pending migration and skip the barrier. The caller
+// must restart the operation, which re-enters on the current topology.
+func (h *Handle[T]) syncHome(t *topology[T]) (home int, ok bool) {
+	home = h.q.effHome(h.slot, t)
+	if home != h.lastHome {
+		if h.q.topo.Load() != t {
+			return 0, false
+		}
+		// The rewrite belongs to t's own install (or an older, fully
+		// migrated one), so t.migrationsDone is the barrier that orders
+		// this handle's residual elements ahead of its next enqueue.
+		<-t.migrationsDone
+		h.lastHome = home
+	}
+	return home, true
 }
 
 // Enqueue appends v to the handle's home shard. It returns ErrClosed once
@@ -43,14 +177,22 @@ func (h *Handle[T]) Enqueue(v T) error {
 	if h.q.closed.Load() {
 		return ErrClosed
 	}
-	j := h.home
-	h.sub[j].Enqueue(v)
-	h.enq++
-	// The element is at the root before Enqueue returns (propagation
-	// completes first), so setting the bit here serializes after a root
-	// state that a concurrent clear-then-recheck in dequeueFrom will see.
-	h.q.bitmap.set(j)
-	return nil
+	for {
+		t := h.enter()
+		j, ok := h.syncHome(t)
+		if !ok {
+			h.exit() // re-homed by a newer epoch: restart against it
+			continue
+		}
+		h.sub[j].Enqueue(v)
+		h.enq++
+		// The element is at the root before Enqueue returns (propagation
+		// completes first), so setting the bit here serializes after a root
+		// state that a concurrent clear-then-recheck in dequeueFrom will see.
+		t.bitmap.set(j)
+		h.exit()
+		return nil
+	}
 }
 
 // EnqueueBatch appends all of vs to the handle's home shard as one multi-op
@@ -68,13 +210,21 @@ func (h *Handle[T]) EnqueueBatch(vs []T) error {
 	if h.q.closed.Load() {
 		return ErrClosed
 	}
-	j := h.home
-	h.sub[j].EnqueueBatch(vs)
-	h.enq += int64(len(vs))
-	// As for Enqueue: the elements are at the shard's root before the bit is
-	// set, so clear-then-recheck in dequeueFrom cannot strand them.
-	h.q.bitmap.set(j)
-	return nil
+	for {
+		t := h.enter()
+		j, ok := h.syncHome(t)
+		if !ok {
+			h.exit() // re-homed by a newer epoch: restart against it
+			continue
+		}
+		h.sub[j].EnqueueBatch(vs)
+		h.enq += int64(len(vs))
+		// As for Enqueue: the elements are at the shard's root before the bit
+		// is set, so clear-then-recheck in dequeueFrom cannot strand them.
+		t.bitmap.set(j)
+		h.exit()
+		return nil
+	}
 }
 
 // Dequeue removes an element from some nonempty shard: it samples up to d
@@ -82,36 +232,62 @@ func (h *Handle[T]) EnqueueBatch(vs []T) error {
 // deterministic sweep of all shards before reporting ok == false. The
 // returned element is the head of its shard, so FIFO order holds per shard
 // (and per producer) but not across shards.
+//
+// ok == false is a true emptiness verdict even across a Resize: if a
+// shrink migration is still draining retired shards when the sweep comes
+// up empty, Dequeue waits for the drain to complete (elements in flight
+// are owed to the survivors) and sweeps again. That wait — bounded by the
+// retired backlog, outside the epoch-publication window — is the dequeue
+// path's only blocking point (the enqueue path's is syncHome's re-home
+// barrier) and arises only mid-shrink on an otherwise empty fabric.
 func (h *Handle[T]) Dequeue() (T, bool) {
 	h.check()
-	q := h.q
+	for {
+		t := h.enter()
+		// Sample the migration state BEFORE sweeping: a drain that
+		// completes mid-sweep may land its elements in survivor shards the
+		// sweep has already passed, so only a sweep that started with no
+		// migration pending may certify emptiness.
+		migrating := t.retired.Load() != nil
+		v, ok := h.dequeueSweep(t)
+		h.exit()
+		if ok || !migrating {
+			return v, ok
+		}
+		<-t.migrationsDone
+	}
+}
+
+// dequeueSweep runs Dequeue's three phases against one topology snapshot.
+func (h *Handle[T]) dequeueSweep(t *topology[T]) (T, bool) {
+	home := h.q.effHome(h.slot, t)
 	// Locality fast path: the home shard first. Producers-turned-consumers
 	// (and symmetric workloads like pairs) find their own elements there
 	// without touching other shards' cache lines.
-	if q.bitmap.isSet(h.home) {
-		if v, ok := h.dequeueFrom(h.home); ok {
+	if t.bitmap.isSet(home) {
+		if v, ok := h.dequeueFrom(t, home); ok {
 			return v, true
 		}
 	}
 	// Guided attempts: d-random-choice over the nonempty bitmap.
 	for attempt := 0; attempt < 2; attempt++ {
-		j := h.pickShard()
+		j := h.pickShard(t)
 		if j < 0 {
 			break
 		}
-		if v, ok := h.dequeueFrom(j); ok {
+		if v, ok := h.dequeueFrom(t, j); ok {
 			return v, true
 		}
 	}
 	// Certification sweep: every shard, starting at home so concurrent
 	// dequeuers spread out. Each sub-dequeue is wait-free, so the whole
 	// operation is wait-free with at most k extra sub-operations.
-	for i := 0; i < len(q.shards); i++ {
-		j := h.home + i
-		if j >= len(q.shards) {
-			j -= len(q.shards)
+	for i := 0; i < len(t.shards); i++ {
+		j := home + i
+		if j >= len(t.shards) {
+			j -= len(t.shards)
 		}
-		if v, ok := h.dequeueFrom(j); ok {
+		if v, ok := h.dequeueFrom(t, j); ok {
 			return v, true
 		}
 	}
@@ -128,32 +304,49 @@ func (h *Handle[T]) Dequeue() (T, bool) {
 // sub-operation per element. Values pulled from the same shard are
 // contiguous and FIFO-ordered; values of different shards may interleave in
 // any order, exactly as for single dequeues. A count below n certifies that
-// every shard was observed empty after the batch's last successful pull.
+// every shard was observed empty after the batch's last successful pull —
+// like Dequeue, the certification waits out any in-flight shrink migration
+// rather than overlooking elements still being drained.
 func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
 	h.check()
 	if n <= 0 {
 		return nil, 0
 	}
-	q := h.q
 	var out []T
-	if q.bitmap.isSet(h.home) {
-		out = h.batchFrom(h.home, n, out)
+	for {
+		t := h.enter()
+		migrating := t.retired.Load() != nil // sampled pre-sweep, as in Dequeue
+		out = h.batchSweep(t, n, out)
+		h.exit()
+		if len(out) >= n || !migrating {
+			return out, len(out)
+		}
+		<-t.migrationsDone
+	}
+}
+
+// batchSweep runs DequeueBatch's three phases against one topology
+// snapshot, appending to out.
+func (h *Handle[T]) batchSweep(t *topology[T], n int, out []T) []T {
+	home := h.q.effHome(h.slot, t)
+	if t.bitmap.isSet(home) {
+		out = h.batchFrom(t, home, n, out)
 	}
 	for attempt := 0; attempt < 2 && len(out) < n; attempt++ {
-		j := h.pickShard()
+		j := h.pickShard(t)
 		if j < 0 {
 			break
 		}
-		out = h.batchFrom(j, n, out)
+		out = h.batchFrom(t, j, n, out)
 	}
-	for i := 0; i < len(q.shards) && len(out) < n; i++ {
-		j := h.home + i
-		if j >= len(q.shards) {
-			j -= len(q.shards)
+	for i := 0; i < len(t.shards) && len(out) < n; i++ {
+		j := home + i
+		if j >= len(t.shards) {
+			j -= len(t.shards)
 		}
-		out = h.batchFrom(j, n, out)
+		out = h.batchFrom(t, j, n, out)
 	}
-	return out, len(out)
+	return out
 }
 
 // batchFrom issues one multi-op sub-dequeue on shard j for everything out
@@ -161,7 +354,7 @@ func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
 // The bitmap update is batch-aware: a shard that filled the whole request
 // may well have more elements, so only a short pull (the shard certified
 // empty mid-batch) triggers the clear-then-recheck.
-func (h *Handle[T]) batchFrom(j, n int, out []T) []T {
+func (h *Handle[T]) batchFrom(t *topology[T], j, n int, out []T) []T {
 	want := n - len(out)
 	vs, got := h.sub[j].DequeueBatch(want)
 	if got > 0 {
@@ -169,9 +362,9 @@ func (h *Handle[T]) batchFrom(j, n int, out []T) []T {
 		out = append(out, vs...)
 	}
 	if got < want {
-		h.q.bitmap.clear(j)
-		if h.q.shards[j].len() > 0 {
-			h.q.bitmap.set(j)
+		t.bitmap.clear(j)
+		if t.shards[j].len() > 0 {
+			t.bitmap.set(j)
 		}
 	}
 	return out
@@ -180,15 +373,15 @@ func (h *Handle[T]) batchFrom(j, n int, out []T) []T {
 // pickShard samples up to d set bits from the nonempty bitmap and returns
 // the candidate with the largest backlog estimate, or -1 when no bit was
 // observed set.
-func (h *Handle[T]) pickShard() int {
+func (h *Handle[T]) pickShard(t *topology[T]) int {
 	best := -1
 	var bestSize int64 = -1
-	for t := 0; t < h.q.cfg.choices; t++ {
-		j := h.q.bitmap.randomSet(&h.rng)
+	for i := 0; i < h.q.cfg.choices; i++ {
+		j := t.bitmap.randomSet(&h.rng)
 		if j < 0 {
 			break
 		}
-		if sz := int64(h.q.shards[j].len()); sz > bestSize {
+		if sz := int64(t.shards[j].len()); sz > bestSize {
 			best, bestSize = j, sz
 		}
 	}
@@ -197,8 +390,7 @@ func (h *Handle[T]) pickShard() int {
 
 // dequeueFrom attempts one sub-dequeue on shard j, maintaining the size
 // estimate and the nonempty bitmap.
-func (h *Handle[T]) dequeueFrom(j int) (T, bool) {
-	s := &h.q.shards[j]
+func (h *Handle[T]) dequeueFrom(t *topology[T], j int) (T, bool) {
 	if v, ok := h.sub[j].Dequeue(); ok {
 		h.deqs[j]++
 		return v, true
@@ -207,9 +399,9 @@ func (h *Handle[T]) dequeueFrom(j int) (T, bool) {
 	// between the failed dequeue and the clear (an enqueue reaches the
 	// root before its bitmap set — see Enqueue — so either this len read
 	// sees it, or the enqueuer's own set lands after the clear).
-	h.q.bitmap.clear(j)
-	if s.len() > 0 {
-		h.q.bitmap.set(j)
+	t.bitmap.clear(j)
+	if t.shards[j].len() > 0 {
+		t.bitmap.set(j)
 	}
 	var zero T
 	return zero, false
@@ -235,23 +427,21 @@ func (h *Handle[T]) Drain(fn func(T)) int {
 
 // Release returns the handle's slot to the registry so another goroutine
 // can lease it, and (under WithShardMetrics) folds the lease's per-shard
-// counters into the fabric totals. The handle must not be used afterwards;
-// Release panics on double release.
+// tallies and counters into the fabric totals. The handle must not be used
+// afterwards (other methods panic); Release itself is idempotent — a
+// second Release is a defined no-op, so teardown paths may release
+// defensively.
 func (h *Handle[T]) Release() {
-	h.check()
+	if h.released {
+		return
+	}
 	h.released = true
-	if h.enq != 0 {
-		h.q.shards[h.home].enqueues.Add(h.enq)
-	}
-	for j := range h.deqs {
-		if h.deqs[j] != 0 {
-			h.q.shards[j].dequeues.Add(h.deqs[j])
-		}
-	}
-	if h.counters != nil {
-		h.q.mergeShardCounters(h.counters)
-		h.counters = nil
-	}
+	h.fold()
+	// Drop the epoch cache so a parked-but-released handle cannot pin a
+	// superseded topology (and its retired shards' queues) alive.
+	h.topo = nil
+	h.sub = nil
+	h.deqs = nil
 	h.q.reg.release(h.slot)
 }
 

@@ -30,6 +30,22 @@
 //
 // The registry is a CAS-claimed free list, so Acquire and Release are
 // lock-free and safe to call from any goroutine at any time.
+//
+// # Elasticity
+//
+// The shard set itself is not fixed either: it lives behind an immutable,
+// epoch-numbered topology reached through one atomic pointer, and Resize
+// installs a successor epoch while operations continue. A grow appends
+// fresh shards (nothing moves); a shrink retires the suffix, re-homes the
+// producers that lived there under the deterministic home-mod-k rule, and
+// drains the retired shards' residual elements into the survivors in their
+// shard-FIFO order — exact conservation, per-producer FIFO intact across
+// the epoch boundary. Exactly two operations can block, both only while a
+// shrink's migration is in flight: the first enqueue of a re-homed
+// producer (waiting for its old shard's drain so its old elements stay
+// ahead of its new ones), and a dequeue whose sweep found nothing
+// (waiting for the drain rather than falsely certifying an occupied
+// fabric empty). Everything else stays wait-free through the swap.
 package shard
 
 import (
@@ -97,23 +113,46 @@ func (s boundedShard[T]) handle(i int) (subHandle[T], error) {
 	return s.q.Handle(i)
 }
 
-// shardState is one shard plus its routing metadata. The shard's backlog is
-// read straight from the underlying queue's root (Len is O(1) and exact as
-// of the last root propagation), so the fabric adds no per-operation atomic
-// of its own: enqueue/dequeue tallies are buffered per handle and folded in
-// on Release.
+// shardState is one shard plus its routing metadata. Shards are held by
+// pointer inside topologies, so a shard that survives a Resize keeps its
+// identity (and its tallies) across epochs. The shard's backlog is read
+// straight from the underlying queue's root (Len is O(1) and exact as of
+// the last root propagation), so the fabric adds no per-operation atomic of
+// its own: enqueue/dequeue tallies are buffered per handle and folded in on
+// Release or on an epoch refresh.
 type shardState[T any] struct {
 	q        subQueue[T]
+	counter  *metrics.Counter // cost-model totals folded in under Queue.mu (WithShardMetrics)
 	enqueues atomic.Int64
 	dequeues atomic.Int64
+	// mergedInto points at the shard that inherited this shard's recorded
+	// history when a shrink retired it (nil while the shard is live). Late
+	// folds from handles that collected tallies against a retired shard
+	// follow the chain, so lifetime totals survive any resize schedule.
+	mergedInto atomic.Pointer[shardState[T]]
 	// Pad to a multiple of the cache line so neighbouring shards' tallies
 	// never false-share: cross-shard independence is the whole point of
 	// the fabric.
-	_ [128 - (8*2+16)%128]byte
+	_ [128 - (16+8+8*2+8)%128]byte
 }
 
 // len returns the shard's backlog as of its queue's last root propagation.
 func (s *shardState[T]) len() int { return s.q.Len() }
+
+// sink follows the merged-into chain to the state that currently owns
+// this shard's accumulated history: itself while live, its migration
+// destination (transitively) once retired. The chain is time-ordered —
+// a retired shard always merges into a survivor of a strictly newer
+// epoch — so it is acyclic and short.
+func (s *shardState[T]) sink() *shardState[T] {
+	for {
+		next := s.mergedInto.Load()
+		if next == nil {
+			return s
+		}
+		s = next
+	}
+}
 
 // Option configures New.
 type Option func(*config)
@@ -160,10 +199,10 @@ func WithShardMetrics() Option {
 }
 
 // Queue is a sharded queue fabric. It is safe for concurrent use; operate on
-// it through handles leased with Acquire.
+// it through handles leased with Acquire. The shard set is elastic: Resize
+// installs a new epoch-numbered topology while operations continue.
 type Queue[T any] struct {
-	shards []shardState[T]
-	bitmap bitmap
+	topo   atomic.Pointer[topology[T]]
 	reg    registry
 	cfg    config
 	closed atomic.Bool
@@ -173,10 +212,26 @@ type Queue[T any] struct {
 	// shard.
 	nextHome atomic.Uint64
 
+	// homes is the per-slot persistent home shard. Handles read it every
+	// operation (through effHome); Resize rewrites entries under the
+	// deterministic home-mod-k rule when a shrink retires their shard, so a
+	// slot's home survives any number of epochs without per-handle history.
+	homes []atomic.Int64
+
+	// slotEpochs is the per-slot published operation epoch Resize's grace
+	// period waits on (see topology.go).
+	slotEpochs []slotEpoch
+
+	// resizeMu serializes Resize calls; the data plane never takes it.
+	resizeMu sync.Mutex
+
+	grows    atomic.Int64 // Resize calls that added shards
+	shrinks  atomic.Int64 // Resize calls that removed shards
+	migrated atomic.Int64 // elements drained from retired shards
+
 	// mu guards the per-shard counter totals that released handles merge
 	// into (only when WithShardMetrics is set). Release is cold path.
-	mu            sync.Mutex
-	shardCounters []*metrics.Counter
+	mu sync.Mutex
 }
 
 // New creates a fabric of shards independent queues. Each of the
@@ -205,27 +260,36 @@ func New[T any](shards int, opts ...Option) (*Queue[T], error) {
 		return nil, fmt.Errorf("%w (got %d)", ErrBadChoices, cfg.choices)
 	}
 	q := &Queue[T]{
-		shards:        make([]shardState[T], shards),
-		cfg:           cfg,
-		shardCounters: make([]*metrics.Counter, shards),
+		cfg:        cfg,
+		homes:      make([]atomic.Int64, cfg.maxHandles),
+		slotEpochs: make([]slotEpoch, cfg.maxHandles),
 	}
-	for j := range q.shards {
+	t := &topology[T]{
+		epoch:          1,
+		shards:         make([]*shardState[T], shards),
+		migrationsDone: make(chan struct{}),
+	}
+	close(t.migrationsDone) // nothing to migrate in the first epoch
+	for j := range t.shards {
 		sub, err := newSubQueue[T](cfg)
 		if err != nil {
 			return nil, err
 		}
-		q.shards[j].q = sub
-		q.shardCounters[j] = &metrics.Counter{}
+		t.shards[j] = &shardState[T]{q: sub, counter: &metrics.Counter{}}
 	}
-	q.bitmap.init(shards)
+	t.bitmap.init(shards)
+	q.topo.Store(t)
 	q.reg.init(cfg.maxHandles)
 	return q, nil
 }
 
+// newSubQueue builds one shard's backing queue with one handle slot beyond
+// the leasable ones, reserved for the fabric's own maintenance operations
+// (migration drains during Resize).
 func newSubQueue[T any](cfg config) (subQueue[T], error) {
 	switch cfg.backend {
 	case BackendCore:
-		cq, err := core.New[T](cfg.maxHandles)
+		cq, err := core.New[T](cfg.maxHandles + 1)
 		if err != nil {
 			return nil, err
 		}
@@ -235,7 +299,7 @@ func newSubQueue[T any](cfg config) (subQueue[T], error) {
 		if cfg.gcInterval > 0 {
 			opts = append(opts, bounded.WithGCInterval(cfg.gcInterval))
 		}
-		bq, err := bounded.New[T](cfg.maxHandles, opts...)
+		bq, err := bounded.New[T](cfg.maxHandles+1, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -245,8 +309,9 @@ func newSubQueue[T any](cfg config) (subQueue[T], error) {
 	}
 }
 
-// Shards returns the shard count k.
-func (q *Queue[T]) Shards() int { return len(q.shards) }
+// Shards returns the current shard count k. It can change across Resize
+// calls; read it as a point-in-time value.
+func (q *Queue[T]) Shards() int { return len(q.topo.Load().shards) }
 
 // MaxHandles returns the number of leasable handle slots.
 func (q *Queue[T]) MaxHandles() int { return q.cfg.maxHandles }
@@ -263,56 +328,66 @@ func (q *Queue[T]) Acquire() (*Handle[T], error) {
 	if !ok {
 		return nil, ErrNoFreeHandles
 	}
+	base := q.nextHome.Add(1) - 1
+	// Publish-then-recheck, mirroring Handle.enter: if a Resize installs a
+	// new topology between computing the home and storing it, the store
+	// could land after that Resize's home-rewrite pass and leave a home
+	// out of range for the shrunk shard set (canonical again only by
+	// accident). Rechecking the pointer guarantees the stored home is
+	// in range for the topology that is current when it lands — either
+	// the rewrite saw our store and clamped it, or we recompute against
+	// the new topology ourselves.
+	var t *topology[T]
+	var home int
+	for {
+		t = q.topo.Load()
+		home = int(base % uint64(len(t.shards)))
+		q.homes[slot].Store(int64(home))
+		if q.topo.Load() == t {
+			break
+		}
+	}
 	h := &Handle[T]{
-		q:    q,
-		slot: slot,
-		home: int((q.nextHome.Add(1) - 1) % uint64(len(q.shards))),
-		rng:  rngSeed(slot),
-		sub:  make([]subHandle[T], len(q.shards)),
-		deqs: make([]int64, len(q.shards)),
+		q:        q,
+		slot:     slot,
+		rng:      rngSeed(slot),
+		lastHome: home,
 	}
-	for j := range q.shards {
-		sh, err := q.shards[j].q.handle(slot)
-		if err != nil {
-			// Slots are always < maxHandles, so this is unreachable; recycle
-			// the slot rather than leak it if an invariant ever breaks.
-			q.reg.release(slot)
-			return nil, err
-		}
-		h.sub[j] = sh
-	}
-	if q.cfg.perShard {
-		h.counters = make([]*metrics.Counter, len(q.shards))
-		for j := range h.counters {
-			h.counters[j] = &metrics.Counter{}
-			h.sub[j].SetCounter(h.counters[j])
-		}
-	} else {
-		// Sub-handles are recycled across leases; clear any counter left
-		// behind by the previous lessee.
-		for j := range h.sub {
-			h.sub[j].SetCounter(nil)
-		}
-	}
+	h.refresh(t)
 	return h, nil
 }
 
 // Close marks the fabric closed: subsequent Enqueues return ErrClosed while
 // Dequeue and Drain keep working, so consumers can drain the backlog.
 // Enqueues that began before Close completed may still be admitted. Close is
-// idempotent.
-func (q *Queue[T]) Close() { q.closed.Store(true) }
+// idempotent. It serializes with Resize (waiting out an in-flight
+// migration, which is bounded by the retired backlog), so once Close
+// returns, no further topology change can move elements underneath the
+// consumers' drain.
+func (q *Queue[T]) Close() {
+	q.resizeMu.Lock()
+	q.closed.Store(true)
+	q.resizeMu.Unlock()
+}
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed.Load() }
 
 // Len returns the fabric's total backlog estimate: the sum of the per-shard
-// root sizes. Like the underlying queues' Len, each addend was exact at
-// some recent moment but may lag concurrent operations.
+// root sizes, including any retired shards still awaiting migration (their
+// elements are owed to the survivors). Like the underlying queues' Len,
+// each addend was exact at some recent moment but may lag concurrent
+// operations.
 func (q *Queue[T]) Len() int {
+	t := q.topo.Load()
 	total := 0
-	for j := range q.shards {
-		total += q.shards[j].len()
+	for _, s := range t.shards {
+		total += s.len()
+	}
+	if retired := t.retired.Load(); retired != nil { // migration in flight
+		for _, s := range *retired {
+			total += s.len()
+		}
 	}
 	return total
 }
@@ -323,37 +398,44 @@ func (q *Queue[T]) Len() int {
 type ShardStat struct {
 	Shard    int   `json:"shard"`
 	Len      int   `json:"len"`      // backlog as of the shard's last root propagation
-	Enqueues int64 `json:"enqueues"` // completed enqueues routed to this shard
-	Dequeues int64 `json:"dequeues"` // successful dequeues served by this shard
+	Enqueues int64 `json:"enqueues"` // completed enqueues routed to this shard (migrations included)
+	Dequeues int64 `json:"dequeues"` // successful dequeues served by this shard (migrations included)
 }
 
-// ShardStats returns per-shard routing statistics, one entry per shard. Len
-// is live; the Enqueues/Dequeues tallies are folded in when a lease is
-// Released (keeping them off the per-operation hot path), so live handles'
-// traffic is not yet included.
+// ShardStats returns per-shard routing statistics, one entry per current
+// shard. Len is live; the Enqueues/Dequeues tallies are folded in when a
+// lease is Released or refreshed onto a new epoch (keeping them off the
+// per-operation hot path), so live handles' traffic is not yet included.
+// Migration drains tally as dequeues on the retired shard and enqueues on
+// the destination, keeping each shard's enqueues-dequeues == len audit
+// exact across resizes.
 func (q *Queue[T]) ShardStats() []ShardStat {
-	out := make([]ShardStat, len(q.shards))
-	for j := range q.shards {
+	t := q.topo.Load()
+	out := make([]ShardStat, len(t.shards))
+	for j, s := range t.shards {
 		out[j] = ShardStat{
 			Shard:    j,
-			Len:      q.shards[j].len(),
-			Enqueues: q.shards[j].enqueues.Load(),
-			Dequeues: q.shards[j].dequeues.Load(),
+			Len:      s.len(),
+			Enqueues: s.enqueues.Load(),
+			Dequeues: s.dequeues.Load(),
 		}
 	}
 	return out
 }
 
-// ShardSummaries returns the paper's cost-model summary per shard,
+// ShardSummaries returns the paper's cost-model summary per current shard,
 // aggregated from handles that have been Released (live handles' counters
-// cannot be read safely). It returns meaningful data only when the fabric
-// was built WithShardMetrics.
+// cannot be read safely). A shard retired by a shrink bequeaths its
+// accumulated summary to its migration destination, so the fabric-wide
+// totals survive any resize schedule. It returns meaningful data only
+// when the fabric was built WithShardMetrics.
 func (q *Queue[T]) ShardSummaries() []metrics.Summary {
+	t := q.topo.Load()
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make([]metrics.Summary, len(q.shards))
-	for j, c := range q.shardCounters {
-		out[j] = metrics.Summarize(c)
+	out := make([]metrics.Summary, len(t.shards))
+	for j, s := range t.shards {
+		out[j] = metrics.Summarize(s.counter)
 	}
 	return out
 }
@@ -382,14 +464,16 @@ func (q *Queue[T]) RegistryStats() RegistryStats {
 }
 
 // Snapshot is a stable JSON-encodable view of the whole fabric: identity,
-// aggregate backlog, per-shard routing traffic, lease churn, and (when the
-// fabric was built WithShardMetrics) per-shard cost-model summaries.
+// topology epoch and resize history, aggregate backlog, per-shard routing
+// traffic, lease churn, and (when the fabric was built WithShardMetrics)
+// per-shard cost-model summaries.
 type Snapshot struct {
 	Backend    Backend           `json:"backend"`
-	Shards     int               `json:"shards"`
+	Shards     int               `json:"shards"` // current k (elastic; see Resize)
 	MaxHandles int               `json:"max_handles"`
 	Closed     bool              `json:"closed"`
 	Len        int               `json:"len"`
+	Resize     ResizeStats       `json:"resize"` // epoch and grow/shrink/migration counters
 	ShardStats []ShardStat       `json:"shard_stats"`
 	Registry   RegistryStats     `json:"registry"`
 	Summaries  []metrics.Summary `json:"summaries,omitempty"`
@@ -401,10 +485,11 @@ type Snapshot struct {
 func (q *Queue[T]) Snapshot() Snapshot {
 	s := Snapshot{
 		Backend:    q.cfg.backend,
-		Shards:     len(q.shards),
+		Shards:     q.Shards(),
 		MaxHandles: q.cfg.maxHandles,
 		Closed:     q.closed.Load(),
 		Len:        q.Len(),
+		Resize:     q.ResizeStats(),
 		ShardStats: q.ShardStats(),
 		Registry:   q.RegistryStats(),
 	}
@@ -414,12 +499,15 @@ func (q *Queue[T]) Snapshot() Snapshot {
 	return s
 }
 
-// mergeShardCounters folds a released handle's per-shard counters into the
-// fabric totals.
-func (q *Queue[T]) mergeShardCounters(counters []*metrics.Counter) {
+// mergeShardCounters folds a handle's per-shard counters into the given
+// shard states' totals (the states of the topology the counters were
+// collected against). A state retired since the counters were collected
+// forwards to its migration destination, so no recorded cost-model work
+// is dropped by a shrink.
+func (q *Queue[T]) mergeShardCounters(states []*shardState[T], counters []*metrics.Counter) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for j, c := range counters {
-		q.shardCounters[j].Merge(c)
+		states[j].sink().counter.Merge(c)
 	}
 }

@@ -196,7 +196,7 @@ func TestUseAfterReleasePanics(t *testing.T) {
 			t.Error("use after Release did not panic")
 		}
 	}()
-	h.Release()
+	h.Enqueue(1)
 }
 
 func TestShardStatsAndRouting(t *testing.T) {

@@ -77,6 +77,19 @@ func WithServeQueueIdleTimeout(d time.Duration) ServeOption {
 	return server.WithQueueIdleTimeout(d)
 }
 
+// WithAutoscale starts the server's per-queue shard autoscaler with the
+// given tick interval (0, the default, disables it). Every tick, each
+// queue's fabric is resized live — retired shards' residues migrated with
+// exact conservation, per-producer FIFO preserved across the epoch swap —
+// from its served ops/sec, occupancy, and null-dequeue rate, within the
+// WithShardBounds envelope.
+func WithAutoscale(interval time.Duration) ServeOption { return server.WithAutoscale(interval) }
+
+// WithShardBounds bounds the per-queue shard count that the autoscaler
+// and wire-level manual resizes (QueueClient.Resize,
+// NamedRemoteQueue.Resize) will apply (defaults 1 and 16).
+func WithShardBounds(min, max int) ServeOption { return server.WithShardBounds(min, max) }
+
 // Serve listens on addr and serves q over the queue service's wire
 // protocol until the returned server is Closed. Pass "127.0.0.1:0" to
 // bind an ephemeral loopback port (resolved via QueueServer.Addr).
