@@ -1,11 +1,12 @@
-// Command benchqueue regenerates the reproduction tables (T1-T13 in
+// Command benchqueue regenerates the reproduction tables (T1-T15 in
 // DESIGN.md) that validate the paper's analytical claims: CAS bounds
 // (Proposition 19), step complexity (Theorem 22), the CAS retry problem of
 // the baselines, space bounds (Theorem 31) and bounded-variant amortized
 // steps (Theorem 32), a wall-clock throughput comparison, the sharded
 // fabric's throughput scaling with shard count, the network queue
-// service's latency under open-loop load, batch amortization, and
-// multi-tenant per-queue isolation.
+// service's latency under open-loop load, batch amortization, multi-tenant
+// per-queue isolation, elastic autoscaling, and the observability layer's
+// overhead budget.
 //
 // Usage:
 //
@@ -13,11 +14,12 @@
 //	benchqueue -exp casbound -ops 4000  # one experiment, custom op count
 //	benchqueue -exp space -procs 8
 //	benchqueue -impl sharded -shards 8  # fabric scaling (T10)
+//	benchqueue -exp obs                 # T15 observability overhead
 //	benchqueue -exp all -json results   # also emit results/BENCH_<ID>.json
 //
 // Experiments: casbound, enqsteps, deqsteps, retry, adversary, space,
 // boundedsteps, throughput, waitfree, ablation, sharded, service, batch,
-// multitenant, elastic, all.
+// multitenant, elastic, obs, all.
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch multitenant elastic all)")
+		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch multitenant elastic obs all)")
 		ops     = flag.Int("ops", 2000, "operations per process per measurement")
 		procs   = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
 		psFlag  = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
@@ -146,6 +148,16 @@ func run(exp string, cfg runConfig) error {
 			return show(harness.ExpElasticScaling([]int{8000, 400, 8000},
 				harness.ElasticConfig{Backend: cfg.backend}))
 		},
+		"obs": func() error {
+			// T15: the observability layer's CPU cost per operation, obs-on
+			// vs obs-off servers under identical paced open-loop load. All
+			// rates stay below loopback capacity (~160k ops/s here) so both
+			// arms do identical work and the CPU delta isolates the
+			// observability layer; saturated throughput is too noisy on
+			// shared hardware to resolve the <3% budget.
+			return show(harness.ExpObsOverhead([]int{16000, 64000, 128000},
+				harness.ObsConfig{Shards: cfg.shards, Backend: cfg.backend}))
+		},
 		"ablation": func() error {
 			if err := show(harness.ExpAblationSearch(4, 16, []int{0, 4, 16, 64, 256}, 500)); err != nil {
 				return err
@@ -159,7 +171,7 @@ func run(exp string, cfg runConfig) error {
 	if exp == "all" {
 		for _, name := range []string{"casbound", "enqsteps", "deqsteps", "retry", "adversary",
 			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded", "batch", "service",
-			"multitenant", "elastic"} {
+			"multitenant", "elastic", "obs"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

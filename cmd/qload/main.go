@@ -23,6 +23,7 @@
 //	qload -addr 127.0.0.1:7474 -rates 8000 -queue jobs  # one named queue
 //	qload -addr 127.0.0.1:7474 -rates 16000 -tenants 1,2,4 -json bench_results
 //	qload -addr 127.0.0.1:7474 -ramp 16000,500,16000     # T14 (autoscaling queued)
+//	qload -addr 127.0.0.1:7474 -rates 8000 -scrape       # + server-side percentiles
 //
 // -queue runs the T11 sweep against one named queue instead of the
 // default queue. -tenants switches to the T13 sweep: for each tenant
@@ -35,12 +36,19 @@
 // topology epoch, and cumulative resize counters alongside throughput
 // and conservation.
 //
+// -scrape (sweep mode only) fetches the server's own latency histograms
+// after the sweep and prints the server-side per-queue percentiles next
+// to the client-side table: the client view measures scheduled-send to
+// ack, the server view frame read to reply, so the two agree within the
+// network round trip plus client scheduling delay.
+//
 // -json emits bench_results/BENCH_T11.json (BENCH_T13.json in tenant
 // mode, BENCH_T14.json in ramp mode) in the same schema as
 // cmd/benchqueue's tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +57,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -68,6 +77,7 @@ func main() {
 		tenants   = flag.String("tenants", "", "comma-separated tenant counts: run the T13 multi-queue sweep at the single -rates value as aggregate load")
 		ramp      = flag.String("ramp", "", "comma-separated phase rates: run the T14 elastic-scaling ramp (phases run back to back against an autoscaling queued)")
 		jsonDir   = flag.String("json", "", "write the result table as BENCH_T11.json (BENCH_T13.json with -tenants, BENCH_T14.json with -ramp) into this directory")
+		scrape    = flag.Bool("scrape", false, "after the sweep, snapshot the server's own latency histograms and print the server-side percentiles next to the client-side table")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -111,6 +121,12 @@ func main() {
 			rates[i], res.Offered, res.Acked, res.Busy, res.Errors,
 			res.Consumed, res.Foreign, res.Lost, res.Dup)
 		violated = violated || !res.Conserved()
+	}
+	if *scrape {
+		if err := scrapeServerView(*addr, *queue); err != nil {
+			fmt.Fprintln(os.Stderr, "qload: -scrape:", err)
+			os.Exit(1)
+		}
 	}
 	if *jsonDir != "" {
 		path, err := harness.WriteTableJSON(*jsonDir, table)
@@ -217,6 +233,56 @@ func runTenantSweep(addr, tenantsFlag string, rates []int, load server.LoadConfi
 		fmt.Fprintln(os.Stderr, "qload: CONSERVATION VIOLATION (values lost or duplicated)")
 		os.Exit(1)
 	}
+}
+
+// scrapeServerView fetches the server's Snapshot over the wire and prints
+// the per-queue latency percentiles the server itself measured — the view
+// its observability layer recorded while the sweep above was hammering it.
+// The client-side table measures scheduled-send to ack; the server-side
+// view measures frame read to reply, so the two should agree within the
+// network round trip plus client scheduling delay. queue narrows the
+// print to one named queue ("" prints all).
+func scrapeServerView(addr, queue string) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	raw, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	var snap server.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return err
+	}
+	if snap.Obs == nil {
+		return fmt.Errorf("server reports no observability data (started with -obs=false?)")
+	}
+	fmt.Println("\nserver-side latency (frame read to reply, measured by the server's histograms):")
+	fmt.Printf("%-16s %-13s %10s %10s %10s %10s\n", "queue", "op", "count", "p50 ms", "p99 ms", "max ms")
+	for _, qs := range snap.Queues {
+		if queue != "" && qs.Name != queue {
+			continue
+		}
+		for _, col := range []struct {
+			op string
+			s  *obs.LatencySummary
+		}{
+			{"enqueue", qs.EnqueueLat},
+			{"dequeue", qs.DequeueLat},
+			{"batch", qs.BatchLat},
+			{"null_dequeue", qs.NullDequeueLat},
+		} {
+			if col.s == nil {
+				continue
+			}
+			fmt.Printf("%-16s %-13s %10d %10.3f %10.3f %10.3f\n",
+				qs.Name, col.op, col.s.Count, col.s.P50Ms, col.s.P99Ms, col.s.MaxMs)
+		}
+	}
+	fmt.Println("compare with the client-side table above: client latency = server latency + network round trip + client scheduling delay.")
+	return nil
 }
 
 // parseRates parses a comma-separated list of positive integers (-rates,

@@ -11,26 +11,43 @@
 // grows and shrinks each fabric live — conservation-preserving shrink
 // migrations included — between -min-shards and -max-shards, and clients
 // can resize manually through the wire-level RESIZE opcode. An optional
-// HTTP endpoint exposes /statsz, a JSON snapshot of service counters,
-// per-shard routing traffic, handle-lease churn, and per-queue stats
-// (shard count, topology epoch, and resize history included).
+// HTTP listener (-statsz) exposes the introspection surface:
+//
+//	/statsz    full JSON snapshot: service counters, per-shard routing
+//	           traffic, handle-lease churn, per-queue stats (shard count,
+//	           topology epoch, resize history, latency summaries)
+//	/healthz   liveness: 200 + uptime
+//	/varz      build and process identity, configured options, flag values
+//	/metricsz  Prometheus text exposition (counters, per-queue gauges,
+//	           per-(queue, op) latency summaries)
+//	/tracez    bounded control-plane event trace (resizes, autoscaler
+//	           decisions with their watermark inputs, session/queue
+//	           lifecycle) as JSON
+//	/debug/pprof/...  net/http/pprof profiles, only with -pprof
+//
+// Observability (latency histograms + event trace) is on by default and
+// costs under the T15 budget; -obs=false turns it off for overhead
+// comparisons.
 //
 // Usage:
 //
 //	queued -addr 127.0.0.1:7474 -shards 8 -backend core
 //	queued -addr 127.0.0.1:0 -addr-file /tmp/queued.addr   # ephemeral port
 //	queued -statsz 127.0.0.1:7475      # curl http://127.0.0.1:7475/statsz
+//	queued -statsz 127.0.0.1:7475 -pprof                   # + profiling
 //	queued -max-queues 128 -queue-idle 10m                 # tenant knobs
 //	queued -autoscale-interval 500ms -min-shards 1 -max-shards 16
 //
 // Drive it with cmd/qload, the open-loop load generator (-queue targets a
-// named queue; -tenants sweeps several at once).
+// named queue; -tenants sweeps several at once; -scrape prints the
+// server-side latency view next to the client-side one).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,10 +74,13 @@ func main() {
 		minShards = flag.Int("min-shards", server.DefaultMinShards, "lower bound on any queue's shard count (autoscaler and wire RESIZE)")
 		maxShards = flag.Int("max-shards", server.DefaultMaxShards, "upper bound on any queue's shard count (autoscaler and wire RESIZE)")
 		autoscale = flag.Duration("autoscale-interval", 0, "per-queue shard autoscaler tick (0 disables autoscaling)")
+		obsOn     = flag.Bool("obs", true, "record latency histograms and control-plane trace events")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the -statsz listener")
 	)
 	flag.Parse()
 	if err := run(*addr, *addrFile, *shards, *backend, *handles, *window, *batch, *idle,
-		*maxFrame, *maxQueues, *queueIdle, *statsz, *minShards, *maxShards, *autoscale); err != nil {
+		*maxFrame, *maxQueues, *queueIdle, *statsz, *minShards, *maxShards, *autoscale,
+		*obsOn, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "queued:", err)
 		os.Exit(1)
 	}
@@ -68,7 +88,7 @@ func main() {
 
 func run(addr, addrFile string, shards int, backend string, handles, window, batch int,
 	idle time.Duration, maxFrame, maxQueues int, queueIdle time.Duration, statsz string,
-	minShards, maxShards int, autoscale time.Duration) error {
+	minShards, maxShards int, autoscale time.Duration, obsOn, pprofOn bool) error {
 	q, err := newFabric(shards, backend, handles)
 	if err != nil {
 		return err
@@ -81,7 +101,8 @@ func run(addr, addrFile string, shards int, backend string, handles, window, bat
 		server.WithMaxQueues(maxQueues),
 		server.WithQueueIdleTimeout(queueIdle),
 		server.WithShardBounds(minShards, maxShards),
-		server.WithAutoscale(autoscale))
+		server.WithAutoscale(autoscale),
+		server.WithObservability(obsOn))
 	if err != nil {
 		return err
 	}
@@ -101,6 +122,23 @@ func run(addr, addrFile string, shards int, backend string, handles, window, bat
 	if statsz != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/statsz", srv.StatszHandler())
+		mux.Handle("/healthz", srv.HealthzHandler())
+		mux.Handle("/metricsz", srv.MetricszHandler())
+		mux.Handle("/tracez", srv.TracezHandler())
+		mux.Handle("/varz", srv.VarzHandler(map[string]string{
+			"addr":    srv.Addr().String(),
+			"statsz":  statsz,
+			"backend": backend,
+			"obs":     fmt.Sprint(obsOn),
+			"pprof":   fmt.Sprint(pprofOn),
+		}))
+		if pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		hsrv := &http.Server{Addr: statsz, Handler: mux}
 		go func() {
 			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -108,7 +146,10 @@ func run(addr, addrFile string, shards int, backend string, handles, window, bat
 			}
 		}()
 		defer hsrv.Close()
-		fmt.Printf("queued: /statsz on http://%s/statsz\n", statsz)
+		fmt.Printf("queued: /statsz /healthz /varz /metricsz /tracez on http://%s\n", statsz)
+		if pprofOn {
+			fmt.Printf("queued: pprof on http://%s/debug/pprof/\n", statsz)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram geometry: log-linear buckets in the HDR style. Values (int64
+// nanoseconds) below minorCount land in exact unit buckets; above, each
+// power-of-two octave is split into minorCount linear sub-buckets, so the
+// relative quantization error is bounded by 1/minorCount (~12.5%) at any
+// magnitude. majorGroups octaves cover 8 ns ... 2^42 ns (~73 min);
+// larger samples clamp into the last bucket.
+const (
+	minorBits   = 3
+	minorCount  = 1 << minorBits
+	majorGroups = 40
+	numBuckets  = (majorGroups + 1) * minorCount
+
+	// NumStripes is the contention-spreading factor: concurrent recorders
+	// hash (by session) onto independent copies of the bucket array and
+	// snapshots merge them. Power of two so stripe selection is a mask.
+	NumStripes = 8
+
+	stripeMask = NumStripes - 1
+)
+
+// histStripe is one recorder lane: an independent bucket array plus
+// count/sum, updated only with atomic adds so recording is lock-free and
+// wait-free. The trailing pad keeps the next stripe's hot first buckets
+// off this stripe's last cache line.
+type histStripe struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	_      [64]byte
+}
+
+// Histogram is a lock-free, mergeable, log-bucketed latency histogram.
+// The zero value is ready to use. Record and CollectInto may run
+// concurrently; a concurrent snapshot sees each sample's bucket, count,
+// and sum independently (the usual monotonic skew), never torn values.
+type Histogram struct {
+	stripes [NumStripes]histStripe
+}
+
+// Record adds one sample of v nanoseconds (negative samples clamp to 0).
+// stripe may be any int; it is masked onto the stripe array.
+func (h *Histogram) Record(stripe int, v int64) {
+	s := &h.stripes[stripe&stripeMask]
+	if v < 0 {
+		v = 0
+	}
+	s.counts[bucketIndex(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+}
+
+// bucketIndex maps a non-negative sample to its bucket.
+func bucketIndex(v int64) int {
+	if v < minorCount {
+		return int(v)
+	}
+	major := bits.Len64(uint64(v)) - 1 // floor(log2 v) >= minorBits
+	idx := (major-minorBits+1)<<minorBits + int((v>>(major-minorBits))&(minorCount-1))
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the largest sample value a bucket admits, the value
+// snapshots report for percentiles (conservative: a reported percentile
+// is >= the true one, within the quantization bound).
+func bucketUpper(i int) int64 {
+	if i < minorCount {
+		return int64(i)
+	}
+	g := i >> minorBits // octave group, >= 1
+	m := int64(i & (minorCount - 1))
+	major := g + minorBits - 1
+	width := int64(1) << (major - minorBits)
+	return int64(1)<<major + (m+1)*width - 1
+}
+
+// Accum is a plain (single-goroutine) accumulator that histograms are
+// collected and merged into: collect several queues' histograms into one
+// Accum for an aggregate view, then Summary it.
+type Accum struct {
+	counts [numBuckets]int64
+	count  int64
+	sum    int64
+}
+
+// CollectInto merges the histogram's current contents into a. Recording
+// may continue concurrently; the collected view is a consistent-enough
+// snapshot for monitoring (bucket totals may trail count by in-flight
+// samples).
+func (h *Histogram) CollectInto(a *Accum) {
+	for s := range h.stripes {
+		st := &h.stripes[s]
+		for i := range st.counts {
+			a.counts[i] += st.counts[i].Load()
+		}
+		a.count += st.count.Load()
+		a.sum += st.sum.Load()
+	}
+}
+
+// LatencySummary is the stable JSON encoding of one histogram's snapshot:
+// sample count, total, and the percentile ladder, all in milliseconds.
+// MaxMs is the upper bound of the highest occupied bucket (within the
+// quantization error of the true maximum).
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	SumMs  float64 `json:"sum_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+const nsPerMs = 1e6
+
+// Summary derives the percentile ladder from the accumulated buckets by
+// nearest-rank over the cumulative counts.
+func (a *Accum) Summary() LatencySummary {
+	s := LatencySummary{Count: a.count, SumMs: float64(a.sum) / nsPerMs}
+	// The bucket array is authoritative for ranks; count can trail it when
+	// collected mid-record, so rank against the buckets' own total.
+	var total int64
+	for _, c := range a.counts {
+		total += c
+	}
+	if total == 0 {
+		return s
+	}
+	ranks := [4]int64{
+		(total*50 + 99) / 100,
+		(total*90 + 99) / 100,
+		(total*99 + 99) / 100,
+		(total*999 + 999) / 1000,
+	}
+	out := [4]*float64{&s.P50Ms, &s.P90Ms, &s.P99Ms, &s.P999Ms}
+	var cum int64
+	next := 0
+	for i, c := range a.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		for next < len(ranks) && cum >= ranks[next] {
+			*out[next] = float64(bucketUpper(i)) / nsPerMs
+			next++
+		}
+		s.MaxMs = float64(bucketUpper(i)) / nsPerMs
+	}
+	return s
+}

@@ -1,0 +1,78 @@
+// Package obs is the server-side observability substrate: low-overhead
+// latency histograms for the service hot path and a bounded ring of
+// structured control-plane events for after-the-fact diagnosis.
+//
+// Two constraints shape the package. First, recording must be cheap
+// enough to leave on in production — the T15 experiment budgets under 3%
+// throughput cost — so histograms are lock-free, log-bucketed, and
+// striped across cache-line-separated shards keyed by the recording
+// session, and the hot path never allocates. Second, everything must be
+// mergeable and snapshot-able while recording continues: snapshots walk
+// the atomic buckets without stopping writers, accepting the usual
+// monotonic-counter skew instead of a lock.
+//
+// The service layer owns the mapping from its structure onto these
+// primitives: one OpHists (four histograms: enqueue, dequeue, batch,
+// null-dequeue) per queue, one Ring per server. See internal/server for
+// the endpoints (/metricsz, /tracez) that expose them.
+package obs
+
+import "time"
+
+// Op names the per-queue latency class a sample is recorded under. The
+// service layer maps request frames onto these: single-op enqueue and
+// dequeue frames (coalesced or not) to OpEnqueue/OpDequeue, native batch
+// frames to OpBatch, and dequeues of any flavor that found the queue
+// empty to OpNullDequeue.
+type Op int
+
+// Latency classes. NumOps sizes per-queue histogram arrays.
+const (
+	OpEnqueue Op = iota
+	OpDequeue
+	OpBatch
+	OpNullDequeue
+	NumOps
+)
+
+// String returns the stable lower-case name used in JSON fields and
+// /metricsz label values.
+func (o Op) String() string {
+	switch o {
+	case OpEnqueue:
+		return "enqueue"
+	case OpDequeue:
+		return "dequeue"
+	case OpBatch:
+		return "batch"
+	case OpNullDequeue:
+		return "null_dequeue"
+	default:
+		return "unknown"
+	}
+}
+
+// OpHists is one queue's latency histograms, one per Op class.
+type OpHists struct {
+	h [NumOps]Histogram
+}
+
+// NewOpHists returns a zeroed per-queue histogram set.
+func NewOpHists() *OpHists { return &OpHists{} }
+
+// Record adds one duration sample to the op's histogram. stripe is the
+// caller's affinity hint (the service layer passes a per-session index)
+// spreading concurrent recorders across cache lines.
+func (q *OpHists) Record(op Op, stripe int, d time.Duration) {
+	q.h[op].Record(stripe, int64(d))
+}
+
+// Hist returns the op's histogram (for collection and merging).
+func (q *OpHists) Hist(op Op) *Histogram { return &q.h[op] }
+
+// Summary collects and summarizes the op's histogram.
+func (q *OpHists) Summary(op Op) LatencySummary {
+	var a Accum
+	q.h[op].CollectInto(&a)
+	return a.Summary()
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text-format (version 0.0.4) rendering helpers. The service
+// layer composes these into its /metricsz exposition; they live here so
+// the escaping and summary-layout rules sit next to the histogram they
+// expose.
+
+// EscapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func EscapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteMetricHeader writes the # HELP / # TYPE preamble for a metric.
+func WriteMetricHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteCounter writes one counter (or gauge) sample line. labels is the
+// pre-rendered label set without braces ("" for none).
+func WriteCounter(w io.Writer, name, labels string, v any) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %v\n", name, v)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %v\n", name, labels, v)
+}
+
+// WriteSummary renders a LatencySummary as a Prometheus summary metric in
+// seconds: quantile-labelled samples plus _sum and _count. labels is the
+// pre-rendered shared label set without braces ("" for none).
+func WriteSummary(w io.Writer, name, labels string, s LatencySummary) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, q := range []struct {
+		q  string
+		ms float64
+	}{{"0.5", s.P50Ms}, {"0.9", s.P90Ms}, {"0.99", s.P99Ms}, {"0.999", s.P999Ms}} {
+		fmt.Fprintf(w, "%s{%s%squantile=\"%s\"} %g\n", name, labels, sep, q.q, q.ms/1e3)
+	}
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, s.SumMs/1e3, name, s.Count)
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, s.SumMs/1e3, name, labels, s.Count)
+}

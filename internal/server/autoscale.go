@@ -29,9 +29,11 @@ const (
 
 // scalerSample is the per-queue counter state one autoscale tick compares
 // the next tick against, so decisions are made on rate deltas rather than
-// lifetime totals.
+// lifetime totals. ticks counts decisions made for this queue, pacing the
+// sampled hold-decision trace events.
 type scalerSample struct {
 	enq, deq, empty, polls int64
+	ticks                  int64
 }
 
 // autoscaleLoop periodically walks the namespace and resizes each queue's
@@ -94,6 +96,7 @@ func (srv *Server) autoscaleQueue(t *tenant, prev map[uint32]scalerSample, elaps
 		polls: t.deqPolls.Load(),
 	}
 	last, seen := prev[t.id]
+	cur.ticks = last.ticks + 1
 	prev[t.id] = cur
 	if !seen {
 		return // first sight of this queue: no rate window yet
@@ -129,7 +132,25 @@ func (srv *Server) autoscaleQueue(t *tenant, prev map[uint32]scalerSample, elaps
 		(attempts == 0 || nullRate > 0.5):
 		target = max(k/2, srv.opts.minShards)
 	}
+	// inputs snapshots the signals this decision was made on; every
+	// autoscale trace event carries them so a dumped /tracez explains each
+	// resize (and each sampled refusal) without replaying the counters.
+	inputs := func() map[string]any {
+		return map[string]any{
+			"k": k, "rate": rate, "rate_per_shard": rate / float64(k),
+			"backlog": backlog, "null_rate": nullRate,
+			"low": srv.opts.lowWatermark, "high": srv.opts.highWatermark,
+		}
+	}
 	if target == k {
+		// The rejected branch, sampled: every holdSampleEvery-th tick per
+		// queue records why the autoscaler did NOT resize, so a trace dump
+		// distinguishes "stable by choice" from "blocked at a bound".
+		if srv.trace != nil && cur.ticks%holdSampleEvery == 1 {
+			ev := inputs()
+			ev["reason"] = holdReason(srv, k, rate, backlog, attempts, nullRate)
+			srv.trace.Add("autoscale_hold", t.name, ev)
+		}
 		return
 	}
 	// A tenant deleted between the walk and here has a closed fabric;
@@ -137,9 +158,41 @@ func (srv *Server) autoscaleQueue(t *tenant, prev map[uint32]scalerSample, elaps
 	if err := t.q.Resize(target); err != nil {
 		return
 	}
+	typ := "autoscale_grow"
 	if target > k {
 		srv.stats.autoGrows.Add(1)
 	} else {
 		srv.stats.autoShrinks.Add(1)
+		typ = "autoscale_shrink"
+	}
+	if srv.trace != nil {
+		rs := t.q.ResizeStats()
+		ev := inputs()
+		ev["target"] = target
+		ev["epoch"] = rs.Epoch
+		ev["migrated"] = rs.Migrated
+		srv.trace.Add(typ, t.name, ev)
+	}
+}
+
+// holdReason names the branch that kept a queue at its current shard
+// count — the input the operator needs when asking "why is this queue
+// still at k shards".
+func holdReason(srv *Server, k int, rate float64, backlog int, attempts int64, nullRate float64) string {
+	perShard := rate / float64(k)
+	wantGrow := perShard > srv.opts.highWatermark || backlog > autoscaleBacklogPerShard*k
+	switch {
+	case wantGrow && k >= srv.opts.maxShards:
+		return "grow-blocked-at-max-shards"
+	case perShard >= srv.opts.lowWatermark:
+		return "rate-between-watermarks"
+	case k <= srv.opts.minShards:
+		return "shrink-blocked-at-min-shards"
+	case backlog > autoscaleBacklogPerShard:
+		return "shrink-blocked-by-backlog"
+	case attempts > 0 && nullRate <= 0.5:
+		return "shrink-blocked-by-null-rate"
+	default:
+		return "stable"
 	}
 }

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// HTTP introspection endpoints. StatszHandler (server.go) serves the full
+// JSON Snapshot; the handlers here add the operational surface around it:
+// liveness (/healthz), process/build identity (/varz), Prometheus
+// exposition (/metricsz), and the control-plane event trace (/tracez).
+// Commands mount them all on one mux — see cmd/queued.
+
+// HealthzHandler reports liveness: 200 with a tiny JSON body carrying the
+// server's uptime. It deliberately reads no namespace or fabric state, so
+// it stays cheap and cannot be wedged by the thing it is probing.
+func (srv *Server) HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f}\n",
+			time.Since(srv.start).Seconds())
+	})
+}
+
+// VarzHandler reports process and build identity plus the server's
+// configured options as JSON: what binary is this, when did it start, and
+// what knobs is it running with. extra carries command-level settings
+// (flag values, listen addresses) the server type cannot know; nil is
+// fine.
+func (srv *Server) VarzHandler(extra map[string]string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc := map[string]any{
+			"go_version":     runtime.Version(),
+			"pid":            os.Getpid(),
+			"start_time":     srv.start.Format(time.RFC3339Nano),
+			"uptime_seconds": time.Since(srv.start).Seconds(),
+			"options": map[string]any{
+				"window":         srv.opts.window,
+				"batch_max":      srv.opts.batchMax,
+				"max_frame":      srv.opts.maxFrame,
+				"max_queues":     srv.opts.maxQueues,
+				"min_shards":     srv.opts.minShards,
+				"max_shards":     srv.opts.maxShards,
+				"low_watermark":  srv.opts.lowWatermark,
+				"high_watermark": srv.opts.highWatermark,
+				"autoscale_ms":   float64(srv.opts.autoscale) / float64(time.Millisecond),
+				"observability":  srv.opts.obs,
+			},
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			doc["module"] = bi.Main.Path
+			doc["module_version"] = bi.Main.Version
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					doc["vcs_revision"] = s.Value
+				}
+			}
+		}
+		if len(extra) > 0 {
+			doc["flags"] = extra
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+}
+
+// TracezHandler dumps the control-plane event ring as JSON: every resize,
+// autoscaler decision (with the watermark inputs it decided on), queue and
+// session lifecycle transition the ring still holds, in sequence order.
+// dropped counts events already overwritten by the ring's wraparound.
+// With observability off the dump is empty but well-formed.
+func (srv *Server) TracezHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		events := srv.trace.Events()
+		if events == nil {
+			events = []obs.Event{}
+		}
+		recorded := srv.trace.Recorded()
+		dropped := recorded - int64(len(events))
+		if dropped < 0 {
+			dropped = 0
+		}
+		doc := map[string]any{
+			"recorded": recorded,
+			"capacity": srv.trace.Capacity(),
+			"dropped":  dropped,
+			"events":   events,
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+}
+
+// MetricszHandler serves the Prometheus text exposition (format 0.0.4):
+// service counters, per-queue gauges, and — when observability is on —
+// per-(queue, op) latency summaries in seconds. Metric names are
+// prefixed queued_.
+func (srv *Server) MetricszHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := srv.Snapshot()
+		st := snap.Server
+
+		obs.WriteMetricHeader(w, "queued_uptime_seconds", "Seconds since the server started.", "gauge")
+		obs.WriteCounter(w, "queued_uptime_seconds", "", time.Since(srv.start).Seconds())
+
+		obs.WriteMetricHeader(w, "queued_sessions_open", "Live client sessions.", "gauge")
+		obs.WriteCounter(w, "queued_sessions_open", "", st.SessionsOpen)
+		obs.WriteMetricHeader(w, "queued_sessions_total", "Sessions accepted since start.", "counter")
+		obs.WriteCounter(w, "queued_sessions_total", "", st.SessionsTotal)
+		obs.WriteMetricHeader(w, "queued_sessions_denied_total", "Connections refused for want of a handle lease.", "counter")
+		obs.WriteCounter(w, "queued_sessions_denied_total", "", st.SessionsDenied)
+		obs.WriteMetricHeader(w, "queued_sessions_reaped_total", "Sessions closed by the idle reaper.", "counter")
+		obs.WriteCounter(w, "queued_sessions_reaped_total", "", st.SessionsReaped)
+
+		obs.WriteMetricHeader(w, "queued_requests_total", "Request frames parsed off sockets.", "counter")
+		obs.WriteCounter(w, "queued_requests_total", "", st.Requests)
+		obs.WriteMetricHeader(w, "queued_busy_total", "Requests answered BUSY (window full).", "counter")
+		obs.WriteCounter(w, "queued_busy_total", "", st.Busy)
+
+		obs.WriteMetricHeader(w, "queued_ops_total", "Queue operations acknowledged, by class.", "counter")
+		obs.WriteCounter(w, "queued_ops_total", `op="enqueue"`, st.Enqueues)
+		obs.WriteCounter(w, "queued_ops_total", `op="dequeue"`, st.Dequeues)
+		obs.WriteCounter(w, "queued_ops_total", `op="null_dequeue"`, st.EmptyDequeues)
+
+		obs.WriteMetricHeader(w, "queued_queues_open", "Live queues in the namespace (default included).", "gauge")
+		obs.WriteCounter(w, "queued_queues_open", "", st.QueuesOpen)
+		obs.WriteMetricHeader(w, "queued_queues_opened_total", "Named queues created by OPEN.", "counter")
+		obs.WriteCounter(w, "queued_queues_opened_total", "", st.QueuesOpened)
+		obs.WriteMetricHeader(w, "queued_queues_deleted_total", "Named queues removed by DELETE.", "counter")
+		obs.WriteCounter(w, "queued_queues_deleted_total", "", st.QueuesDeleted)
+		obs.WriteMetricHeader(w, "queued_queues_expired_total", "Named queues torn down by the idle reaper.", "counter")
+		obs.WriteCounter(w, "queued_queues_expired_total", "", st.QueuesExpired)
+
+		obs.WriteMetricHeader(w, "queued_resizes_total", "Per-queue fabric resizes, by initiator and direction.", "counter")
+		obs.WriteCounter(w, "queued_resizes_total", `initiator="autoscaler",direction="grow"`, st.AutoscaleGrows)
+		obs.WriteCounter(w, "queued_resizes_total", `initiator="autoscaler",direction="shrink"`, st.AutoscaleShrinks)
+		obs.WriteCounter(w, "queued_resizes_total", `initiator="wire",direction="any"`, st.WireResizes)
+
+		obs.WriteMetricHeader(w, "queued_queue_len", "Fabric backlog estimate per queue.", "gauge")
+		for _, q := range snap.Queues {
+			obs.WriteCounter(w, "queued_queue_len", queueLabel(q.Name), q.Len)
+		}
+		obs.WriteMetricHeader(w, "queued_queue_shards", "Current shard count per queue.", "gauge")
+		for _, q := range snap.Queues {
+			obs.WriteCounter(w, "queued_queue_shards", queueLabel(q.Name), q.Shards)
+		}
+		obs.WriteMetricHeader(w, "queued_queue_epoch", "Topology epoch per queue.", "gauge")
+		for _, q := range snap.Queues {
+			obs.WriteCounter(w, "queued_queue_epoch", queueLabel(q.Name), q.Epoch)
+		}
+
+		if snap.Obs != nil {
+			obs.WriteMetricHeader(w, "queued_trace_events_total", "Control-plane events recorded in the trace ring.", "counter")
+			obs.WriteCounter(w, "queued_trace_events_total", "", snap.Obs.TraceRecorded)
+
+			obs.WriteMetricHeader(w, "queued_op_latency_seconds",
+				"In-server request latency (read to reply), per queue and op class.", "summary")
+			for _, q := range snap.Queues {
+				for _, col := range []struct {
+					op string
+					s  *obs.LatencySummary
+				}{
+					{"enqueue", q.EnqueueLat},
+					{"dequeue", q.DequeueLat},
+					{"batch", q.BatchLat},
+					{"null_dequeue", q.NullDequeueLat},
+				} {
+					if col.s == nil {
+						continue
+					}
+					labels := fmt.Sprintf(`queue="%s",op="%s"`, obs.EscapeLabel(q.Name), col.op)
+					obs.WriteSummary(w, "queued_op_latency_seconds", labels, *col.s)
+				}
+			}
+		}
+	})
+}
+
+// queueLabel renders the shared per-queue label set.
+func queueLabel(name string) string {
+	return fmt.Sprintf(`queue="%s"`, obs.EscapeLabel(name))
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -57,6 +58,11 @@ type tenant struct {
 	dequeues  atomic.Int64
 	emptyDeqs atomic.Int64
 	deqPolls  atomic.Int64
+
+	// hists holds this queue's per-opcode latency histograms; nil when the
+	// server runs with observability off, which also turns every Record
+	// call site into a skipped branch.
+	hists *obs.OpHists
 }
 
 // namespace is the server's queue registry: name -> tenant and id ->
@@ -75,11 +81,22 @@ type namespace struct {
 	opened  atomic.Int64 // named queues created
 	dropped atomic.Int64 // named queues removed by OpDelete
 	expired atomic.Int64 // named queues removed by the idle reaper
+
+	// obsOn decides whether new tenants get latency histograms; trace is
+	// the server's control-plane event ring (nil when tracing is off —
+	// Ring.Add is a nil-safe no-op).
+	obsOn bool
+	trace *obs.Ring
 }
 
 // init seeds the namespace with the default queue as tenant 0.
-func (ns *namespace) init(def *shard.Queue[[]byte], maxQueues int, factory func() (*shard.Queue[[]byte], error)) {
+func (ns *namespace) init(def *shard.Queue[[]byte], maxQueues int, factory func() (*shard.Queue[[]byte], error), obsOn bool, trace *obs.Ring) {
+	ns.obsOn = obsOn
+	ns.trace = trace
 	t := &tenant{id: 0, name: DefaultQueueName, q: def, created: time.Now(), lastUse: time.Now()}
+	if obsOn {
+		t.hists = obs.NewOpHists()
+	}
 	ns.byName = map[string]*tenant{t.name: t}
 	ns.byID = map[uint32]*tenant{0: t}
 	ns.max = maxQueues
@@ -107,9 +124,14 @@ func (ns *namespace) open(name string, bind bool) (*tenant, error) {
 		}
 		ns.nextID++
 		t = &tenant{id: ns.nextID, name: name, q: q, created: time.Now(), lastUse: time.Now()}
+		if ns.obsOn {
+			t.hists = obs.NewOpHists()
+		}
 		ns.byName[name] = t
 		ns.byID[t.id] = t
 		ns.opened.Add(1)
+		ns.trace.Add("queue_create", name, map[string]any{
+			"id": t.id, "shards": q.Shards()})
 	}
 	if bind {
 		t.refs++
@@ -170,6 +192,8 @@ func (ns *namespace) remove(name string) error {
 	delete(ns.byID, t.id)
 	ns.dropped.Add(1)
 	ns.mu.Unlock()
+	ns.trace.Add("queue_delete", name, map[string]any{
+		"id": t.id, "len_at_delete": t.q.Len()})
 	t.q.Close()
 	return nil
 }
@@ -198,6 +222,7 @@ func (ns *namespace) reapIdle(cutoff time.Time) int {
 	}
 	ns.mu.Unlock()
 	for _, t := range victims {
+		ns.trace.Add("queue_expire", t.name, map[string]any{"id": t.id})
 		t.q.Close()
 	}
 	return len(victims)
@@ -245,6 +270,15 @@ type QueueStat struct {
 	Shrinks       int64  `json:"shrinks"`
 	Migrated      int64  `json:"migrated"`
 	EmptyDequeues int64  `json:"empty_dequeues"`
+
+	// In-server latency summaries per operation class, measured from the
+	// moment a request frame is read off the socket to the moment its
+	// reply is written (so window queueing is included). Present only when
+	// the server runs with observability on.
+	EnqueueLat     *obs.LatencySummary `json:"enqueue_lat,omitempty"`
+	DequeueLat     *obs.LatencySummary `json:"dequeue_lat,omitempty"`
+	BatchLat       *obs.LatencySummary `json:"batch_lat,omitempty"`
+	NullDequeueLat *obs.LatencySummary `json:"null_dequeue_lat,omitempty"`
 }
 
 // queueStats snapshots every live queue, ordered by id (the default queue
@@ -254,7 +288,7 @@ func (ns *namespace) queueStats() []QueueStat {
 	out := make([]QueueStat, 0, len(ns.byID))
 	for _, t := range ns.byID {
 		rs := t.q.ResizeStats()
-		out = append(out, QueueStat{
+		qs := QueueStat{
 			ID:            t.id,
 			Name:          t.name,
 			Sessions:      t.refs,
@@ -267,9 +301,42 @@ func (ns *namespace) queueStats() []QueueStat {
 			Shrinks:       rs.Shrinks,
 			Migrated:      rs.Migrated,
 			EmptyDequeues: t.emptyDeqs.Load(),
-		})
+		}
+		if t.hists != nil {
+			for op, dst := range map[obs.Op]**obs.LatencySummary{
+				obs.OpEnqueue:     &qs.EnqueueLat,
+				obs.OpDequeue:     &qs.DequeueLat,
+				obs.OpBatch:       &qs.BatchLat,
+				obs.OpNullDequeue: &qs.NullDequeueLat,
+			} {
+				if s := t.hists.Summary(op); s.Count > 0 {
+					c := s
+					*dst = &c
+				}
+			}
+		}
+		out = append(out, qs)
 	}
 	ns.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// aggregateLat merges every live queue's histograms into one summary per
+// op class, for the server-wide obs block in Snapshot and /metricsz.
+func (ns *namespace) aggregateLat() [obs.NumOps]obs.LatencySummary {
+	var accums [obs.NumOps]obs.Accum
+	for _, t := range ns.tenants() {
+		if t.hists == nil {
+			continue
+		}
+		for op := obs.Op(0); op < obs.NumOps; op++ {
+			t.hists.Hist(op).CollectInto(&accums[op])
+		}
+	}
+	var out [obs.NumOps]obs.LatencySummary
+	for op := obs.Op(0); op < obs.NumOps; op++ {
+		out[op] = accums[op].Summary()
+	}
 	return out
 }

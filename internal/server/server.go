@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -32,6 +33,8 @@ type options struct {
 	maxShards     int
 	lowWatermark  float64 // served ops/s per shard below which a queue shrinks
 	highWatermark float64 // served ops/s per shard above which a queue grows
+
+	obs bool // per-(queue, op) latency histograms + control-plane trace ring
 }
 
 // WithWindow sets the per-connection in-flight window W (default 64): the
@@ -107,8 +110,29 @@ func WithAutoscaleWatermarks(low, high float64) Option {
 	return func(o *options) { o.lowWatermark, o.highWatermark = low, high }
 }
 
+// WithObservability toggles the server's observability layer (default
+// on): per-(queue, op) latency histograms recorded on the hot path —
+// each request frame's read-to-reply in-server latency, bucketed as
+// enqueue / dequeue / batch / null-dequeue — and the bounded
+// control-plane event trace served by /tracez. Off, the read loop stops
+// stamping frames, no histogram is touched, and Snapshot reverts to the
+// pre-observability shape; the /healthz, /varz, and /metricsz endpoints
+// keep working (exposing counters only).
+func WithObservability(on bool) Option {
+	return func(o *options) { o.obs = on }
+}
+
 // DefaultMaxQueues is the default cap on named queues per server.
 const DefaultMaxQueues = 64
+
+// Observability constants: the trace ring's capacity and the sampling
+// strides that keep hot control-plane event sources (BUSY replies,
+// autoscaler hold decisions) from flooding it.
+const (
+	traceRingCap    = 1024
+	busySampleEvery = 1024 // trace the 1st, 1025th, ... BUSY reply
+	holdSampleEvery = 16   // trace every 16th per-queue autoscaler hold
+)
 
 // serverStats are the service-level counters exported through Snapshot.
 // enqueues/dequeues count operations (values), not frames: a batch frame
@@ -142,6 +166,8 @@ type Server struct {
 	ns       namespace
 	sessions sessionTable
 	stats    serverStats
+	trace    *obs.Ring // control-plane event ring; nil when observability is off
+	start    time.Time
 	wg       sync.WaitGroup
 	done     chan struct{}
 	closed   sync.Once
@@ -165,6 +191,7 @@ func Serve(addr string, q *shard.Queue[[]byte], opts ...Option) (*Server, error)
 		maxShards:     DefaultMaxShards,
 		lowWatermark:  DefaultLowWatermark,
 		highWatermark: DefaultHighWatermark,
+		obs:           true,
 	}
 	for _, opt := range opts {
 		opt(&o)
@@ -203,12 +230,16 @@ func Serve(addr string, q *shard.Queue[[]byte], opts ...Option) (*Server, error)
 		return nil, err
 	}
 	srv := &Server{
-		q:    q,
-		ln:   ln,
-		opts: o,
-		done: make(chan struct{}),
+		q:     q,
+		ln:    ln,
+		opts:  o,
+		start: time.Now(),
+		done:  make(chan struct{}),
 	}
-	srv.ns.init(q, o.maxQueues, o.factory)
+	if o.obs {
+		srv.trace = obs.NewRing(traceRingCap)
+	}
+	srv.ns.init(q, o.maxQueues, o.factory, o.obs, srv.trace)
 	srv.sessions.init()
 	srv.wg.Add(1)
 	go srv.acceptLoop()
@@ -280,6 +311,8 @@ func (srv *Server) startSession(conn net.Conn) {
 		// Tell the client why before hanging up. Frame id 0 marks a
 		// connection-level (not request-level) failure.
 		srv.stats.sessionsDenied.Add(1)
+		srv.trace.Add("session_denied", "", map[string]any{
+			"remote": conn.RemoteAddr().String(), "error": err.Error()})
 		bw := bufio.NewWriter(conn)
 		writeFrame(bw, 0, StatusErr, []byte(err.Error()))
 		bw.Flush()
@@ -300,6 +333,7 @@ func (srv *Server) startSession(conn net.Conn) {
 	}
 	s.touch()
 	srv.sessions.add(s)
+	s.stripe = int(s.id) // histogram stripe affinity; Record masks it
 	// Close() closes done before it snapshots the session table, so a
 	// session registered concurrently with Close either lands in the
 	// snapshot (Close shuts it down) or observes done closed here.
@@ -309,6 +343,8 @@ func (srv *Server) startSession(conn net.Conn) {
 	default:
 	}
 	srv.stats.sessionsTotal.Add(1)
+	srv.trace.Add("session_open", "", map[string]any{
+		"session": s.id, "remote": conn.RemoteAddr().String()})
 	srv.wg.Add(2)
 	go srv.readLoop(s)
 	go srv.batchWorker(s)
@@ -330,7 +366,14 @@ func (srv *Server) readLoop(s *session) {
 		if err != nil {
 			return
 		}
-		s.touch()
+		// One clock read serves both the idle reaper and the frame's
+		// observability stamp, so histograms cost the hot read path no
+		// extra time.Now.
+		now := time.Now().UnixNano()
+		s.lastActive.Store(now)
+		if srv.opts.obs {
+			f.at = now
+		}
 		srv.stats.requests.Add(1)
 		select {
 		case s.reqCh <- f:
@@ -338,7 +381,10 @@ func (srv *Server) readLoop(s *session) {
 			// Window full: reject this request. The BUSY marker still
 			// takes a window slot, so this send blocks until the worker
 			// frees one — pausing the read loop is the backpressure.
-			srv.stats.busy.Add(1)
+			if n := srv.stats.busy.Add(1); (n-1)%busySampleEvery == 0 {
+				srv.trace.Add("busy", "", map[string]any{
+					"session": s.id, "busy_total": n})
+			}
 			s.reqCh <- frame{id: f.id, kind: StatusBusy}
 		}
 	}
@@ -483,6 +529,16 @@ func (srv *Server) executeEnqueueRun(s *session, qid uint32, run []frame, decs [
 			return werr
 		}
 	}
+	if h := b.t.hists; h != nil && err == nil {
+		// One clock read prices the whole run; each frame's sample is its
+		// read-to-reply in-server latency.
+		now := time.Now().UnixNano()
+		for _, f := range run {
+			if f.at != 0 {
+				h.Record(obs.OpEnqueue, s.stripe, time.Duration(now-f.at))
+			}
+		}
+	}
 	return nil
 }
 
@@ -518,6 +574,19 @@ func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, bw *bu
 		b.t.emptyDeqs.Add(1)
 		if err := writeFrame(bw, f.id, StatusEmpty, nil); err != nil {
 			return err
+		}
+	}
+	if h := b.t.hists; h != nil {
+		now := time.Now().UnixNano()
+		for i, f := range run {
+			if f.at == 0 {
+				continue
+			}
+			op := obs.OpDequeue
+			if i >= len(vals) {
+				op = obs.OpNullDequeue
+			}
+			h.Record(op, s.stripe, time.Duration(now-f.at))
 		}
 	}
 	return nil
@@ -585,7 +654,9 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		srv.stats.enqueues.Add(1)
 		srv.stats.batchedOps.Add(1)
 		b.t.enqueues.Add(1)
-		return writeFrame(bw, f.id, StatusOK, nil)
+		err = writeFrame(bw, f.id, StatusOK, nil)
+		recordOp(b, s.stripe, f, obs.OpEnqueue)
+		return err
 	case OpDequeue:
 		b, err := s.bind(d.qid)
 		if err != nil {
@@ -603,7 +674,9 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		if !ok {
 			srv.stats.emptyDeqs.Add(1)
 			b.t.emptyDeqs.Add(1)
-			return writeFrame(bw, f.id, StatusEmpty, nil)
+			err = writeFrame(bw, f.id, StatusEmpty, nil)
+			recordOp(b, s.stripe, f, obs.OpNullDequeue)
+			return err
 		}
 		if err := writeFrame(bw, f.id, StatusOK, v); err != nil {
 			b.stash = append(b.stash, v) // undelivered: teardown re-enqueues
@@ -611,6 +684,7 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		}
 		srv.stats.dequeues.Add(1)
 		b.t.dequeues.Add(1)
+		recordOp(b, s.stripe, f, obs.OpDequeue)
 		return nil
 	case OpEnqueueBatch:
 		vals, err := decodeBatch(d.rest)
@@ -631,7 +705,9 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		srv.stats.enqueues.Add(int64(len(vals)))
 		srv.stats.batchedOps.Add(int64(len(vals)))
 		b.t.enqueues.Add(int64(len(vals)))
-		return writeFrame(bw, f.id, StatusOK, nil)
+		err = writeFrame(bw, f.id, StatusOK, nil)
+		recordOp(b, s.stripe, f, obs.OpBatch)
+		return err
 	case OpDequeueBatch:
 		if len(d.rest) != 4 {
 			return writeFrame(bw, f.id, StatusErr,
@@ -645,7 +721,7 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		if err != nil {
 			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
 		}
-		return srv.executeDequeueBatch(b, f.id, n, bw)
+		return srv.executeDequeueBatch(s, b, f, n, bw)
 	case OpLen:
 		t, ok := srv.ns.lookup(d.qid)
 		if !ok {
@@ -678,10 +754,13 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		// re-read of the fabric — a concurrent autoscaler tick could have
 		// already moved it again.
 		k = min(max(k, srv.opts.minShards), srv.opts.maxShards)
+		from := t.q.Shards()
 		if err := t.q.Resize(k); err != nil {
 			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
 		}
 		srv.stats.wireResizes.Add(1)
+		srv.trace.Add("wire_resize", t.name, map[string]any{
+			"from": from, "to": k, "epoch": t.q.ResizeStats().Epoch})
 		var buf [4]byte
 		binary.BigEndian.PutUint32(buf[:], uint32(k))
 		return writeFrame(bw, f.id, StatusOK, buf[:])
@@ -732,7 +811,8 @@ func (srv *Server) openQueue(s *session, name string) (*tenant, error) {
 // stash and are shipped by the next dequeue request instead — the frame
 // cap must bound every frame the server emits, not only the ones it
 // reads.
-func (srv *Server) executeDequeueBatch(b *binding, id uint64, n int, bw *bufio.Writer) error {
+func (srv *Server) executeDequeueBatch(s *session, b *binding, f frame, n int, bw *bufio.Writer) error {
+	id := f.id
 	b.t.deqPolls.Add(1)
 	budget := srv.opts.maxFrame - frameHeader - 4 // payload bytes after the count word
 	var out [][]byte
@@ -775,7 +855,9 @@ func (srv *Server) executeDequeueBatch(b *binding, id uint64, n int, bw *bufio.W
 		srv.stats.batchedOps.Add(1) // the empty reply still answers one op
 		srv.stats.emptyDeqs.Add(1)
 		b.t.emptyDeqs.Add(1)
-		return writeFrame(bw, id, StatusEmpty, nil)
+		err := writeFrame(bw, id, StatusEmpty, nil)
+		recordOp(b, s.stripe, f, obs.OpNullDequeue)
+		return err
 	}
 	srv.stats.batchedOps.Add(int64(len(out)))
 	if err := writeFrame(bw, id, StatusOK, encodeBatch(out)); err != nil {
@@ -786,7 +868,18 @@ func (srv *Server) executeDequeueBatch(b *binding, id uint64, n int, bw *bufio.W
 	}
 	srv.stats.dequeues.Add(int64(len(out)))
 	b.t.dequeues.Add(int64(len(out)))
+	recordOp(b, s.stripe, f, obs.OpBatch)
 	return nil
+}
+
+// recordOp samples one frame's in-server latency (read-loop stamp to
+// reply) into the binding's queue histograms. A zero stamp (observability
+// off) or a tenant without histograms makes it a no-op, so call sites
+// need no guard.
+func recordOp(b *binding, stripe int, f frame, op obs.Op) {
+	if h := b.t.hists; h != nil && f.at != 0 {
+		h.Record(op, stripe, time.Duration(time.Now().UnixNano()-f.at))
+	}
 }
 
 // popStash removes and returns the stash head; the stash must be nonempty.
@@ -810,6 +903,8 @@ func (b *binding) popStash() []byte {
 func (srv *Server) finishSession(s *session) {
 	s.shutdown()
 	if srv.sessions.remove(s.id) {
+		srv.trace.Add("session_close", "", map[string]any{
+			"session": s.id, "queues_bound": len(s.bindings)})
 		for _, b := range s.bindings {
 			if b.h != nil {
 				if len(b.stash) > 0 {
@@ -865,14 +960,31 @@ type Stats struct {
 	MaxShards        int     `json:"max_shards"`
 }
 
+// ObsStats is the server-wide observability block of a Snapshot: trace
+// ring occupancy plus latency summaries per operation class aggregated
+// across every live queue. In-server latency is measured per request
+// frame, from the read loop's socket read to the reply write, so window
+// queueing is part of the measured interval.
+type ObsStats struct {
+	TraceRecorded int64 `json:"trace_recorded"` // events ever added to the ring
+	TraceCapacity int   `json:"trace_capacity"`
+
+	EnqueueLat     obs.LatencySummary `json:"enqueue_lat"`
+	DequeueLat     obs.LatencySummary `json:"dequeue_lat"`
+	BatchLat       obs.LatencySummary `json:"batch_lat"`
+	NullDequeueLat obs.LatencySummary `json:"null_dequeue_lat"`
+}
+
 // Snapshot is the stable JSON document served by /statsz and OpStats:
 // service counters, the default fabric's own snapshot (per-shard routing
-// traffic, registry lease churn, optional cost-model summaries), and one
-// entry per live queue in the namespace.
+// traffic, registry lease churn, optional cost-model summaries), one
+// entry per live queue in the namespace, and — when observability is on —
+// the aggregate latency/trace block.
 type Snapshot struct {
 	Server Stats          `json:"server"`
 	Fabric shard.Snapshot `json:"fabric"`
 	Queues []QueueStat    `json:"queues"`
+	Obs    *ObsStats      `json:"obs,omitempty"`
 }
 
 // Snapshot captures the server and fabric statistics.
@@ -909,7 +1021,19 @@ func (srv *Server) Snapshot() Snapshot {
 	if st.Batches > 0 {
 		st.OpsPerBatch = float64(st.BatchedOps) / float64(st.Batches)
 	}
-	return Snapshot{Server: st, Fabric: srv.q.Snapshot(), Queues: srv.ns.queueStats()}
+	snap := Snapshot{Server: st, Fabric: srv.q.Snapshot(), Queues: srv.ns.queueStats()}
+	if srv.opts.obs {
+		agg := srv.ns.aggregateLat()
+		snap.Obs = &ObsStats{
+			TraceRecorded:  srv.trace.Recorded(),
+			TraceCapacity:  srv.trace.Capacity(),
+			EnqueueLat:     agg[obs.OpEnqueue],
+			DequeueLat:     agg[obs.OpDequeue],
+			BatchLat:       agg[obs.OpBatch],
+			NullDequeueLat: agg[obs.OpNullDequeue],
+		}
+	}
+	return snap
 }
 
 // StatszHandler serves the Snapshot as JSON — mount it at /statsz.

@@ -21,6 +21,12 @@ type session struct {
 	conn net.Conn
 	srv  *Server
 
+	// stripe is this session's latency-histogram stripe affinity, derived
+	// from id at accept. Each batch worker records into its own stripe so
+	// concurrent sessions never contend on a histogram cache line;
+	// obs.Record masks it into range.
+	stripe int
+
 	// bindings maps queue id -> this session's lease on that queue. The
 	// batch worker owns it exclusively (the default binding is installed
 	// before the worker starts), so no lock is needed; cross-session
@@ -173,6 +179,10 @@ func (srv *Server) reapLoop(timeout time.Duration) {
 		for _, s := range srv.sessions.snapshot() {
 			if s.lastActive.Load() < cutoff {
 				srv.stats.reaped.Add(1)
+				srv.trace.Add("session_reaped", "", map[string]any{
+					"session": s.id,
+					"idle_ms": (time.Now().UnixNano() - s.lastActive.Load()) / 1e6,
+				})
 				s.shutdown()
 			}
 		}

@@ -144,11 +144,15 @@ var (
 	ErrBadFrame      = errors.New("server: malformed frame")
 )
 
-// frame is one decoded wire message.
+// frame is one decoded wire message. at is the unix-nano timestamp the
+// read loop stamped when it pulled the frame off the socket (0 when
+// observability is off); the batch worker turns it into the frame's
+// in-server latency sample at reply time.
 type frame struct {
 	id      uint64
 	kind    byte
 	payload []byte
+	at      int64
 }
 
 // writeFrame appends one frame to w. The caller owns flushing: the batcher
