@@ -1,12 +1,12 @@
-// Command benchqueue regenerates the reproduction tables (T1-T15 in
+// Command benchqueue regenerates the reproduction tables (T1-T16 in
 // DESIGN.md) that validate the paper's analytical claims: CAS bounds
 // (Proposition 19), step complexity (Theorem 22), the CAS retry problem of
 // the baselines, space bounds (Theorem 31) and bounded-variant amortized
 // steps (Theorem 32), a wall-clock throughput comparison, the sharded
 // fabric's throughput scaling with shard count, the network queue
 // service's latency under open-loop load, batch amortization, multi-tenant
-// per-queue isolation, elastic autoscaling, and the observability layer's
-// overhead budget.
+// per-queue isolation, elastic autoscaling, the observability layer's
+// overhead budget, and the request-trace stage decomposition.
 //
 // Usage:
 //
@@ -15,11 +15,12 @@
 //	benchqueue -exp space -procs 8
 //	benchqueue -impl sharded -shards 8  # fabric scaling (T10)
 //	benchqueue -exp obs                 # T15 observability overhead
+//	benchqueue -exp trace               # T16 stage decomposition
 //	benchqueue -exp all -json results   # also emit results/BENCH_<ID>.json
 //
 // Experiments: casbound, enqsteps, deqsteps, retry, adversary, space,
 // boundedsteps, throughput, waitfree, ablation, sharded, service, batch,
-// multitenant, elastic, obs, all.
+// multitenant, elastic, obs, trace, all.
 package main
 
 import (
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch multitenant elastic obs all)")
+		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch multitenant elastic obs trace all)")
 		ops     = flag.Int("ops", 2000, "operations per process per measurement")
 		procs   = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
 		psFlag  = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
@@ -158,6 +159,15 @@ func run(exp string, cfg runConfig) error {
 			return show(harness.ExpObsOverhead([]int{16000, 64000, 128000},
 				harness.ObsConfig{Shards: cfg.shards, Backend: cfg.backend}))
 		},
+		"trace": func() error {
+			// T16: per-stage latency decomposition of traced requests at
+			// low, mid, and saturation load, plus the tracing-disabled
+			// overhead re-measurement. Rates mirror the T11 sweep shape:
+			// the last point is past loopback capacity so the saturation
+			// row shows where queueing delay accumulates.
+			return show(harness.ExpTraceDecomposition([]int{8000, 32000, 128000},
+				harness.TraceConfig{Shards: cfg.shards, Backend: cfg.backend}))
+		},
 		"ablation": func() error {
 			if err := show(harness.ExpAblationSearch(4, 16, []int{0, 4, 16, 64, 256}, 500)); err != nil {
 				return err
@@ -171,7 +181,7 @@ func run(exp string, cfg runConfig) error {
 	if exp == "all" {
 		for _, name := range []string{"casbound", "enqsteps", "deqsteps", "retry", "adversary",
 			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded", "batch", "service",
-			"multitenant", "elastic", "obs"} {
+			"multitenant", "elastic", "obs", "trace"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

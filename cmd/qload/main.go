@@ -24,6 +24,7 @@
 //	qload -addr 127.0.0.1:7474 -rates 16000 -tenants 1,2,4 -json bench_results
 //	qload -addr 127.0.0.1:7474 -ramp 16000,500,16000     # T14 (autoscaling queued)
 //	qload -addr 127.0.0.1:7474 -rates 8000 -scrape       # + server-side percentiles
+//	qload -addr 127.0.0.1:7474 -rates 8000 -trace 16     # + stage decomposition
 //
 // -queue runs the T11 sweep against one named queue instead of the
 // default queue. -tenants switches to the T13 sweep: for each tenant
@@ -42,6 +43,15 @@
 // ack, the server view frame read to reply, so the two agree within the
 // network round trip plus client scheduling delay.
 //
+// -trace N (sweep mode only) traces every Nth enqueue frame end to end:
+// the client stamps its send time into the frame, the server (run it with
+// observability on, the default) ships back per-stage timestamps in the
+// reply, and qload prints a stage-decomposition table per rate under the
+// client table — where each rate's latency actually goes: client
+// scheduling, server batcher wait, the fabric op, reply assembly, or the
+// network. The same spans land in the server's /spanz reservoir and
+// /metricsz stage histograms for the server-side view.
+//
 // -json emits bench_results/BENCH_T11.json (BENCH_T13.json in tenant
 // mode, BENCH_T14.json in ramp mode) in the same schema as
 // cmd/benchqueue's tables.
@@ -59,6 +69,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -78,6 +89,7 @@ func main() {
 		ramp      = flag.String("ramp", "", "comma-separated phase rates: run the T14 elastic-scaling ramp (phases run back to back against an autoscaling queued)")
 		jsonDir   = flag.String("json", "", "write the result table as BENCH_T11.json (BENCH_T13.json with -tenants, BENCH_T14.json with -ramp) into this directory")
 		scrape    = flag.Bool("scrape", false, "after the sweep, snapshot the server's own latency histograms and print the server-side percentiles next to the client-side table")
+		trace     = flag.Int("trace", 0, "trace every Nth enqueue frame and print a per-stage latency decomposition per rate (0 disables; needs a server with observability on)")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -99,12 +111,21 @@ func main() {
 		Window:       *window,
 		DrainTimeout: *drain,
 		Queue:        *queue,
+		TraceEvery:   *trace,
 	}
 	if *ramp != "" {
+		if *trace > 0 {
+			fmt.Fprintln(os.Stderr, "qload: -trace works in sweep mode only; drop -ramp")
+			os.Exit(2)
+		}
 		runRamp(*addr, *ramp, *tenants, load, *jsonDir)
 		return
 	}
 	if *tenants != "" {
+		if *trace > 0 {
+			fmt.Fprintln(os.Stderr, "qload: -trace works in sweep mode only; drop -tenants")
+			os.Exit(2)
+		}
 		runTenantSweep(*addr, *tenants, rates, load, *jsonDir)
 		return
 	}
@@ -121,6 +142,9 @@ func main() {
 			rates[i], res.Offered, res.Acked, res.Busy, res.Errors,
 			res.Consumed, res.Foreign, res.Lost, res.Dup)
 		violated = violated || !res.Conserved()
+	}
+	if *trace > 0 {
+		printTraceTable(rates, results, *trace)
 	}
 	if *scrape {
 		if err := scrapeServerView(*addr, *queue); err != nil {
@@ -233,6 +257,44 @@ func runTenantSweep(addr, tenantsFlag string, rates []int, load server.LoadConfi
 		fmt.Fprintln(os.Stderr, "qload: CONSERVATION VIOLATION (values lost or duplicated)")
 		os.Exit(1)
 	}
+}
+
+// printTraceTable prints the per-stage latency decomposition of the traced
+// enqueue frames, one row per rate: where each rate's end-to-end latency
+// goes. sched is client pacing plus in-flight window wait (client clock);
+// wait, fabric, and reply are the server's own stamps shipped back in the
+// traced replies; net is the RTT minus the server's read-to-reply window
+// (network both ways, server socket flush, client read path); total is the
+// same scheduled-send-to-ack metric as the enq columns above, so the rows
+// reconcile directly against the client table. srv-sampled counts traces
+// the server actually stamped — 0 means it runs with -obs=false.
+func printTraceTable(rates []int, results []*server.LoadResult, every int) {
+	fmt.Printf("\nrequest-trace stage decomposition (every %dth enqueue frame traced; p50/p99 ms):\n", every)
+	fmt.Printf("%8s %8s %11s  %-13s %-13s %-13s %-13s %-13s %-13s\n",
+		"rate", "traced", "srv-sampled", "sched", "wait", "fabric", "reply", "net", "total")
+	for i, res := range results {
+		var sched, wait, fabric, reply, net, total []float64
+		sampled := 0
+		for _, s := range res.Traces {
+			sched = append(sched, s.SchedMs)
+			total = append(total, s.TotalMs)
+			if !s.ServerSampled {
+				continue
+			}
+			sampled++
+			wait = append(wait, s.WaitMs)
+			fabric = append(fabric, s.FabricMs)
+			reply = append(reply, s.ReplyMs)
+			net = append(net, s.NetMs)
+		}
+		pp := func(v []float64) string {
+			return fmt.Sprintf("%5.2f/%6.2f", stats.Percentile(v, 50), stats.Percentile(v, 99))
+		}
+		fmt.Printf("%8d %8d %11d  %-13s %-13s %-13s %-13s %-13s %-13s\n",
+			rates[i], len(res.Traces), sampled,
+			pp(sched), pp(wait), pp(fabric), pp(reply), pp(net), pp(total))
+	}
+	fmt.Println("slow exemplars with the same decomposition are on the server's /spanz; aggregate stage histograms on /metricsz (queued_stage_latency_seconds).")
 }
 
 // scrapeServerView fetches the server's Snapshot over the wire and prints

@@ -23,6 +23,9 @@
 //	/tracez    bounded control-plane event trace (resizes, autoscaler
 //	           decisions with their watermark inputs, session/queue
 //	           lifecycle) as JSON
+//	/spanz     request-trace exemplar reservoir: the slowest and most
+//	           recent traced requests, each decomposed into per-stage
+//	           durations (drive with qload -trace)
 //	/debug/pprof/...  net/http/pprof profiles, only with -pprof
 //
 // Observability (latency histograms + event trace) is on by default and
@@ -125,6 +128,7 @@ func run(addr, addrFile string, shards int, backend string, handles, window, bat
 		mux.Handle("/healthz", srv.HealthzHandler())
 		mux.Handle("/metricsz", srv.MetricszHandler())
 		mux.Handle("/tracez", srv.TracezHandler())
+		mux.Handle("/spanz", srv.SpanzHandler())
 		mux.Handle("/varz", srv.VarzHandler(map[string]string{
 			"addr":    srv.Addr().String(),
 			"statsz":  statsz,
@@ -146,7 +150,7 @@ func run(addr, addrFile string, shards int, backend string, handles, window, bat
 			}
 		}()
 		defer hsrv.Close()
-		fmt.Printf("queued: /statsz /healthz /varz /metricsz /tracez on http://%s\n", statsz)
+		fmt.Printf("queued: /statsz /healthz /varz /metricsz /tracez /spanz on http://%s\n", statsz)
 		if pprofOn {
 			fmt.Printf("queued: pprof on http://%s/debug/pprof/\n", statsz)
 		}

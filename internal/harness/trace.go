@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// TraceConfig shapes the T16 stage-decomposition experiment.
+type TraceConfig struct {
+	Shards  int // fabric shard count (default 4)
+	Backend shard.Backend
+
+	// TraceEvery samples every Nth enqueue frame per producer (default 16
+	// — dense enough for stable per-stage percentiles, sparse enough that
+	// the tracing itself does not distort the load under measurement).
+	TraceEvery int
+
+	// OverheadRepeats is how many interleaved (tracing idle, obs off)
+	// pairs re-measure the tracing-disabled CPU cost per op, T15-style
+	// (default 5).
+	OverheadRepeats int
+
+	// Load is the per-run shape; Rate is overridden per load point.
+	Load server.LoadConfig
+}
+
+// ExpTraceDecomposition (T16): where does p99 live? Each load point
+// drives the standard open-loop load with every TraceEvery-th enqueue
+// frame traced end to end: the client stamps its send time into the
+// frame, the server returns per-stage timestamps (socket read, batcher
+// admit, fabric call start/end, reply write), and the client closes the
+// span at receive. The table decomposes the same scheduled-send-to-ack
+// latency the T11/T15 client percentiles report into sched (client
+// pacing + window wait), wait (server read to batcher admit), fabric
+// (the queue operation), reply (fabric end to reply write), and net
+// (everything outside the server's read-to-reply window: network both
+// ways, the server's socket flush, the client's read path) — per-stage
+// p50/p99 at low, mid, and saturation load.
+//
+// Two validations ride along: recon % compares the traced samples' mean
+// end-to-end latency against the whole population's (the traced subset
+// must be representative — within 10% — for the decomposition to explain
+// the aggregate percentiles), and a T15-style interleaved CPU
+// re-measurement checks that with tracing idle (no traced frames) the
+// tracing code paths cost nothing measurable against an
+// observability-off server — the same < 3% budget T15 set.
+func ExpTraceDecomposition(rates []int, cfg TraceConfig) (*Table, error) {
+	t, _, err := ExpTraceDecompositionResults(rates, cfg)
+	return t, err
+}
+
+// ExpTraceDecompositionResults is ExpTraceDecomposition, additionally
+// returning the per-load-point load results so callers can check
+// conservation and inspect raw samples.
+func ExpTraceDecompositionResults(rates []int, cfg TraceConfig) (*Table, []*server.LoadResult, error) {
+	if len(rates) == 0 {
+		return nil, nil, fmt.Errorf("harness: no rates")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = shard.BackendCore
+	}
+	if cfg.TraceEvery <= 0 {
+		cfg.TraceEvery = 16
+	}
+	if cfg.OverheadRepeats <= 0 {
+		cfg.OverheadRepeats = 5
+	}
+	if cfg.Load.Duration <= 0 {
+		cfg.Load.Duration = 2 * time.Second
+	}
+
+	t := &Table{
+		ID: "T16",
+		Title: fmt.Sprintf("Request-trace stage decomposition: where does p99 live? (%d shards, %s, %s per point, every %dth enqueue frame traced)",
+			cfg.Shards, cfg.Backend, cfg.Load.Duration, cfg.TraceEvery),
+		Columns: []string{"rate/s", "achieved/s", "traced",
+			"enq p50 ms", "enq p99 ms",
+			"sched p50", "sched p99", "wait p50", "wait p99",
+			"fabric p50", "fabric p99", "reply p50", "reply p99",
+			"net p50", "net p99", "recon %", "lost", "dup"},
+		Notes: []string{
+			"each traced enqueue frame decomposes the same scheduled-send-to-ack metric the enq percentiles report: total = sched (client pacing + in-flight window wait) + rtt, and rtt = wait (server socket read to batcher admit) + fabric (queue op) + reply (fabric end to reply write) + net (network both ways + server socket flush + client read path).",
+			"stage durations are clock-skew-free: client columns subtract client-clock stamps, server columns subtract server-clock stamps shipped back in the traced reply, and net is the difference of the two intervals.",
+			"recon % = traced samples' mean end-to-end latency / all enqueues' mean end-to-end latency x 100; 100% means the traced cross-section is representative, so the stage sums explain the aggregate latency (acceptance band 90..110%).",
+			"stage sums are exact by construction per sample (total = sched + wait + fabric + reply + net, modulo sub-0.01ms stamp truncation); recon % is the non-trivial check that the sampled decomposition carries over to the population.",
+			"conservation (lost = dup = 0) is checked at every load point.",
+		},
+	}
+
+	var results []*server.LoadResult
+	for _, rate := range rates {
+		res, snap, err := runTracePoint(rate, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rate %d: %w", rate, err)
+		}
+		results = append(results, res)
+		if !res.Conserved() {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"CONSERVATION VIOLATION at rate %d: lost=%d dup=%d", rate, res.Lost, res.Dup))
+		}
+		if snap.Obs == nil || snap.Obs.Spans == 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"NO SERVER SPANS at rate %d: the reservoir captured nothing", rate))
+		}
+		sched, wait, fabric, reply, net, total := traceColumns(res.Traces)
+		recon := 0.0
+		if m := stats.Mean(res.EnqLatMs); m > 0 {
+			recon = stats.Mean(total) / m * 100
+		}
+		t.AddRow(rate, res.AchievedRate(), len(res.Traces),
+			stats.Percentile(res.EnqLatMs, 50), stats.Percentile(res.EnqLatMs, 99),
+			stats.Percentile(sched, 50), stats.Percentile(sched, 99),
+			stats.Percentile(wait, 50), stats.Percentile(wait, 99),
+			stats.Percentile(fabric, 50), stats.Percentile(fabric, 99),
+			stats.Percentile(reply, 50), stats.Percentile(reply, 99),
+			stats.Percentile(net, 50), stats.Percentile(net, 99),
+			recon, res.Lost, res.Dup)
+	}
+
+	// Tracing-disabled overhead: with no traced frames in flight the only
+	// new hot-path work is one branch per decoded frame, so an obs-on
+	// server with tracing idle must still clear T15's < 3% CPU budget
+	// against an obs-off server. Same instrument as T15: CPU per request
+	// frame at a fixed achievable rate, interleaved pairs, median delta.
+	midRate := rates[len(rates)/2]
+	overhead, err := traceIdleOverhead(midRate, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("overhead re-measurement: %w", err)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"tracing-disabled overhead re-measured at rate %d: %+.2f%% CPU per request frame (obs on + tracing idle vs obs off, median of %d interleaved pairs, GC paused; T15 budget < 3%%).",
+		midRate, overhead, cfg.OverheadRepeats))
+	return t, results, nil
+}
+
+// runTracePoint measures one load point: an in-process obs-on server
+// under the traced open-loop load.
+func runTracePoint(rate int, cfg TraceConfig) (*server.LoadResult, server.Snapshot, error) {
+	q, err := shard.New[[]byte](cfg.Shards, shard.WithBackend(cfg.Backend))
+	if err != nil {
+		return nil, server.Snapshot{}, err
+	}
+	srv, err := server.Serve("127.0.0.1:0", q, server.WithObservability(true))
+	if err != nil {
+		return nil, server.Snapshot{}, err
+	}
+	defer srv.Close()
+	load := cfg.Load
+	load.Rate = rate
+	load.TraceEvery = cfg.TraceEvery
+	res, err := server.RunLoad(srv.Addr().String(), load)
+	if err != nil {
+		return nil, server.Snapshot{}, err
+	}
+	return res, srv.Snapshot(), nil
+}
+
+// traceColumns splits the samples into per-stage series (ms).
+func traceColumns(samples []server.TraceSample) (sched, wait, fabric, reply, net, total []float64) {
+	for _, s := range samples {
+		sched = append(sched, s.SchedMs)
+		wait = append(wait, s.WaitMs)
+		fabric = append(fabric, s.FabricMs)
+		reply = append(reply, s.ReplyMs)
+		net = append(net, s.NetMs)
+		total = append(total, s.TotalMs)
+	}
+	return
+}
+
+// traceIdleOverhead re-runs the T15 pairwise CPU comparison with the
+// tracing code paths compiled in but idle (TraceEvery = 0): obs on vs obs
+// off, interleaved with alternating order, median of per-pair deltas.
+func traceIdleOverhead(rate int, cfg TraceConfig) (float64, error) {
+	run := func(obsOn bool) (float64, error) {
+		q, err := shard.New[[]byte](cfg.Shards, shard.WithBackend(cfg.Backend))
+		if err != nil {
+			return 0, err
+		}
+		srv, err := server.Serve("127.0.0.1:0", q, server.WithObservability(obsOn))
+		if err != nil {
+			return 0, err
+		}
+		defer srv.Close()
+		load := cfg.Load
+		load.Rate = rate
+		load.TraceEvery = 0
+		runtime.GC()
+		gcPct := debug.SetGCPercent(-1)
+		cpu0 := cpuSeconds()
+		_, err = server.RunLoad(srv.Addr().String(), load)
+		cpu := cpuSeconds() - cpu0
+		debug.SetGCPercent(gcPct)
+		if err != nil {
+			return 0, err
+		}
+		snap := srv.Snapshot()
+		if snap.Server.Requests == 0 {
+			return 0, fmt.Errorf("no requests served")
+		}
+		return cpu / float64(snap.Server.Requests) * 1e6, nil
+	}
+	var overheads []float64
+	for r := 0; r < cfg.OverheadRepeats; r++ {
+		var offCPU, onCPU float64
+		var err error
+		if r%2 == 0 {
+			offCPU, err = run(false)
+			if err == nil {
+				onCPU, err = run(true)
+			}
+		} else {
+			onCPU, err = run(true)
+			if err == nil {
+				offCPU, err = run(false)
+			}
+		}
+		if err != nil {
+			return 0, err
+		}
+		if offCPU > 0 {
+			overheads = append(overheads, (onCPU-offCPU)/offCPU*100)
+		}
+	}
+	return median(overheads), nil
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testSpan builds a span whose server stage lasts serverNs, with the
+// interior stamps spread deterministically inside it.
+func testSpan(serverNs int64) *Span {
+	base := int64(1e15)
+	return &Span{
+		Queue: "q", Op: "enqueue", Session: 1, ReqID: 7, Ops: 1,
+		Read:        base,
+		Admit:       base + serverNs/5,
+		FabricStart: base + serverNs/5,
+		FabricEnd:   base + 3*serverNs/5,
+		ReplyWrite:  base + 4*serverNs/5,
+		Flush:       base + serverNs,
+	}
+}
+
+// TestSpanStageDurations checks StageNs against hand-computed stamps,
+// including the negative-clamp and missing-flush rules.
+func TestSpanStageDurations(t *testing.T) {
+	sp := &Span{
+		Read:        1000,
+		Admit:       1400,
+		FabricStart: 1450,
+		FabricEnd:   1800,
+		ReplyWrite:  1900,
+		Flush:       2000,
+	}
+	for _, tc := range []struct {
+		st   Stage
+		want int64
+	}{
+		{StageWait, 400}, {StageFabric, 350}, {StageReply, 100},
+		{StageFlush, 100}, {StageServer, 1000},
+	} {
+		if got := sp.StageNs(tc.st); got != tc.want {
+			t.Errorf("StageNs(%s) = %d, want %d", tc.st, got, tc.want)
+		}
+	}
+
+	// Unflushed span: flush stage reports 0, server stage falls back to
+	// the reply-write boundary.
+	sp.Flush = 0
+	if got := sp.StageNs(StageFlush); got != 0 {
+		t.Errorf("unflushed StageNs(flush) = %d, want 0", got)
+	}
+	if got := sp.StageNs(StageServer); got != 900 {
+		t.Errorf("unflushed StageNs(server) = %d, want 900", got)
+	}
+
+	// A stamping anomaly that would go negative clamps to 0.
+	sp.Admit = sp.Read - 50
+	if got := sp.StageNs(StageWait); got != 0 {
+		t.Errorf("negative wait clamped to %d, want 0", got)
+	}
+}
+
+// TestSpanViewMs checks the /spanz millisecond rendering.
+func TestSpanViewMs(t *testing.T) {
+	sp := testSpan(10 * int64(time.Millisecond))
+	v := sp.View()
+	if v.WaitMs != 2 || v.FabricMs != 4 || v.ReplyMs != 2 || v.FlushMs != 2 || v.ServerMs != 10 {
+		t.Fatalf("view durations wrong: %+v", v)
+	}
+	if v.Queue != "q" || v.Op != "enqueue" || v.ReqID != 7 {
+		t.Fatalf("view metadata mangled: %+v", v)
+	}
+}
+
+// TestReservoirSlowBias offers a stream of fast spans with a few slow
+// outliers and checks that the slow table keeps exactly the outliers,
+// slowest first, while the recent ring keeps the newest spans in order.
+func TestReservoirSlowBias(t *testing.T) {
+	r := NewReservoir(4, 3)
+	slowDurs := map[int]int64{10: 900, 25: 700, 40: 800, 55: 950}
+	for i := 0; i < 64; i++ {
+		d := int64(i%7 + 1) // fast background traffic, 1..7 ns
+		if s, ok := slowDurs[i]; ok {
+			d = s
+		}
+		r.Offer(testSpan(d * int64(time.Microsecond)))
+	}
+	if got := r.Offered(); got != 64 {
+		t.Fatalf("Offered() = %d, want 64", got)
+	}
+	recent, slow := r.Snapshot()
+	if len(recent) != 4 {
+		t.Fatalf("recent ring holds %d spans, want 4", len(recent))
+	}
+	for i := 1; i < len(recent); i++ {
+		if recent[i].Seq != recent[i-1].Seq+1 {
+			t.Fatalf("recent ring out of order: %d after %d", recent[i].Seq, recent[i-1].Seq)
+		}
+	}
+	if recent[len(recent)-1].Seq != 63 {
+		t.Fatalf("recent ring's newest seq = %d, want 63", recent[len(recent)-1].Seq)
+	}
+	if len(slow) != 3 {
+		t.Fatalf("slow table holds %d spans, want 3", len(slow))
+	}
+	// The three slowest of the four outliers, slowest first.
+	wantUs := []int64{950, 900, 800}
+	for i, sp := range slow {
+		if got := sp.StageNs(StageServer); got != wantUs[i]*int64(time.Microsecond) {
+			t.Fatalf("slow[%d] server stage = %dns, want %dus (table must keep the slowest, slowest first)",
+				i, got, wantUs[i])
+		}
+	}
+}
+
+// TestReservoirConcurrentOffer hammers one reservoir from many goroutines
+// with interleaved snapshots; under -race this proves Offer/Snapshot are
+// race-free, and the admitted invariants must hold: every snapshotted
+// span complete, recent ring strictly ordered, slow table sorted.
+func TestReservoirConcurrentOffer(t *testing.T) {
+	r := NewReservoir(32, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Offer(testSpan(int64(g*500+i+1) * 100))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Offered(); got != 4000 {
+		t.Fatalf("Offered() = %d, want 4000", got)
+	}
+	recent, slow := r.Snapshot()
+	for i := 1; i < len(recent); i++ {
+		if recent[i].Seq <= recent[i-1].Seq {
+			t.Fatalf("recent ring out of order: seq %d after %d", recent[i].Seq, recent[i-1].Seq)
+		}
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].StageNs(StageServer) > slow[i-1].StageNs(StageServer) {
+			t.Fatalf("slow table not sorted slowest-first at %d", i)
+		}
+	}
+	for _, sp := range append(recent, slow...) {
+		if sp.Flush == 0 || sp.Read == 0 {
+			t.Fatalf("snapshot returned a torn/incomplete span: %+v", sp)
+		}
+	}
+}
+
+// TestNilReservoirIsNoop checks the tracing-disabled path: a nil
+// reservoir accepts every call, so service call sites need no guards.
+func TestNilReservoirIsNoop(t *testing.T) {
+	var r *Reservoir
+	r.Offer(testSpan(100))
+	recent, slow := r.Snapshot()
+	if recent != nil || slow != nil || r.Offered() != 0 ||
+		r.RecentCapacity() != 0 || r.SlowCapacity() != 0 {
+		t.Fatal("nil reservoir must behave as empty")
+	}
+}
+
+// TestStageHistsRecordSpan records a span and checks every stage's
+// histogram saw exactly its duration (within quantization).
+func TestStageHistsRecordSpan(t *testing.T) {
+	h := NewStageHists()
+	sp := testSpan(10 * int64(time.Millisecond))
+	h.RecordSpan(3, sp)
+	for st := Stage(0); st < NumStages; st++ {
+		s := h.Summary(st)
+		if s.Count != 1 {
+			t.Fatalf("stage %s count = %d, want 1", st, s.Count)
+		}
+		wantMs := float64(sp.StageNs(st)) / 1e6
+		if s.MaxMs < wantMs || s.MaxMs > wantMs*(1+2.0/minorCount) {
+			t.Fatalf("stage %s max = %.3fms, want ~%.3fms", st, s.MaxMs, wantMs)
+		}
+	}
+	// Nil set: no-op, call sites need no guard.
+	var nilH *StageHists
+	nilH.RecordSpan(0, sp)
+}
+
+// TestRecordClampsNonPositive checks the degenerate-duration guard: zero
+// and negative samples land in bucket 0 and never corrupt count or sum.
+func TestRecordClampsNonPositive(t *testing.T) {
+	var h Histogram
+	h.Record(0, 0)
+	h.Record(1, -5)
+	h.Record(2, -1<<62)
+	var a Accum
+	h.CollectInto(&a)
+	if a.count != 3 {
+		t.Fatalf("count = %d, want 3", a.count)
+	}
+	if a.sum != 0 {
+		t.Fatalf("sum = %d, want 0 (negative samples must clamp, not subtract)", a.sum)
+	}
+	if a.counts[0] != 3 {
+		t.Fatalf("bucket 0 holds %d samples, want all 3", a.counts[0])
+	}
+	s := a.Summary()
+	if s.P50Ms != 0 || s.MaxMs != 0 {
+		t.Fatalf("summary of clamped samples must be all-zero, got %+v", s)
+	}
+}
+
+// TestBucketOctaveBoundaries walks the power-of-two octave edges: for
+// each k, the samples 2^k-1, 2^k, and 2^k+1 must map to monotonically
+// non-decreasing buckets whose bounds admit them — the off-by-one
+// territory of the log-linear index arithmetic.
+func TestBucketOctaveBoundaries(t *testing.T) {
+	for k := uint(1); k < 62; k++ {
+		edge := int64(1) << k
+		samples := []int64{edge - 1, edge, edge + 1}
+		prev := -1
+		for _, v := range samples {
+			i := bucketIndex(v)
+			if i < prev {
+				t.Fatalf("bucketIndex not monotone at octave 2^%d: index(%d) = %d after %d", k, v, i, prev)
+			}
+			prev = i
+			if i < numBuckets-1 && bucketUpper(i) < v {
+				t.Fatalf("octave 2^%d: value %d in bucket %d whose upper %d cannot admit it",
+					k, v, i, bucketUpper(i))
+			}
+			if i > 0 && bucketUpper(i-1) >= v {
+				t.Fatalf("octave 2^%d: value %d in bucket %d but fits bucket %d",
+					k, v, i, i-1)
+			}
+		}
+	}
+}
+
+// TestEscapeLabel checks the Prometheus label escaping rules one by one
+// and composed: backslash first (it must not re-escape the escapes),
+// double quote, and newline.
+func TestEscapeLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{`all"three` + "\n" + `of\them`, `all\"three\nof\\them`},
+		{`\`, `\\`},
+		{"", ""},
+	} {
+		if got := EscapeLabel(tc.in); got != tc.want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// The escaped form must contain no raw newline or unescaped quote —
+	// the properties a Prometheus text-format parser depends on.
+	hostile := "q\"ueue\nwith\\everything"
+	esc := EscapeLabel(hostile)
+	if strings.ContainsRune(esc, '\n') {
+		t.Errorf("escaped label still contains a raw newline: %q", esc)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Client-visible errors.
@@ -31,6 +32,11 @@ type call struct {
 	err  error
 	done chan *call
 	tag  any
+
+	// recvNs is the read loop's receive stamp, taken only for traced
+	// replies (the flag on the status byte marks them); it closes the span
+	// on the client's clock. 0 for plain replies.
+	recvNs int64
 }
 
 // Client speaks the wire protocol over one TCP connection. All methods are
@@ -104,12 +110,20 @@ func (c *Client) readLoop() {
 			c.fail(err)
 			return
 		}
+		var recvNs int64
+		if f.kind&OpTraceFlag != 0 {
+			// Traced replies carry a span block; stamp receive time here —
+			// before pipeline dispatch — so the client-side close of the
+			// span excludes the waiter's scheduling delay.
+			recvNs = time.Now().UnixNano()
+		}
 		c.mu.Lock()
 		call := c.pending[f.id]
 		delete(c.pending, f.id)
 		c.mu.Unlock()
 		if call != nil {
 			call.f = f
+			call.recvNs = recvNs
 			call.done <- call
 		}
 	}
@@ -211,10 +225,16 @@ func statusErr(f frame) error {
 // anyway.
 func (c *Client) Enqueue(v []byte) error { return c.enqueue(0, v) }
 
+// errValueTooLarge rejects an enqueue value locally before it is sent:
+// the server would only reject it anyway (see enqueueFits).
+func errValueTooLarge(n, maxFrame int) error {
+	return fmt.Errorf("%w: %d-byte value exceeds the %d-byte frame cap (less batch reply headroom)",
+		ErrFrameTooLarge, n, maxFrame)
+}
+
 func (c *Client) enqueue(qid uint32, v []byte) error {
 	if len(v)+frameHeader+batchReplyOverhead > c.maxFrame {
-		return fmt.Errorf("%w: %d-byte value exceeds the %d-byte frame cap (less batch reply headroom)",
-			ErrFrameTooLarge, len(v), c.maxFrame)
+		return errValueTooLarge(len(v), c.maxFrame)
 	}
 	op, payload := OpEnqueue, v
 	if qid != 0 {

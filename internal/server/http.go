@@ -165,6 +165,18 @@ func (srv *Server) MetricszHandler() http.Handler {
 			obs.WriteMetricHeader(w, "queued_trace_events_total", "Control-plane events recorded in the trace ring.", "counter")
 			obs.WriteCounter(w, "queued_trace_events_total", "", snap.Obs.TraceRecorded)
 
+			obs.WriteMetricHeader(w, "queued_spans_total", "Traced request spans captured by the exemplar reservoir.", "counter")
+			obs.WriteCounter(w, "queued_spans_total", "", snap.Obs.Spans)
+
+			obs.WriteMetricHeader(w, "queued_stage_latency_seconds",
+				"Per-stage latency of traced requests (wait: read to admit; fabric: the queue op; reply: fabric end to reply write; flush: reply write to socket flush; server: read to flush).", "summary")
+			for st := obs.Stage(0); st < obs.NumStages; st++ {
+				if s, ok := snap.Obs.StageLat[st.String()]; ok {
+					obs.WriteSummary(w, "queued_stage_latency_seconds",
+						fmt.Sprintf(`stage="%s"`, st), s)
+				}
+			}
+
 			obs.WriteMetricHeader(w, "queued_op_latency_seconds",
 				"In-server request latency (read to reply), per queue and op class.", "summary")
 			for _, q := range snap.Queues {
@@ -191,4 +203,34 @@ func (srv *Server) MetricszHandler() http.Handler {
 // queueLabel renders the shared per-queue label set.
 func queueLabel(name string) string {
 	return fmt.Sprintf(`queue="%s"`, obs.EscapeLabel(name))
+}
+
+// SpanzHandler dumps the request-trace exemplar reservoir as JSON: the
+// slowest traced spans the server has seen (slowest first — the exemplars
+// worth explaining) and the most recent ones (sequence order — what a
+// typical traced request looks like right now), each decomposed into
+// per-stage millisecond durations. offered counts spans ever captured;
+// with observability off the dump is empty but well-formed.
+func (srv *Server) SpanzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		recent, slow := srv.spans.Snapshot()
+		views := func(spans []obs.Span) []obs.SpanView {
+			out := make([]obs.SpanView, len(spans))
+			for i := range spans {
+				out[i] = spans[i].View()
+			}
+			return out
+		}
+		doc := map[string]any{
+			"offered":         srv.spans.Offered(),
+			"recent_capacity": srv.spans.RecentCapacity(),
+			"slow_capacity":   srv.spans.SlowCapacity(),
+			"slow":            views(slow),
+			"recent":          views(recent),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
 }

@@ -36,6 +36,15 @@ type LoadConfig struct {
 	// here).
 	Queue string
 
+	// TraceEvery samples every Nth enqueue frame per producer for request
+	// tracing (0, the default, disables it). A traced frame carries the
+	// wire trace flag and its send timestamp: the server (observability
+	// on) stamps its stages — feeding /spanz and the stage histograms —
+	// and the client-closed decomposition is collected into
+	// LoadResult.Traces. Tracing rides the normal open-loop schedule, so
+	// the samples are a true cross-section of the offered load.
+	TraceEvery int
+
 	// DrainTimeout bounds how long consumers may chase the acked backlog
 	// after producers stop (default 10s). Values still unconsumed at the
 	// deadline are reported Lost.
@@ -115,6 +124,20 @@ type LoadResult struct {
 
 	EnqLatMs []float64 `json:"-"` // scheduled-send to enqueue-ack, ms
 	E2ELatMs []float64 `json:"-"` // scheduled-send to consumer-dequeue, ms
+
+	Traces []TraceSample `json:"-"` // closed spans of the traced enqueue frames (TraceEvery > 0)
+}
+
+// TraceSample is one traced enqueue frame's closed span from the load
+// generator's vantage: the client-side stage decomposition plus the
+// open-loop schedule stamp, so the sample decomposes the same
+// scheduled-send-to-ack metric the EnqLatMs percentiles report —
+// TotalMs = SchedMs (client pacing + window wait) + RTTMs, and RTTMs
+// itself splits into the server stages + NetMs.
+type TraceSample struct {
+	TraceStages
+	SchedMs float64 `json:"sched_ms"` // scheduled send to actual send
+	TotalMs float64 `json:"total_ms"` // scheduled send to ack receive
 }
 
 // AchievedRate returns acknowledged enqueues per second over the producing
@@ -135,9 +158,11 @@ func (r *LoadResult) Conserved() bool { return r.Lost == 0 && r.Dup == 0 }
 // slot. A batch frame covers the count consecutive sequences starting at
 // seq; its one ack (or rejection) covers them all.
 type enqMeta struct {
-	seq   int64
-	count int
-	sched time.Time
+	seq    int64
+	count  int
+	sched  time.Time
+	traced bool  // the frame carries the wire trace flag
+	sendNs int64 // the traced frame's actual send stamp
 }
 
 // producerState accumulates one producer connection's outcome. The
@@ -145,6 +170,7 @@ type enqMeta struct {
 type producerState struct {
 	acked    []atomic.Bool // seq -> acknowledged
 	latMs    []float64
+	traces   []TraceSample
 	offered  int64
 	ackCount int64
 	busy     int64
@@ -267,6 +293,7 @@ func RunLoad(addr string, cfg LoadConfig) (*LoadResult, error) {
 		res.Busy += ps.busy
 		res.Errors += ps.errs
 		res.EnqLatMs = append(res.EnqLatMs, ps.latMs...)
+		res.Traces = append(res.Traces, ps.traces...)
 		for seq := int64(0); seq < ps.offered; seq++ {
 			if !ps.acked[seq].Load() {
 				continue
@@ -319,10 +346,42 @@ func runProducer(addr string, cfg LoadConfig, p int, ps *producerState, nonce ui
 		for cl := range done {
 			meta := cl.tag.(enqMeta)
 			n := int64(meta.count)
+			f := cl.f
+			if meta.traced && cl.err == nil {
+				// Normalize the traced reply and close the span. A parse
+				// failure degrades the frame to an error below rather than
+				// aborting the run.
+				nf, stamps, sampledByServer, perr := splitTracedReply(cl.f)
+				if perr != nil {
+					f = frame{id: cl.f.id, kind: StatusErr}
+				} else {
+					f = nf
+					if f.kind == StatusOK {
+						recv := cl.recvNs
+						if recv == 0 {
+							recv = time.Now().UnixNano() // plain reply: unstamped
+						}
+						opName := "enqueue"
+						if meta.count > 1 {
+							opName = "batch"
+						}
+						st := traceStagesFrom(opName, meta.sendNs, recv, stamps, sampledByServer)
+						sched := float64(meta.sendNs-meta.sched.UnixNano()) / 1e6
+						if sched < 0 {
+							sched = 0
+						}
+						ps.traces = append(ps.traces, TraceSample{
+							TraceStages: st,
+							SchedMs:     sched,
+							TotalMs:     sched + st.RTTMs,
+						})
+					}
+				}
+			}
 			switch {
 			case cl.err != nil:
 				ps.errs += n
-			case cl.f.kind == StatusOK:
+			case f.kind == StatusOK:
 				lat := float64(time.Since(meta.sched)) / float64(time.Millisecond)
 				for k := int64(0); k < n; k++ {
 					ps.acked[meta.seq+k].Store(true)
@@ -330,7 +389,7 @@ func runProducer(addr string, cfg LoadConfig, p int, ps *producerState, nonce ui
 				}
 				ps.ackCount += n
 				ackedTotal.Add(n)
-			case cl.f.kind == StatusBusy:
+			case f.kind == StatusBusy:
 				ps.busy += n
 			default:
 				ps.errs += n
@@ -340,6 +399,7 @@ func runProducer(addr string, cfg LoadConfig, p int, ps *producerState, nonce ui
 	}()
 
 	seq, broken := int64(0), false
+	frames := int64(0) // frames sent, for the TraceEvery sampling stride
 	// One value buffer per batch slot, reused across frames: both the
 	// single-op path (the client copies into its write buffer) and
 	// encodeBatch copy the bytes out before start returns.
@@ -361,20 +421,24 @@ pacing:
 				binary.BigEndian.PutUint64(values[k][0:8], loadKey(p, seq+int64(k)))
 				binary.BigEndian.PutUint64(values[k][8:16], uint64(sched.UnixNano()))
 			}
-			var err error
-			switch {
-			case cfg.Batch == 1 && qid == 0:
-				_, err = c.start(OpEnqueue, values[0], done, enqMeta{seq: seq, count: 1, sched: sched})
-			case cfg.Batch == 1:
-				_, err = c.start(OpEnqueueQ, qualify(qid, values[0]), done,
-					enqMeta{seq: seq, count: 1, sched: sched})
-			case qid == 0:
-				_, err = c.start(OpEnqueueBatch, encodeBatch(values), done,
-					enqMeta{seq: seq, count: cfg.Batch, sched: sched})
-			default:
-				_, err = c.start(OpEnqueueBatchQ, qualify(qid, encodeBatch(values)), done,
-					enqMeta{seq: seq, count: cfg.Batch, sched: sched})
+			meta := enqMeta{seq: seq, count: cfg.Batch, sched: sched}
+			var op byte
+			var payload []byte
+			if cfg.Batch == 1 {
+				op, payload = OpEnqueue, values[0]
+			} else {
+				op, payload = OpEnqueueBatch, encodeBatch(values)
 			}
+			if qid != 0 {
+				op, payload = op|OpQueueFlag, qualify(qid, payload)
+			}
+			if cfg.TraceEvery > 0 && frames%int64(cfg.TraceEvery) == 0 {
+				meta.traced = true
+				meta.sendNs = time.Now().UnixNano()
+				op, payload = op|OpTraceFlag, tracePrefix(meta.sendNs, payload)
+			}
+			frames++
+			_, err := c.start(op, payload, done, meta)
 			if err != nil {
 				<-tokens
 				ps.errs += int64(cfg.Batch)

@@ -113,9 +113,13 @@ func WithAutoscaleWatermarks(low, high float64) Option {
 // WithObservability toggles the server's observability layer (default
 // on): per-(queue, op) latency histograms recorded on the hot path —
 // each request frame's read-to-reply in-server latency, bucketed as
-// enqueue / dequeue / batch / null-dequeue — and the bounded
-// control-plane event trace served by /tracez. Off, the read loop stops
-// stamping frames, no histogram is touched, and Snapshot reverts to the
+// enqueue / dequeue / batch / null-dequeue — the bounded control-plane
+// event trace served by /tracez, and request tracing (per-stage
+// timestamps, the span exemplar reservoir served by /spanz, and the
+// per-stage histograms) for frames a client flags with OpTraceFlag. Off,
+// the read loop stops stamping frames, no histogram is touched, traced
+// requests are served normally but answered plain (the client reads that
+// as "server declined to sample"), and Snapshot reverts to the
 // pre-observability shape; the /healthz, /varz, and /metricsz endpoints
 // keep working (exposing counters only).
 func WithObservability(on bool) Option {
@@ -125,13 +129,17 @@ func WithObservability(on bool) Option {
 // DefaultMaxQueues is the default cap on named queues per server.
 const DefaultMaxQueues = 64
 
-// Observability constants: the trace ring's capacity and the sampling
+// Observability constants: the trace ring's capacity, the sampling
 // strides that keep hot control-plane event sources (BUSY replies,
-// autoscaler hold decisions) from flooding it.
+// autoscaler hold decisions) from flooding it, and the span reservoir's
+// shape (the recent ring for coverage, the slow table for the exemplars
+// worth explaining — see obs.Reservoir).
 const (
 	traceRingCap    = 1024
 	busySampleEvery = 1024 // trace the 1st, 1025th, ... BUSY reply
 	holdSampleEvery = 16   // trace every 16th per-queue autoscaler hold
+	spanRecentCap   = 128  // most recent traced spans kept by /spanz
+	spanSlowCap     = 32   // slowest traced spans kept by /spanz
 )
 
 // serverStats are the service-level counters exported through Snapshot.
@@ -167,10 +175,16 @@ type Server struct {
 	sessions sessionTable
 	stats    serverStats
 	trace    *obs.Ring // control-plane event ring; nil when observability is off
-	start    time.Time
-	wg       sync.WaitGroup
-	done     chan struct{}
-	closed   sync.Once
+	// Request-tracing state, nil when observability is off: the exemplar
+	// reservoir behind /spanz and the per-stage histograms behind the
+	// stage_lat snapshot block. Both are fed only by frames the client
+	// flagged with OpTraceFlag, so untraced traffic pays nothing for them.
+	spans      *obs.Reservoir
+	stageHists *obs.StageHists
+	start      time.Time
+	wg         sync.WaitGroup
+	done       chan struct{}
+	closed     sync.Once
 }
 
 // Serve listens on addr (e.g. "127.0.0.1:0" for an ephemeral port) and
@@ -238,6 +252,8 @@ func Serve(addr string, q *shard.Queue[[]byte], opts ...Option) (*Server, error)
 	}
 	if o.obs {
 		srv.trace = obs.NewRing(traceRingCap)
+		srv.spans = obs.NewReservoir(spanRecentCap, spanSlowCap)
+		srv.stageHists = obs.NewStageHists()
 	}
 	srv.ns.init(q, o.maxQueues, o.factory, o.obs, srv.trace)
 	srv.sessions.init()
@@ -426,17 +442,25 @@ func (srv *Server) batchWorker(s *session) {
 		err := srv.processWindow(s, window, bw)
 		srv.stats.batches.Add(1)
 		srv.stats.frames.Add(int64(len(window)))
-		if err != nil || bw.Flush() != nil {
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
 			// The socket is broken; unblock the read loop (it may be
 			// mid-read or mid-send), then drain reqCh until its close
-			// lands so no sender is left stranded.
+			// lands so no sender is left stranded. Spans from the failed
+			// window never got their flush stamp and are dropped with it.
+			s.winSpans = s.winSpans[:0]
 			s.shutdown()
 			for range s.reqCh {
 			}
 			return
 		}
+		// The flush landed: close the window's spans with its timestamp and
+		// publish them (one clock read per window, and only for windows that
+		// carried a traced frame).
+		srv.completeSpans(s)
 		if !ok {
-			bw.Flush()
 			return
 		}
 	}
@@ -454,6 +478,14 @@ func (srv *Server) processWindow(s *session, window []frame, bw *bufio.Writer) e
 		decs = append(decs, decodeOp(f))
 	}
 	s.decs = decs
+	// One admit stamp covers the whole window, taken only when the window
+	// carries a sampled traced frame — untraced windows pay no clock read.
+	for i := range decs {
+		if decs[i].traced && window[i].at != 0 {
+			s.admitNs = time.Now().UnixNano()
+			break
+		}
+	}
 	for i := 0; i < len(window); {
 		d := decs[i]
 		j := i + 1
@@ -468,7 +500,7 @@ func (srv *Server) processWindow(s *session, window []frame, bw *bufio.Writer) e
 		case len(run) > 1 && d.op == OpEnqueue:
 			err = srv.executeEnqueueRun(s, d.qid, run, decs[i:j], bw)
 		case len(run) > 1 && d.op == OpDequeue:
-			err = srv.executeDequeueRun(s, d.qid, run, bw)
+			err = srv.executeDequeueRun(s, d.qid, run, decs[i:j], bw)
 		default:
 			err = srv.execute(s, run[0], d, bw)
 		}
@@ -513,19 +545,30 @@ func (srv *Server) executeEnqueueRun(s *session, qid uint32, run []frame, decs [
 		}
 		vals[i] = d.rest
 	}
+	// A sampled run pays two clock reads bounding the fabric call; the
+	// stamps are shared by every traced frame it carries.
+	var fabricStart, fabricEnd int64
+	traced := runSampled(run, decs)
+	if traced {
+		fabricStart = time.Now().UnixNano()
+	}
 	err := b.h.EnqueueBatch(vals)
+	if traced {
+		fabricEnd = time.Now().UnixNano()
+	}
 	if err == nil {
 		srv.noteFabricBatch(int64(len(run)))
 		srv.stats.enqueues.Add(int64(len(run)))
 		srv.stats.batchedOps.Add(int64(len(run)))
 		b.t.enqueues.Add(int64(len(run)))
 	}
-	for _, f := range run {
+	for k, f := range run {
 		status := StatusOK
 		if err != nil {
 			status = StatusClosed
 		}
-		if werr := writeFrame(bw, f.id, status, nil); werr != nil {
+		if werr := srv.writeReply(s, b, f, decs[k], status, nil,
+			obs.OpEnqueue, 1, fabricStart, fabricEnd, bw); werr != nil {
 			return werr
 		}
 	}
@@ -549,20 +592,29 @@ func (srv *Server) executeEnqueueRun(s *session, qid uint32, run []frame, decs [
 // delivered (the client cannot parse a truncated length-prefixed frame),
 // so its value and everything after it go back to the stash for teardown
 // to re-enqueue.
-func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, bw *bufio.Writer) error {
+func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, decs []decoded, bw *bufio.Writer) error {
 	b, berr := s.bind(qid)
 	if berr != nil {
 		return srv.refuseRun(run, berr, bw)
 	}
 	b.t.deqPolls.Add(int64(len(run)))
+	var fabricStart, fabricEnd int64
+	traced := runSampled(run, decs)
+	if traced {
+		fabricStart = time.Now().UnixNano()
+	}
 	vals, fromFabric := b.takeValues(len(run))
+	if traced {
+		fabricEnd = time.Now().UnixNano()
+	}
 	if fromFabric > 0 {
 		srv.noteFabricBatch(fromFabric)
 	}
 	srv.stats.batchedOps.Add(int64(len(run)))
 	for i, f := range run {
 		if i < len(vals) {
-			if err := writeFrame(bw, f.id, StatusOK, vals[i]); err != nil {
+			if err := srv.writeReply(s, b, f, decs[i], StatusOK, vals[i],
+				obs.OpDequeue, 1, fabricStart, fabricEnd, bw); err != nil {
 				b.stash = append(b.stash, vals[i:]...)
 				return err
 			}
@@ -572,7 +624,8 @@ func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, bw *bu
 		}
 		srv.stats.emptyDeqs.Add(1)
 		b.t.emptyDeqs.Add(1)
-		if err := writeFrame(bw, f.id, StatusEmpty, nil); err != nil {
+		if err := srv.writeReply(s, b, f, decs[i], StatusEmpty, nil,
+			obs.OpNullDequeue, 0, fabricStart, fabricEnd, bw); err != nil {
 			return err
 		}
 	}
@@ -632,7 +685,7 @@ func (srv *Server) noteFabricBatch(n int64) {
 func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) error {
 	if d.bad {
 		return writeFrame(bw, f.id, StatusErr,
-			[]byte(fmt.Sprintf("opcode 0x%02x payload %d bytes, too short for its queue id",
+			[]byte(fmt.Sprintf("opcode 0x%02x payload %d bytes, too short for its trace/queue prefix",
 				f.kind, len(f.payload))))
 	}
 	switch d.op {
@@ -648,13 +701,22 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		if err != nil {
 			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
 		}
-		if err := b.h.Enqueue(d.rest); err != nil {
+		var fabricStart, fabricEnd int64
+		if sampled(f, d) {
+			fabricStart = time.Now().UnixNano()
+		}
+		enqErr := b.h.Enqueue(d.rest)
+		if sampled(f, d) {
+			fabricEnd = time.Now().UnixNano()
+		}
+		if enqErr != nil {
 			return writeFrame(bw, f.id, StatusClosed, nil)
 		}
 		srv.stats.enqueues.Add(1)
 		srv.stats.batchedOps.Add(1)
 		b.t.enqueues.Add(1)
-		err = writeFrame(bw, f.id, StatusOK, nil)
+		err = srv.writeReply(s, b, f, d, StatusOK, nil,
+			obs.OpEnqueue, 1, fabricStart, fabricEnd, bw)
 		recordOp(b, s.stripe, f, obs.OpEnqueue)
 		return err
 	case OpDequeue:
@@ -665,20 +727,29 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		var v []byte
 		ok := false
 		b.t.deqPolls.Add(1)
+		var fabricStart, fabricEnd int64
+		if sampled(f, d) {
+			fabricStart = time.Now().UnixNano()
+		}
 		if len(b.stash) > 0 { // ship overflow values before new fabric pulls
 			v, ok = b.popStash(), true
 		} else {
 			v, ok = b.h.Dequeue()
 		}
+		if sampled(f, d) {
+			fabricEnd = time.Now().UnixNano()
+		}
 		srv.stats.batchedOps.Add(1)
 		if !ok {
 			srv.stats.emptyDeqs.Add(1)
 			b.t.emptyDeqs.Add(1)
-			err = writeFrame(bw, f.id, StatusEmpty, nil)
+			err = srv.writeReply(s, b, f, d, StatusEmpty, nil,
+				obs.OpNullDequeue, 0, fabricStart, fabricEnd, bw)
 			recordOp(b, s.stripe, f, obs.OpNullDequeue)
 			return err
 		}
-		if err := writeFrame(bw, f.id, StatusOK, v); err != nil {
+		if err := srv.writeReply(s, b, f, d, StatusOK, v,
+			obs.OpDequeue, 1, fabricStart, fabricEnd, bw); err != nil {
 			b.stash = append(b.stash, v) // undelivered: teardown re-enqueues
 			return err
 		}
@@ -698,14 +769,23 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		if err != nil {
 			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
 		}
-		if err := b.h.EnqueueBatch(vals); err != nil {
+		var fabricStart, fabricEnd int64
+		if sampled(f, d) {
+			fabricStart = time.Now().UnixNano()
+		}
+		enqErr := b.h.EnqueueBatch(vals)
+		if sampled(f, d) {
+			fabricEnd = time.Now().UnixNano()
+		}
+		if enqErr != nil {
 			return writeFrame(bw, f.id, StatusClosed, nil)
 		}
 		srv.noteFabricBatch(int64(len(vals)))
 		srv.stats.enqueues.Add(int64(len(vals)))
 		srv.stats.batchedOps.Add(int64(len(vals)))
 		b.t.enqueues.Add(int64(len(vals)))
-		err = writeFrame(bw, f.id, StatusOK, nil)
+		err = srv.writeReply(s, b, f, d, StatusOK, nil,
+			obs.OpBatch, len(vals), fabricStart, fabricEnd, bw)
 		recordOp(b, s.stripe, f, obs.OpBatch)
 		return err
 	case OpDequeueBatch:
@@ -721,7 +801,7 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		if err != nil {
 			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
 		}
-		return srv.executeDequeueBatch(s, b, f, n, bw)
+		return srv.executeDequeueBatch(s, b, f, d, n, bw)
 	case OpLen:
 		t, ok := srv.ns.lookup(d.qid)
 		if !ok {
@@ -811,10 +891,14 @@ func (srv *Server) openQueue(s *session, name string) (*tenant, error) {
 // stash and are shipped by the next dequeue request instead — the frame
 // cap must bound every frame the server emits, not only the ones it
 // reads.
-func (srv *Server) executeDequeueBatch(s *session, b *binding, f frame, n int, bw *bufio.Writer) error {
-	id := f.id
+func (srv *Server) executeDequeueBatch(s *session, b *binding, f frame, d decoded, n int, bw *bufio.Writer) error {
 	b.t.deqPolls.Add(1)
 	budget := srv.opts.maxFrame - frameHeader - 4 // payload bytes after the count word
+	if sampled(f, d) {
+		// A traced reply carries the span block too; shrink the budget so
+		// the traced frame still fits the cap.
+		budget -= traceBlockLen
+	}
 	var out [][]byte
 	take := func(v []byte) bool {
 		if 4+len(v) > budget {
@@ -823,6 +907,10 @@ func (srv *Server) executeDequeueBatch(s *session, b *binding, f frame, n int, b
 		budget -= 4 + len(v)
 		out = append(out, v)
 		return true
+	}
+	var fabricStart, fabricEnd int64
+	if sampled(f, d) {
+		fabricStart = time.Now().UnixNano()
 	}
 	full := false
 	for len(b.stash) > 0 && len(out) < n && !full {
@@ -851,16 +939,21 @@ func (srv *Server) executeDequeueBatch(s *session, b *binding, f frame, n int, b
 			break // fabric certified empty
 		}
 	}
+	if sampled(f, d) {
+		fabricEnd = time.Now().UnixNano()
+	}
 	if len(out) == 0 {
 		srv.stats.batchedOps.Add(1) // the empty reply still answers one op
 		srv.stats.emptyDeqs.Add(1)
 		b.t.emptyDeqs.Add(1)
-		err := writeFrame(bw, id, StatusEmpty, nil)
+		err := srv.writeReply(s, b, f, d, StatusEmpty, nil,
+			obs.OpNullDequeue, 0, fabricStart, fabricEnd, bw)
 		recordOp(b, s.stripe, f, obs.OpNullDequeue)
 		return err
 	}
 	srv.stats.batchedOps.Add(int64(len(out)))
-	if err := writeFrame(bw, id, StatusOK, encodeBatch(out)); err != nil {
+	if err := srv.writeReply(s, b, f, d, StatusOK, encodeBatch(out),
+		obs.OpBatch, len(out), fabricStart, fabricEnd, bw); err != nil {
 		// The reply never reached the client as a parseable frame; keep its
 		// values for teardown to re-enqueue.
 		b.stash = append(b.stash, out...)
@@ -880,6 +973,78 @@ func recordOp(b *binding, stripe int, f frame, op obs.Op) {
 	if h := b.t.hists; h != nil && f.at != 0 {
 		h.Record(op, stripe, time.Duration(time.Now().UnixNano()-f.at))
 	}
+}
+
+// sampled reports whether a request frame is a live trace sample: the
+// client set the trace flag and the read loop stamped the frame (i.e.
+// observability is on). A traced frame on an obs-off server is served
+// normally but answered plain — the client reads that as "declined".
+func sampled(f frame, d decoded) bool {
+	return d.traced && f.at != 0
+}
+
+// runSampled reports whether any frame of a coalesced run is a live trace
+// sample, deciding whether the run pays for fabric-boundary clock reads.
+func runSampled(run []frame, decs []decoded) bool {
+	for i := range run {
+		if sampled(run[i], decs[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// writeReply writes one reply frame, upgrading it to the traced form —
+// status|OpTraceFlag with a span-block payload prefix — when the request
+// was a live trace sample and the reply is a terminal success (OK or
+// Empty). The span itself is parked on the session until the window's
+// flush lands (completeSpans), which closes its last stage. ops is how
+// many values the frame moved; fabricStart/fabricEnd bound the queue
+// operation that served it (shared by every frame of a coalesced run). A
+// traced reply that would overflow the frame cap falls back to the plain
+// form — the span is still captured server-side.
+func (srv *Server) writeReply(s *session, b *binding, f frame, d decoded, status byte,
+	payload []byte, op obs.Op, ops int, fabricStart, fabricEnd int64, bw *bufio.Writer) error {
+	if !sampled(f, d) || srv.spans == nil || (status != StatusOK && status != StatusEmpty) {
+		return writeFrame(bw, f.id, status, payload)
+	}
+	replyWrite := time.Now().UnixNano()
+	sp := &obs.Span{
+		Queue:       b.t.name,
+		Op:          op.String(),
+		Session:     s.id,
+		ReqID:       f.id,
+		Ops:         ops,
+		ClientSend:  d.sendNs,
+		Read:        f.at,
+		Admit:       s.admitNs,
+		FabricStart: fabricStart,
+		FabricEnd:   fabricEnd,
+		ReplyWrite:  replyWrite,
+	}
+	s.winSpans = append(s.winSpans, sp)
+	if frameHeader+traceBlockLen+len(payload) > srv.opts.maxFrame {
+		return writeFrame(bw, f.id, status, payload)
+	}
+	block := putSpanBlock(f.at, s.admitNs, fabricStart, fabricEnd, replyWrite, payload)
+	return writeFrame(bw, f.id, status|OpTraceFlag, block)
+}
+
+// completeSpans closes the window's parked spans with the flush timestamp
+// that just landed, prices their stages into the per-stage histograms, and
+// publishes them to the exemplar reservoir.
+func (srv *Server) completeSpans(s *session) {
+	if len(s.winSpans) == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for i, sp := range s.winSpans {
+		sp.Flush = now
+		srv.stageHists.RecordSpan(s.stripe, sp)
+		srv.spans.Offer(sp)
+		s.winSpans[i] = nil
+	}
+	s.winSpans = s.winSpans[:0]
 }
 
 // popStash removes and returns the stash head; the stash must be nonempty.
@@ -973,6 +1138,14 @@ type ObsStats struct {
 	DequeueLat     obs.LatencySummary `json:"dequeue_lat"`
 	BatchLat       obs.LatencySummary `json:"batch_lat"`
 	NullDequeueLat obs.LatencySummary `json:"null_dequeue_lat"`
+
+	// Request-tracing block: spans ever captured by the exemplar reservoir
+	// (see /spanz) and per-stage latency summaries over traced frames only
+	// — wait (read to batcher admit), fabric (queue operation), reply
+	// (fabric end to reply write), flush (reply write to socket flush),
+	// server (the whole read-to-flush interval).
+	Spans    int64                         `json:"spans"`
+	StageLat map[string]obs.LatencySummary `json:"stage_lat,omitempty"`
 }
 
 // Snapshot is the stable JSON document served by /statsz and OpStats:
@@ -1024,6 +1197,10 @@ func (srv *Server) Snapshot() Snapshot {
 	snap := Snapshot{Server: st, Fabric: srv.q.Snapshot(), Queues: srv.ns.queueStats()}
 	if srv.opts.obs {
 		agg := srv.ns.aggregateLat()
+		stageLat := make(map[string]obs.LatencySummary, obs.NumStages)
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			stageLat[st.String()] = srv.stageHists.Summary(st)
+		}
 		snap.Obs = &ObsStats{
 			TraceRecorded:  srv.trace.Recorded(),
 			TraceCapacity:  srv.trace.Capacity(),
@@ -1031,6 +1208,8 @@ func (srv *Server) Snapshot() Snapshot {
 			DequeueLat:     agg[obs.OpDequeue],
 			BatchLat:       agg[obs.OpBatch],
 			NullDequeueLat: agg[obs.OpNullDequeue],
+			Spans:          srv.spans.Offered(),
+			StageLat:       stageLat,
 		}
 	}
 	return snap

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -41,6 +42,16 @@ type session struct {
 	// decs is the batch worker's scratch for the current window's decoded
 	// queue addressing, reused across passes.
 	decs []decoded
+
+	// admitNs is the batch worker's admit stamp for the current window,
+	// taken once per pass and only when the window carries a sampled traced
+	// frame; every span the pass produces shares it. Worker-owned.
+	admitNs int64
+
+	// winSpans parks the current window's traced spans between their reply
+	// write and the pass's socket flush, which closes their last stage
+	// (completeSpans publishes them and resets the slice). Worker-owned.
+	winSpans []*obs.Span
 
 	// lastActive is the unix-nano time of the last frame read from the
 	// connection; the reaper closes sessions idle past the idle timeout.

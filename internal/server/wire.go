@@ -95,6 +95,30 @@ const (
 	OpDequeueBatchQ = OpDequeueBatch | OpQueueFlag // 0x16: uint32 queue id + uint32 max element count
 	OpResizeQ       = OpResize | OpQueueFlag       // 0x19: uint32 queue id + uint32 shard count
 
+	// OpTraceFlag marks the traced variant of a data opcode: the client asks
+	// the server to record per-stage timestamps for this one frame and ship
+	// them back in the reply. A traced request's payload begins with the
+	// client's own send timestamp (int64 unix nanoseconds, the client's
+	// clock), before any queue-id prefix; the flag composes with OpQueueFlag
+	// (trace is stripped first, so ENQ|TRACE|QUEUE = 0x31 decodes as a
+	// qualified traced enqueue). Only the four data opcodes that move values
+	// are traceable — Enqueue, Dequeue, EnqueueBatch, DequeueBatch and their
+	// qualified variants; any other flag-bearing byte stays unknown and is
+	// rejected per request. Old clients never set the bit, old servers
+	// reject it with a request-scoped ERR, so the flag is wire-compatible
+	// in both directions.
+	//
+	// A successful reply to a traced request carries the same flag on its
+	// status byte (StatusOK|OpTraceFlag = 0xA0, StatusEmpty|OpTraceFlag =
+	// 0xA1) and prefixes the normal reply payload with a span block: five
+	// int64 unix-nano stamps on the server's clock — socket read, batcher
+	// admit, fabric call start, fabric call end, reply write (see
+	// putSpanBlock). BUSY, error, and closed replies stay plain, as does
+	// every reply from a server running with observability off — the client
+	// treats a plain status to a traced request as "server declined to
+	// sample" and still completes the call normally.
+	OpTraceFlag byte = 0x20
+
 	// Response statuses (server to client).
 	StatusOK     byte = 0x80 // payload: dequeue value / 8-byte length / stats JSON
 	StatusEmpty  byte = 0x81 // dequeue: fabric certified empty
@@ -126,6 +150,15 @@ const (
 	// queueIDLen is the size of the queue-id prefix a qualified opcode
 	// carries (see OpQueueFlag).
 	queueIDLen = 4
+
+	// traceStampLen is the size of the client send-timestamp prefix a
+	// traced request carries (see OpTraceFlag).
+	traceStampLen = 8
+
+	// traceBlockLen is the size of the span block prefixed to a traced
+	// reply's payload: five int64 server-clock stamps (read, admit, fabric
+	// start, fabric end, reply write).
+	traceBlockLen = 5 * 8
 
 	// batchReplyOverhead is the batch encoding's cost for shipping a lone
 	// value: the count word plus the value's length word. Every value
@@ -198,36 +231,57 @@ func readFrame(r *bufio.Reader, maxFrame int) (frame, error) {
 	return f, nil
 }
 
-// decoded is a request frame with its queue addressing resolved: the base
-// opcode (queue flag stripped), the target queue id (0 for unqualified
-// opcodes), and the payload with any queue-id prefix removed.
+// decoded is a request frame with its queue addressing and trace context
+// resolved: the base opcode (trace and queue flags stripped), the target
+// queue id (0 for unqualified opcodes), and the payload with any trace and
+// queue-id prefixes removed.
 type decoded struct {
-	op   byte   // base opcode, or the BUSY status marker injected by the read loop
-	qid  uint32 // target queue id; 0 is the default queue
-	rest []byte // payload after the queue-id prefix, if any
-	bad  bool   // a qualified frame too short to carry its queue id
+	op     byte   // base opcode, or the BUSY status marker injected by the read loop
+	qid    uint32 // target queue id; 0 is the default queue
+	rest   []byte // payload after the trace-stamp and queue-id prefixes, if any
+	bad    bool   // a frame too short to carry its declared prefixes
+	traced bool   // the client set OpTraceFlag on a traceable data opcode
+	sendNs int64  // the traced frame's client send stamp (client clock)
 }
 
-// decodeOp resolves a frame's queue addressing. Unqualified opcodes target
-// queue 0; qualified ones consume a uint32 queue-id prefix from the
-// payload. Only the six defined qualified opcodes are rewritten — any
-// other flag-bearing byte (0x14, 0x17, ...) passes through untouched so
-// it is rejected as unknown rather than silently aliasing a defined op.
-// Status markers (>= 0x80) also pass through untouched.
+// decodeOp resolves a frame's trace context and queue addressing. The
+// trace flag is stripped first (consuming the 8-byte client send stamp),
+// then the queue flag (consuming the uint32 queue-id prefix); unqualified
+// opcodes target queue 0. Only the defined traced and qualified opcodes
+// are rewritten — any other flag-bearing byte (0x14, 0x17, 0x23, ...)
+// passes through untouched so it is rejected as unknown rather than
+// silently aliasing a defined op. Status markers (>= 0x80) also pass
+// through untouched.
 func decodeOp(f frame) decoded {
 	d := decoded{op: f.kind, rest: f.payload}
-	switch f.kind {
+	if d.op&OpTraceFlag != 0 && d.op < StatusOK {
+		switch d.op &^ OpTraceFlag {
+		case OpEnqueue, OpDequeue, OpEnqueueBatch, OpDequeueBatch,
+			OpEnqueueQ, OpDequeueQ, OpEnqueueBatchQ, OpDequeueBatchQ:
+		default:
+			return d // unknown opcode; rejected by the executor
+		}
+		if len(d.rest) < traceStampLen {
+			d.bad = true
+			return d
+		}
+		d.op &^= OpTraceFlag
+		d.traced = true
+		d.sendNs = int64(binary.BigEndian.Uint64(d.rest[:traceStampLen]))
+		d.rest = d.rest[traceStampLen:]
+	}
+	switch d.op {
 	case OpEnqueueQ, OpDequeueQ, OpLenQ, OpEnqueueBatchQ, OpDequeueBatchQ, OpResizeQ:
 	default:
 		return d
 	}
-	d.op = f.kind &^ OpQueueFlag
-	if len(f.payload) < queueIDLen {
+	d.op &^= OpQueueFlag
+	if len(d.rest) < queueIDLen {
 		d.bad = true
 		return d
 	}
-	d.qid = binary.BigEndian.Uint32(f.payload[:queueIDLen])
-	d.rest = f.payload[queueIDLen:]
+	d.qid = binary.BigEndian.Uint32(d.rest[:queueIDLen])
+	d.rest = d.rest[queueIDLen:]
 	return d
 }
 
@@ -238,6 +292,53 @@ func qualify(qid uint32, payload []byte) []byte {
 	binary.BigEndian.PutUint32(buf[:queueIDLen], qid)
 	copy(buf[queueIDLen:], payload)
 	return buf
+}
+
+// tracePrefix prepends a client send stamp to an op payload, producing the
+// payload of the traced variant of the opcode. For a frame that is both
+// traced and queue-qualified, compose as tracePrefix(ns, qualify(qid, p))
+// — the trace stamp leads, matching decodeOp's stripping order.
+func tracePrefix(sendNs int64, payload []byte) []byte {
+	buf := make([]byte, traceStampLen+len(payload))
+	binary.BigEndian.PutUint64(buf[:traceStampLen], uint64(sendNs))
+	copy(buf[traceStampLen:], payload)
+	return buf
+}
+
+// putSpanBlock prepends the traced reply's span block — five int64
+// server-clock unix-nano stamps — to a reply payload.
+func putSpanBlock(read, admit, fabricStart, fabricEnd, replyWrite int64, payload []byte) []byte {
+	buf := make([]byte, traceBlockLen+len(payload))
+	for i, ns := range [5]int64{read, admit, fabricStart, fabricEnd, replyWrite} {
+		binary.BigEndian.PutUint64(buf[i*8:], uint64(ns))
+	}
+	copy(buf[traceBlockLen:], payload)
+	return buf
+}
+
+// splitTracedReply undoes putSpanBlock on the client side: given a reply
+// frame, it strips the trace flag and span block if present, returning the
+// normalized frame, the five server stamps, and whether the server
+// actually sampled the request. A plain reply (server tracing off, or a
+// BUSY/error path) passes through with sampled=false; a flagged reply too
+// short for its span block is malformed.
+func splitTracedReply(f frame) (frame, [5]int64, bool, error) {
+	var stamps [5]int64
+	if f.kind < StatusOK || f.kind&OpTraceFlag == 0 {
+		return f, stamps, false, nil
+	}
+	if len(f.payload) < traceBlockLen {
+		return f, stamps, false, fmt.Errorf("%w: traced reply %d bytes below span block", ErrBadFrame, len(f.payload))
+	}
+	for i := range stamps {
+		stamps[i] = int64(binary.BigEndian.Uint64(f.payload[i*8:]))
+	}
+	f.kind &^= OpTraceFlag
+	f.payload = f.payload[traceBlockLen:]
+	if len(f.payload) == 0 {
+		f.payload = nil
+	}
+	return f, stamps, true, nil
 }
 
 // Batch payload layout (OpEnqueueBatch requests and OpDequeueBatch StatusOK

@@ -95,19 +95,30 @@ func WithShardBounds(min, max int) ServeOption { return server.WithShardBounds(m
 // read-to-reply in-server latency, classed as enqueue, dequeue, batch, or
 // null-dequeue — plus a bounded ring of control-plane trace events
 // (resizes, autoscaler decisions with their watermark inputs, session and
-// queue lifecycle). The data surfaces through ServerSnapshot's obs block
-// and per-queue latency summaries, and through the server's /metricsz
-// (Prometheus text) and /tracez (JSON) HTTP handlers. Recording is
-// lock-free and allocation-free on the hot path; the measured budget
-// (experiment T15) is under 3% CPU cost per operation. Off, snapshots
-// revert to the pre-observability JSON shape.
+// queue lifecycle), and the request-tracing machinery: trace-flagged
+// frames get per-stage timestamps, a span in the slow-biased exemplar
+// reservoir (/spanz), and per-stage latency histograms. The data surfaces
+// through ServerSnapshot's obs block and per-queue latency summaries, and
+// through the server's /metricsz (Prometheus text), /tracez, and /spanz
+// (JSON) HTTP handlers. Recording is lock-free and allocation-free on the
+// hot path for untraced frames; the measured budget (experiments T15,
+// T16) is under 3% CPU cost per operation. Off, snapshots revert to the
+// pre-observability JSON shape and traced frames are answered plain.
 func WithObservability(on bool) ServeOption { return server.WithObservability(on) }
 
 // ServerObsStats is the server-wide observability block of a
 // ServerSnapshot: trace-ring occupancy plus aggregate latency summaries
-// per operation class. Present only when the server runs with
-// WithObservability(true) (the default).
+// per operation class and per traced-request stage. Present only when the
+// server runs with WithObservability(true) (the default).
 type ServerObsStats = server.ObsStats
+
+// RequestTrace is the client-side, clock-skew-free stage decomposition of
+// one traced operation (QueueClient.EnqueueTraced, DequeueTraced, and the
+// NamedRemoteQueue equivalents): the round trip on the client's clock,
+// the wait / fabric / reply stages on the server's clock as stamped into
+// the traced reply, and the network remainder as the difference of the
+// two intervals.
+type RequestTrace = server.TraceStages
 
 // Serve listens on addr and serves q over the queue service's wire
 // protocol until the returned server is Closed. Pass "127.0.0.1:0" to
