@@ -265,6 +265,89 @@ func BenchmarkTable10Sharded(b *testing.B) {
 	})
 }
 
+// allocImpls are the implementations whose hot paths run through the block
+// arenas (internal/core pool.go, internal/bounded pool.go) and the flattened
+// ordering tree — the subjects of the T17 memory-wall experiment.
+func allocImpls() []struct {
+	name string
+	mk   func(int) (queues.Queue, error)
+} {
+	return []struct {
+		name string
+		mk   func(int) (queues.Queue, error)
+	}{
+		{"nr", queues.NewNR},
+		{"nr-bounded", queues.NewBounded},
+		{"sharded-4(core)", func(p int) (queues.Queue, error) {
+			return queues.NewSharded(p, 4, shard.BackendCore)
+		}},
+	}
+}
+
+// BenchmarkEnqueueDequeue (T17): single-handle enqueue+dequeue pairs with
+// allocation reporting. Run with -benchmem; the allocs/op column is the
+// regression gate the TestAllocs tests enforce (near-zero on the recycled
+// core path, pbst path copies only on the bounded path).
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	for _, impl := range allocImpls() {
+		b.Run(impl.name, func(b *testing.B) {
+			q, err := impl.mk(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := q.Handle(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm the arenas so steady-state recycling, not cold-start
+			// slab carving, is what gets measured.
+			for i := 0; i < 512; i++ {
+				h.Enqueue(int64(i))
+				h.Dequeue()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Enqueue(int64(i))
+				h.Dequeue()
+			}
+		})
+	}
+}
+
+// BenchmarkEnqueueDequeueBatch (T17): the batch variant — m operations per
+// multi-op block, so fixed per-block allocations amortize across the batch.
+func BenchmarkEnqueueDequeueBatch(b *testing.B) {
+	const m = 8
+	vs := make([]int64, m)
+	for _, impl := range allocImpls() {
+		b.Run(impl.name, func(b *testing.B) {
+			q, err := impl.mk(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := q.Handle(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bh, ok := h.(queues.BatchHandle)
+			if !ok {
+				b.Skipf("%s: no batch surface", impl.name)
+			}
+			for i := 0; i < 64; i++ {
+				bh.EnqueueBatch(vs)
+				bh.DequeueBatch(m)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += m {
+				bh.EnqueueBatch(vs)
+				bh.DequeueBatch(m)
+			}
+		})
+	}
+}
+
 // BenchmarkMicroOps: classic single-threaded per-op costs for every
 // implementation (the paper's Section 7 remark that its queue costs more
 // than the MS-queue in the uncontended case).

@@ -16,11 +16,12 @@
 //	benchqueue -impl sharded -shards 8  # fabric scaling (T10)
 //	benchqueue -exp obs                 # T15 observability overhead
 //	benchqueue -exp trace               # T16 stage decomposition
+//	benchqueue -exp memwall             # T17 allocation profile + elimination
 //	benchqueue -exp all -json results   # also emit results/BENCH_<ID>.json
 //
 // Experiments: casbound, enqsteps, deqsteps, retry, adversary, space,
 // boundedsteps, throughput, waitfree, ablation, sharded, service, batch,
-// multitenant, elastic, obs, trace, all.
+// multitenant, elastic, obs, trace, memwall, all.
 package main
 
 import (
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch multitenant elastic obs trace all)")
+		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch multitenant elastic obs trace memwall all)")
 		ops     = flag.Int("ops", 2000, "operations per process per measurement")
 		procs   = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
 		psFlag  = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
@@ -44,6 +45,7 @@ func main() {
 		shards  = flag.Int("shards", 8, "largest shard count for -exp sharded / -impl sharded")
 		backend = flag.String("backend", "core", "sharded fabric backend: core or bounded")
 		jsonDir = flag.String("json", "", "also write each table as BENCH_<ID>.json into this directory")
+		smoke   = flag.Bool("smoke", false, "fail -exp memwall unless the elimination fast path fired (CI gate)")
 	)
 	flag.Parse()
 	ps, err := parseInts(*psFlag)
@@ -64,6 +66,7 @@ func main() {
 		shards:  *shards,
 		backend: shard.Backend(*backend),
 		jsonDir: *jsonDir,
+		smoke:   *smoke,
 	}
 	what := *exp
 	if *impl != "" {
@@ -93,6 +96,7 @@ type runConfig struct {
 	shards  int
 	backend shard.Backend
 	jsonDir string
+	smoke   bool
 }
 
 func run(exp string, cfg runConfig) error {
@@ -123,6 +127,16 @@ func run(exp string, cfg runConfig) error {
 		"sharded": func() error {
 			return show(harness.ExpShardedScaling(ps,
 				harness.ShardCountsUpTo(cfg.shards), ops, cfg.backend))
+		},
+		"memwall": func() error {
+			// T17: the T10 sweep re-measured after the memory-system
+			// overhaul (block arenas, flattened tree, padding, elimination),
+			// with allocs/op, B/op, and elimination hit-rate columns. The
+			// goroutine sweep is fixed so the table lines up with
+			// BENCH_T10.json, the frozen before-measurement.
+			return show(harness.ExpMemWall([]int{8, 16, 32, 64},
+				harness.ShardCountsUpTo(cfg.shards), ops,
+				harness.MemWallConfig{Backend: cfg.backend, RequirePairs: cfg.smoke}))
 		},
 		"batch": func() error {
 			// T12: one multi-op leaf block per batch; blocks installed per
@@ -181,7 +195,7 @@ func run(exp string, cfg runConfig) error {
 	if exp == "all" {
 		for _, name := range []string{"casbound", "enqsteps", "deqsteps", "retry", "adversary",
 			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded", "batch", "service",
-			"multitenant", "elastic", "obs", "trace"} {
+			"multitenant", "elastic", "obs", "trace", "memwall"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,0 +1,133 @@
+package bounded
+
+// Allocation regression gates for the bounded variant's block arena
+// (pool.go). Unlike internal/core, the bounded queue allocates persistent-
+// BST path copies on every tree insert — O(log n) pbst nodes per level per
+// op, ~57 allocs per Enqueue+Dequeue pair at p=4 — which is inherent to the
+// functional-tree design the paper's GC needs and is charged by the
+// Theorem 32 cost model. The arena's job here is the *block* allocations:
+// the recycled path (Refresh candidates) allocates zero blocks per op in
+// steady state. The AllocsPerRun gate is therefore a calibrated ceiling
+// that catches per-op block allocation creeping back in (or a pbst
+// regression), and the white-box test checks recycling fires at all.
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllocsBoundedPair(t *testing.T) {
+	q, err := New[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := q.MustHandle(0)
+	for i := 0; i < 300; i++ {
+		h.Enqueue(i)
+		h.Dequeue()
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		h.Enqueue(7)
+		if _, ok := h.Dequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+	})
+	// Measured 57/pair with the arena (all pbst path copies); without the
+	// arena the blocks add ~6 more. The ceiling is tight enough to catch
+	// that delta while tolerating pbst rebalancing noise.
+	if avg > 62.0 {
+		t.Errorf("allocs per bounded Enqueue+Dequeue pair = %.2f, want <= 62", avg)
+	}
+}
+
+// TestAllocsArenaReuse checks the arena mechanics deterministically:
+// recycled blocks are reused, fully reset, and overflow the spare stack
+// into the shared pool.
+func TestAllocsArenaReuse(t *testing.T) {
+	q, err := New[int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := q.MustHandle(0)
+	b1 := h.newBlock()
+	b1.index = 9
+	b1.sumEnq = 5
+	b1.isDeq = true
+	b1.deqCount = 3
+	b1.elems = []int{1}
+	b1.response.Store(&response[int]{ok: true})
+	h.recycle(b1)
+	b2 := h.newBlock()
+	if b2 != b1 {
+		t.Fatal("recycled block not reused")
+	}
+	if b2.index != 0 || b2.sumEnq != 0 || b2.isDeq || b2.deqCount != 0 ||
+		b2.elems != nil || b2.response.Load() != nil {
+		t.Fatalf("recycled block not reset: index=%d sumEnq=%d isDeq=%v deqCount=%d",
+			b2.index, b2.sumEnq, b2.isDeq, b2.deqCount)
+	}
+	// Overflow: beyond spareCap the excess must reach the shared pool.
+	for i := 0; i < spareCap+4; i++ {
+		h.recycle(&block[int]{index: int64(i)})
+	}
+	if len(h.spare) != spareCap {
+		t.Fatalf("spare stack holds %d blocks, want %d", len(h.spare), spareCap)
+	}
+	if q.arena.Get() == nil {
+		t.Fatal("spare overflow did not reach the shared pool")
+	}
+}
+
+// TestAllocsRefreshFailureRecycles drives refresh's CAS-failure path, which
+// uniprocessor scheduling essentially never hits naturally: a handle reads
+// the root tree, another handle's operation swings the pointer, and the
+// first handle's candidate must come back through the arena instead of
+// becoming garbage.
+func TestAllocsRefreshFailureRecycles(t *testing.T) {
+	q, err := New[int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, h1 := q.MustHandle(0), q.MustHandle(1)
+	h0.Enqueue(1) // seed so both root children have history
+
+	var wg sync.WaitGroup
+	spares := len(h0.spare)
+	// Stage the race: h1 appends at its leaf but we pause it before root
+	// refresh by doing the steps manually — bounded has no stepper, so
+	// instead make h0's view stale: load the root tree, let h1 run a full
+	// op (which refreshes the root), then run h0's refresh from the stale
+	// continuation. refresh reloads internally, so replicate its body with
+	// the stale snapshot to exercise createBlock/addBlock/casTree/recycle
+	// exactly as a preempted refresh would execute them.
+	root := q.root
+	tStale := h0.loadTree(root)
+	_, lastStale := h0.treeMax(tStale)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h1.Enqueue(2)
+	}()
+	wg.Wait()
+	b := h0.createBlock(root, tStale, lastStale)
+	if b == nil {
+		t.Fatal("staged refresh found nothing to propagate")
+	}
+	t2 := h0.addBlock(root, tStale, lastStale, b)
+	if h0.casTree(root, tStale, t2) {
+		t.Fatal("stale CAS unexpectedly succeeded")
+	}
+	h0.recycle(b)
+	if len(h0.spare) != spares+1 {
+		t.Fatalf("candidate not recycled: spare %d, want %d", len(h0.spare), spares+1)
+	}
+	// The queue must still be fully functional with the recycled candidate
+	// back in circulation.
+	h0.Enqueue(3)
+	for _, want := range []int{1, 2, 3} {
+		v, ok := h0.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("dequeue = (%d, %v), want %d", v, ok, want)
+		}
+	}
+}

@@ -14,9 +14,17 @@ import (
 
 // Enqueue adds e to the back of the queue. It is the m=1 case of
 // EnqueueBatch: both install one leaf block through the same append path.
+// The block is built inline (no transient slice) and drawn from the arena.
 func (h *Handle[T]) Enqueue(e T) {
 	h.counter.BeginOp()
-	h.enqueueBlock([]T{e})
+	t := h.loadTree(h.leaf)
+	_, prev := h.treeMax(t)
+	b := h.newBlock()
+	b.index = prev.index + 1
+	b.sumEnq = prev.sumEnq + 1
+	b.sumDeq = prev.sumDeq
+	b.element = e
+	h.append(t, prev, b)
 	h.counter.EndOp(metrics.OpEnqueue)
 }
 
@@ -38,11 +46,10 @@ func (h *Handle[T]) EnqueueBatch(es []T) {
 func (h *Handle[T]) enqueueBlock(es []T) {
 	t := h.loadTree(h.leaf)
 	_, prev := h.treeMax(t)
-	b := &block[T]{
-		index:  prev.index + 1,
-		sumEnq: prev.sumEnq + int64(len(es)),
-		sumDeq: prev.sumDeq,
-	}
+	b := h.newBlock()
+	b.index = prev.index + 1
+	b.sumEnq = prev.sumEnq + int64(len(es))
+	b.sumDeq = prev.sumDeq
 	if len(es) == 1 {
 		b.element = es[0]
 	} else {
@@ -91,13 +98,12 @@ func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
 func (h *Handle[T]) dequeueBlock(n int64) response[T] {
 	t := h.loadTree(h.leaf)
 	_, prev := h.treeMax(t)
-	b := &block[T]{
-		index:    prev.index + 1,
-		isDeq:    true,
-		deqCount: n,
-		sumEnq:   prev.sumEnq,
-		sumDeq:   prev.sumDeq + n,
-	}
+	b := h.newBlock()
+	b.index = prev.index + 1
+	b.isDeq = true
+	b.deqCount = n
+	b.sumEnq = prev.sumEnq
+	b.sumDeq = prev.sumDeq + n
 	h.append(t, prev, b)
 
 	res, err := h.completeDeqN(h.leaf, b.index, n)
@@ -161,7 +167,13 @@ func (h *Handle[T]) refresh(v *node[T]) bool {
 		return true
 	}
 	t2 := h.addBlock(v, t, last, b)
-	return h.casTree(v, t, t2)
+	if h.casTree(v, t, t2) {
+		return true
+	}
+	// The candidate was only reachable from t2, which just lost the CAS
+	// and is discarded along with it — b is still private and recyclable.
+	h.recycle(b)
+	return false
 }
 
 // createBlock builds the candidate block with index last.index+1
@@ -173,23 +185,24 @@ func (h *Handle[T]) createBlock(v *node[T], t *blockTree[T], prev *block[T]) *bl
 	rt := h.loadTree(v.right)
 	_, lastLeft := h.treeMax(lt)
 	_, lastRight := h.treeMax(rt)
-	b := &block[T]{
-		index:    prev.index + 1,
-		endLeft:  lastLeft.index,
-		endRight: lastRight.index,
-		sumEnq:   lastLeft.sumEnq + lastRight.sumEnq,
-		sumDeq:   lastLeft.sumDeq + lastRight.sumDeq,
+	sumEnq := lastLeft.sumEnq + lastRight.sumEnq
+	sumDeq := lastLeft.sumDeq + lastRight.sumDeq
+	// Decide before allocating: the frequent nothing-to-propagate case must
+	// not touch the arena at all.
+	if sumEnq == prev.sumEnq && sumDeq == prev.sumDeq {
+		return nil
 	}
-	numEnq := b.sumEnq - prev.sumEnq
-	numDeq := b.sumDeq - prev.sumDeq
+	b := h.newBlock()
+	b.index = prev.index + 1
+	b.endLeft = lastLeft.index
+	b.endRight = lastRight.index
+	b.sumEnq = sumEnq
+	b.sumDeq = sumDeq
 	if v.isRoot() {
-		b.size = prev.size + numEnq - numDeq
+		b.size = prev.size + (sumEnq - prev.sumEnq) - (sumDeq - prev.sumDeq)
 		if b.size < 0 {
 			b.size = 0
 		}
-	}
-	if numEnq+numDeq == 0 {
-		return nil
 	}
 	return b
 }

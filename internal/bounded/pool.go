@@ -1,0 +1,63 @@
+package bounded
+
+// Block arena for the bounded variant, mirroring internal/core/pool.go with
+// one structural difference: no bump slab. The bounded queue's GC
+// repeatedly discards old blocks, and carving blocks out of shared 64-block
+// slabs would pin a whole slab in memory for as long as any one of its
+// blocks is live — exactly the space behaviour Theorem 31 bounds. Blocks
+// are therefore individual heap objects, recycled through a per-handle
+// spare stack and a per-queue sync.Pool.
+//
+// Only never-published blocks are recycled: a Refresh candidate whose
+// casTree lost stays private (the losing t2 tree is the only structure
+// referencing it and is discarded), so reuse cannot race with helpers or
+// searches. Blocks that were published are reclaimed by the Go GC once the
+// paper's GC phase drops them from every live tree — delegating that
+// reclamation to the runtime is what makes it safe without epochs or
+// hazard pointers.
+
+// newBlock returns a zeroed block from the spare stack, the shared pool, or
+// the heap, in that order.
+func (h *Handle[T]) newBlock() *block[T] {
+	if n := len(h.spare) - 1; n >= 0 {
+		b := h.spare[n]
+		h.spare[n] = nil
+		h.spare = h.spare[:n]
+		b.reset()
+		return b
+	}
+	if b, _ := h.queue.arena.Get().(*block[T]); b != nil {
+		b.reset()
+		return b
+	}
+	return &block[T]{}
+}
+
+// recycle takes back a block obtained from newBlock that was never
+// published (never reachable from a tree installed by storeTree/casTree).
+func (h *Handle[T]) recycle(b *block[T]) {
+	if len(h.spare) < spareCap {
+		h.spare = append(h.spare, b)
+		return
+	}
+	h.queue.arena.Put(b)
+}
+
+// spareCap bounds the per-handle spare stack before spilling to the pool.
+const spareCap = 16
+
+// reset zeroes a recycled block field by field; a struct-literal assignment
+// would copy the atomic response field and trip go vet's copylocks check.
+// The block is private here, so the plain stores are race-free.
+func (b *block[T]) reset() {
+	var zero T
+	b.index = 0
+	b.sumEnq, b.sumDeq = 0, 0
+	b.endLeft, b.endRight = 0, 0
+	b.size = 0
+	b.element = zero
+	b.elems = nil
+	b.isDeq = false
+	b.deqCount = 0
+	b.response.Store(nil)
+}

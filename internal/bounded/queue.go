@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/metrics"
@@ -43,6 +44,12 @@ type node[T any] struct {
 	blocks atomic.Pointer[blockTree[T]]
 
 	leafID int
+
+	// Pad to 128 bytes (two cache lines): the hot tree pointer above takes
+	// a CAS from every Refresh, and without padding nodes allocated
+	// back-to-back false-share under concurrent propagation. 3 pointers +
+	// atomic.Pointer + int = 40 bytes.
+	_ [128 - 40]byte
 }
 
 func (n *node[T]) isLeaf() bool { return n.left == nil }
@@ -74,6 +81,10 @@ type Queue[T any] struct {
 	handles []Handle[T]
 	procs   int
 	gcEvery int64
+
+	// arena recycles never-published Refresh candidate blocks across
+	// handles; see pool.go.
+	arena sync.Pool
 }
 
 // Option configures a Queue.
@@ -232,6 +243,10 @@ type Handle[T any] struct {
 	leaf    *node[T]
 	id      int
 	counter *metrics.Counter
+
+	// spare stacks recycled candidate blocks private to this handle; see
+	// pool.go.
+	spare []*block[T]
 }
 
 // SetCounter attaches a step/CAS counter to the handle (nil disables).

@@ -11,6 +11,17 @@ import "sync/atomic"
 // blocks array. super is written exactly once, by a CAS in advance, from the
 // parent's head field; 0 means "not yet set" (valid indices are >= 1 because
 // every head field starts at 1).
+//
+// Lifecycle under the block arena (pool.go): blocks are drawn from a
+// per-handle arena, and only blocks that were *never published* are ever
+// recycled (a Refresh candidate whose CAS lost, or that was abandoned
+// before the CAS). Once published a block is immortal: concurrent searches
+// may read arbitrarily old blocks, matching the paper's garbage-collected
+// memory model. The per-node dummy at blocks[0] comes from a separate
+// construction-time slab that never enters the arena, so the all-zero
+// prefix sums that every search bottoms out on can never be recycled and
+// rewritten — pre-installation survives pooling by construction, not by
+// luck.
 type block[T any] struct {
 	// sumEnq and sumDeq are the number of enqueues and dequeues contained in
 	// this node's blocks[1..i] where i is this block's index (Invariant 7).

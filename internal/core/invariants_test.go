@@ -51,22 +51,16 @@ func runConcurrent(t *testing.T, procs, opsPerProc int, seed int64) *Queue[int] 
 	return q
 }
 
-// forEachNode visits every tree node.
-func forEachNode[T any](q *Queue[T], fn func(n *node[T])) {
-	var walk func(n *node[T])
-	walk = func(n *node[T]) {
-		fn(n)
-		if !n.isLeaf() {
-			walk(n.left)
-			walk(n.right)
-		}
+// forEachNode visits every tree node by heap index.
+func forEachNode[T any](q *Queue[T], fn func(v int, n *node[T])) {
+	for v := rootIdx; v < len(q.nodes); v++ {
+		fn(v, &q.nodes[v])
 	}
-	walk(q.root)
 }
 
 func TestInvariant3HeadAndSuper(t *testing.T) {
 	q := runConcurrent(t, 7, 800, 3)
-	forEachNode(q, func(n *node[int]) {
+	forEachNode(q, func(v int, n *node[int]) {
 		head := n.head.Load()
 		for i := int64(0); i < head; i++ {
 			if n.blocks.Get(i) == nil {
@@ -77,7 +71,7 @@ func TestInvariant3HeadAndSuper(t *testing.T) {
 		if n.blocks.Get(head+1) != nil && n.blocks.Get(head) == nil {
 			t.Fatalf("hole at head %d", head)
 		}
-		if !n.isRoot() {
+		if v != rootIdx {
 			for i := int64(1); i < head; i++ {
 				if n.blocks.Get(i).super.Load() == 0 {
 					t.Fatalf("blocks[%d].super unset below head %d", i, head)
@@ -89,8 +83,8 @@ func TestInvariant3HeadAndSuper(t *testing.T) {
 
 func TestLemma4EndsNonDecreasing(t *testing.T) {
 	q := runConcurrent(t, 8, 800, 4)
-	forEachNode(q, func(n *node[int]) {
-		if n.isLeaf() {
+	forEachNode(q, func(v int, n *node[int]) {
+		if q.isLeaf(v) {
 			return
 		}
 		for i := int64(1); ; i++ {
@@ -108,24 +102,25 @@ func TestLemma4EndsNonDecreasing(t *testing.T) {
 }
 
 // expandCounts recursively counts the enqueues and dequeues represented by
-// block b of node n — the |E(B)| and |D(B)| of equation (3.1).
-func expandCounts[T any](n *node[T], b int64) (enqs, deqs int64) {
+// block b of node v — the |E(B)| and |D(B)| of equation (3.1).
+func expandCounts[T any](q *Queue[T], v int, b int64) (enqs, deqs int64) {
+	n := &q.nodes[v]
 	blk := n.blocks.Get(b)
 	if b == 0 {
 		return 0, 0
 	}
-	if n.isLeaf() {
+	if q.isLeaf(v) {
 		prev := n.blocks.Get(b - 1)
 		return blk.sumEnq - prev.sumEnq, blk.sumDeq - prev.sumDeq
 	}
 	prev := n.blocks.Get(b - 1)
 	for i := prev.endLeft + 1; i <= blk.endLeft; i++ {
-		e, d := expandCounts(n.left, i)
+		e, d := expandCounts(q, 2*v, i)
 		enqs += e
 		deqs += d
 	}
 	for i := prev.endRight + 1; i <= blk.endRight; i++ {
-		e, d := expandCounts(n.right, i)
+		e, d := expandCounts(q, 2*v+1, i)
 		enqs += e
 		deqs += d
 	}
@@ -134,14 +129,14 @@ func expandCounts[T any](n *node[T], b int64) (enqs, deqs int64) {
 
 func TestInvariant7PrefixSums(t *testing.T) {
 	q := runConcurrent(t, 6, 600, 5)
-	forEachNode(q, func(n *node[int]) {
+	forEachNode(q, func(v int, n *node[int]) {
 		var sumE, sumD int64
 		for i := int64(1); ; i++ {
 			blk := n.blocks.Get(i)
 			if blk == nil {
 				break
 			}
-			e, d := expandCounts(n, i)
+			e, d := expandCounts(q, v, i)
 			if e+d == 0 {
 				t.Fatalf("block %d represents no operations (violates Corollary 8)", i)
 			}
@@ -157,12 +152,12 @@ func TestInvariant7PrefixSums(t *testing.T) {
 
 func TestLemma12SuperAccuracy(t *testing.T) {
 	q := runConcurrent(t, 8, 600, 6)
-	forEachNode(q, func(n *node[int]) {
-		if n.isRoot() {
+	forEachNode(q, func(v int, n *node[int]) {
+		if v == rootIdx {
 			return
 		}
-		dir := n.childDir()
-		parent := n.parent
+		dir := childDir(v)
+		parent := &q.nodes[v>>1]
 		for b := int64(1); ; b++ {
 			blk := n.blocks.Get(b)
 			if blk == nil {
@@ -196,7 +191,7 @@ func TestLemma12SuperAccuracy(t *testing.T) {
 
 func TestLemma16RootSizes(t *testing.T) {
 	q := runConcurrent(t, 5, 700, 7)
-	root := q.root
+	root := &q.nodes[rootIdx]
 	var size int64
 	for i := int64(1); ; i++ {
 		blk := root.blocks.Get(i)
@@ -223,30 +218,31 @@ func TestCorollary6EachOpInOneRootBlock(t *testing.T) {
 		idx  int64
 	}
 	counts := map[key]int{}
-	var collect func(n *node[int], b int64)
-	collect = func(n *node[int], b int64) {
+	var collect func(v int, b int64)
+	collect = func(v int, b int64) {
 		if b == 0 {
 			return
 		}
-		if n.isLeaf() {
-			counts[key{n.leafID, b}]++
+		n := &q.nodes[v]
+		if q.isLeaf(v) {
+			counts[key{v - q.numLeaves, b}]++
 			return
 		}
 		blk := n.blocks.Get(b)
 		prev := n.blocks.Get(b - 1)
 		for i := prev.endLeft + 1; i <= blk.endLeft; i++ {
-			collect(n.left, i)
+			collect(2*v, i)
 		}
 		for i := prev.endRight + 1; i <= blk.endRight; i++ {
-			collect(n.right, i)
+			collect(2*v+1, i)
 		}
 	}
-	root := q.root
+	root := &q.nodes[rootIdx]
 	for b := int64(1); ; b++ {
 		if root.blocks.Get(b) == nil {
 			break
 		}
-		collect(root, b)
+		collect(rootIdx, b)
 	}
 	for k, c := range counts {
 		if c != 1 {
@@ -254,11 +250,11 @@ func TestCorollary6EachOpInOneRootBlock(t *testing.T) {
 		}
 	}
 	// Every completed leaf operation must be present (Lemma 11).
-	for _, leaf := range q.leaves {
-		head := leaf.head.Load()
+	for li := 0; li < q.numLeaves; li++ {
+		head := q.nodes[q.numLeaves+li].head.Load()
 		for i := int64(1); i < head; i++ {
-			if counts[key{leaf.leafID, i}] != 1 {
-				t.Fatalf("leaf %d block %d not contained in exactly one root block", leaf.leafID, i)
+			if counts[key{li, i}] != 1 {
+				t.Fatalf("leaf %d block %d not contained in exactly one root block", li, i)
 			}
 		}
 	}

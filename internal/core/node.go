@@ -6,15 +6,39 @@ import (
 	"repro/internal/infarray"
 )
 
-// node is one node of the static ordering tree. The tree is built once at
-// queue construction and never changes shape; only the blocks arrays and
-// head indices evolve.
-type node[T any] struct {
-	left, right, parent *node[T]
+// The static ordering tree is stored flat: one contiguous slice of nodes in
+// 1-indexed heap order. Node v's parent is v/2, its children are 2v and
+// 2v+1, its sibling is v^1, and the leaves occupy indices
+// [numLeaves, 2*numLeaves) with leaf i at numLeaves+i. Index 0 is unused.
+//
+// Flattening replaces the three pointer dereferences per level of a
+// pointer-linked tree (parent/left/right) with shift-and-add arithmetic on
+// the node index, and keeps every node of the tree in one allocation so the
+// root-ward walk of Propagate touches a predictable ascending/descending
+// address sequence instead of arbitrary heap addresses. The tree is built
+// once at queue construction and never changes shape; only the blocks
+// arrays and head indices evolve.
+const rootIdx = 1
 
+// childDir reports which child of its parent node v is: left children have
+// even indices (2u), right children odd (2u+1). Must not be called on the
+// root.
+func childDir(v int) direction {
+	if v&1 == 0 {
+		return left
+	}
+	return right
+}
+
+// node is one node of the static ordering tree.
+type node[T any] struct {
 	// blocks is the node's logically infinite array of blocks. blocks[0] is
 	// a pre-installed empty block whose integer fields are all zero, so the
-	// code never needs an index-zero special case.
+	// code never needs an index-zero special case. The index-zero blocks
+	// come from a construction-time slab that is never handed to the block
+	// arena, so no amount of pooling or recycling can ever reuse (and
+	// rewrite) a dummy block out from under a reader that relies on its
+	// all-zero sums.
 	blocks *infarray.Array[block[T]]
 
 	// head is the position to use for the next append attempt: blocks[i] is
@@ -22,66 +46,30 @@ type node[T any] struct {
 	// (Invariant 3). head only moves forward, via CAS in advance.
 	head atomic.Int64
 
-	// leafID is the process index for leaves, -1 for internal nodes.
-	leafID int
+	// Pad each node to two cache lines (the adjacent-line prefetcher's
+	// granularity) so one node's hot head atomic never false-shares with a
+	// neighbouring node's: in the flat layout, tree neighbours are array
+	// neighbours, which is exactly the adjacency that used to be broken up
+	// by separate heap allocations.
+	_ [128 - 16]byte
 }
 
-func (n *node[T]) isLeaf() bool { return n.left == nil }
+// isLeaf reports whether index v names a leaf of q's tree.
+func (q *Queue[T]) isLeaf(v int) bool { return v >= q.numLeaves }
 
-func (n *node[T]) isRoot() bool { return n.parent == nil }
-
-// childDir reports which child of n's parent n is. Must not be called on the
-// root.
-func (n *node[T]) childDir() direction {
-	if n.parent.left == n {
-		return left
+// newTree builds the flat node slice for a complete binary tree with
+// numLeaves leaves (a power of two, at least two). Using at least two leaves
+// removes any root==leaf special case; extra leaves beyond p simply never
+// receive blocks and contribute zero sums.
+func newTree[T any](numLeaves int) []node[T] {
+	nodes := make([]node[T], 2*numLeaves)
+	// One shared slab for the index-zero dummy blocks; see the blocks field
+	// comment for why these must never enter the arena.
+	dummies := make([]block[T], len(nodes))
+	for v := rootIdx; v < len(nodes); v++ {
+		nodes[v].blocks = infarray.New[block[T]]()
+		nodes[v].blocks.Store(0, &dummies[v])
+		nodes[v].head.Store(1)
 	}
-	return right
-}
-
-// sibling returns the other child of n's parent. Must not be called on the
-// root.
-func (n *node[T]) sibling() *node[T] {
-	if n.parent.left == n {
-		return n.parent.right
-	}
-	return n.parent.left
-}
-
-// newNode allocates a node with its empty block installed and head set to 1.
-func newNode[T any]() *node[T] {
-	n := &node[T]{
-		blocks: infarray.New[block[T]](),
-		leafID: -1,
-	}
-	n.blocks.Store(0, &block[T]{})
-	n.head.Store(1)
-	return n
-}
-
-// buildTree constructs a complete binary tree with numLeaves leaves (a power
-// of two, at least two) and returns the root plus the leaves in left-to-right
-// order. Using at least two leaves removes any root==leaf special case; extra
-// leaves beyond p simply never receive blocks and contribute zero sums.
-func buildTree[T any](numLeaves int) (root *node[T], leaves []*node[T]) {
-	level := make([]*node[T], 0, numLeaves)
-	for i := 0; i < numLeaves; i++ {
-		leaf := newNode[T]()
-		leaf.leafID = i
-		level = append(level, leaf)
-	}
-	leaves = level
-	for len(level) > 1 {
-		next := make([]*node[T], 0, len(level)/2)
-		for i := 0; i < len(level); i += 2 {
-			parent := newNode[T]()
-			parent.left = level[i]
-			parent.right = level[i+1]
-			level[i].parent = parent
-			level[i+1].parent = parent
-			next = append(next, parent)
-		}
-		level = next
-	}
-	return level[0], leaves
+	return nodes
 }

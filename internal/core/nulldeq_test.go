@@ -31,13 +31,14 @@ func TestNullDequeueWithinBlock(t *testing.T) {
 			t.Fatalf("refresh %q = (%v, %v)", path, ok, err)
 		}
 	}
-	if got := q.root.head.Load(); got != 2 {
+	root := &q.nodes[rootIdx]
+	if got := root.head.Load(); got != 2 {
 		t.Fatalf("root head = %d, want 2 (single block)", got)
 	}
-	blk := q.root.blocks.Get(1)
-	if blk.numEnqueues(q.root.blocks.Get(0)) != 1 || blk.numDequeues(q.root.blocks.Get(0)) != 3 {
+	blk := root.blocks.Get(1)
+	if blk.numEnqueues(root.blocks.Get(0)) != 1 || blk.numDequeues(root.blocks.Get(0)) != 3 {
 		t.Fatalf("root block has (%d enq, %d deq), want (1, 3)",
-			blk.numEnqueues(q.root.blocks.Get(0)), blk.numDequeues(q.root.blocks.Get(0)))
+			blk.numEnqueues(root.blocks.Get(0)), blk.numDequeues(root.blocks.Get(0)))
 	}
 	if blk.size != 0 {
 		t.Fatalf("block size = %d, want 0 (clamped)", blk.size)

@@ -4,6 +4,9 @@ package core
 // Append, Propagate, Refresh, CreateBlock and Advance (Figure 4 of the
 // paper, lines 1-64).
 //
+// Tree nodes are heap indices into Queue.nodes (see node.go): parent is
+// v>>1, children are 2v and 2v+1, the root is rootIdx.
+//
 // All shared-memory accesses go through the small helpers at the bottom of
 // the file so that step counting (the paper's cost model) is exact and
 // uniform.
@@ -13,10 +16,17 @@ import "repro/internal/metrics"
 // Enqueue adds e to the back of the queue. It completes in O(log p)
 // shared-memory steps and O(log p) CAS instructions regardless of
 // scheduling. Enqueue is the m=1 case of EnqueueBatch: both install one
-// leaf block through the same append/propagate path.
+// leaf block through the same append/propagate path. The block comes from
+// the handle's arena and the element is stored inline, so the allocation-
+// free fast path of pool.go applies.
 func (h *Handle[T]) Enqueue(e T) {
 	h.counter.BeginOp()
-	h.enqueueBlock([]T{e})
+	prev := h.readBlock(h.leaf, h.readHead(h.leaf)-1)
+	b := h.newBlock()
+	b.sumEnq = prev.sumEnq + 1
+	b.sumDeq = prev.sumDeq
+	b.element = e
+	h.append(b)
 	h.counter.EndOp(metrics.OpEnqueue)
 }
 
@@ -39,10 +49,9 @@ func (h *Handle[T]) EnqueueBatch(es []T) {
 // of es and propagates it to the root.
 func (h *Handle[T]) enqueueBlock(es []T) {
 	prev := h.readBlock(h.leaf, h.readHead(h.leaf)-1)
-	b := &block[T]{
-		sumEnq: prev.sumEnq + int64(len(es)),
-		sumDeq: prev.sumDeq,
-	}
+	b := h.newBlock()
+	b.sumEnq = prev.sumEnq + int64(len(es))
+	b.sumDeq = prev.sumDeq
 	if len(es) == 1 {
 		b.element = es[0]
 	} else {
@@ -57,8 +66,8 @@ func (h *Handle[T]) enqueueBlock(es []T) {
 // result is the zero value of T. Dequeue is the n=1 case of DequeueBatch.
 func (h *Handle[T]) Dequeue() (T, bool) {
 	h.counter.BeginOp()
-	rootIdx, rank := h.dequeueBlock(1)
-	v, ok := h.findResponse(rootIdx, rank)
+	rootBlk, rank := h.dequeueBlock(1)
+	v, ok := h.findResponse(rootBlk, rank)
 	if ok {
 		h.counter.EndOp(metrics.OpDequeue)
 	} else {
@@ -82,10 +91,10 @@ func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
 		return nil, 0
 	}
 	h.counter.BeginOp()
-	rootIdx, rank := h.dequeueBlock(int64(n))
+	rootBlk, rank := h.dequeueBlock(int64(n))
 	var out []T
 	for j := int64(0); j < int64(n); j++ {
-		v, ok := h.findResponse(rootIdx, rank+j)
+		v, ok := h.findResponse(rootBlk, rank+j)
 		if !ok {
 			break // within one root block, nulls are a suffix
 		}
@@ -106,10 +115,9 @@ func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
 func (h *Handle[T]) dequeueBlock(n int64) (int64, int64) {
 	hd := h.readHead(h.leaf)
 	prev := h.readBlock(h.leaf, hd-1)
-	b := &block[T]{
-		sumEnq: prev.sumEnq,
-		sumDeq: prev.sumDeq + n,
-	}
+	b := h.newBlock()
+	b.sumEnq = prev.sumEnq
+	b.sumDeq = prev.sumDeq + n
 	h.append(b)
 	return h.indexDequeue(h.leaf, hd, 1)
 }
@@ -124,16 +132,16 @@ func (h *Handle[T]) append(b *block[T]) {
 	hd := h.readHead(leaf)
 	h.storeBlock(leaf, hd, b)
 	h.advance(leaf, hd)
-	h.propagate(leaf.parent)
+	h.propagate(leaf >> 1)
 }
 
 // propagate ensures all blocks present in v's children are propagated to the
 // root (Propagate, lines 16-23). If the first Refresh fails, a second one is
 // enough: any Refresh that succeeded in between has propagated our block
 // (Lemma 10).
-func (h *Handle[T]) propagate(v *node[T]) {
+func (h *Handle[T]) propagate(v int) {
 	spin := h.queue.spinningRefresh
-	for v != nil {
+	for v >= rootIdx {
 		if spin {
 			// Ablation: naive retry loop (lock-free, not wait-free).
 			for !h.refresh(v) {
@@ -141,18 +149,20 @@ func (h *Handle[T]) propagate(v *node[T]) {
 		} else if !h.refresh(v) {
 			h.refresh(v)
 		}
-		v = v.parent
+		v >>= 1
 	}
 }
 
 // refresh tries to append to v a new block representing all blocks in v's
 // children not yet in v (Refresh, lines 24-39). It returns true if no new
-// block was needed or its CAS succeeded.
-func (h *Handle[T]) refresh(v *node[T]) bool {
+// block was needed or its CAS succeeded. A candidate whose CAS lost is
+// still private — advance operates on whichever block actually got
+// installed — so it goes back to the arena.
+func (h *Handle[T]) refresh(v int) bool {
 	hd := h.readHead(v)
 	// Help advance a child whose head lags behind an installed block, so
 	// that createBlock sees up-to-date child heads (lines 26-31).
-	for _, child := range [2]*node[T]{v.left, v.right} {
+	for child := 2 * v; child <= 2*v+1; child++ {
 		childHead := h.readHead(child)
 		if h.readBlockOrNil(child, childHead) != nil {
 			h.advance(child, childHead)
@@ -163,33 +173,39 @@ func (h *Handle[T]) refresh(v *node[T]) bool {
 		return true
 	}
 	ok := h.casBlock(v, hd, b)
+	if !ok {
+		h.recycle(b)
+	}
 	h.advance(v, hd)
 	return ok
 }
 
 // createBlock builds the block a Refresh will try to install in v.blocks[i]
 // (CreateBlock, lines 40-57). It returns nil if the children contain no
-// operations that are not already in v.
-func (h *Handle[T]) createBlock(v *node[T], i int64) *block[T] {
-	b := &block[T]{
-		endLeft:  h.readHead(v.left) - 1,
-		endRight: h.readHead(v.right) - 1,
-	}
-	lastLeft := h.readBlock(v.left, b.endLeft)
-	lastRight := h.readBlock(v.right, b.endRight)
-	b.sumEnq = lastLeft.sumEnq + lastRight.sumEnq
-	b.sumDeq = lastLeft.sumDeq + lastRight.sumDeq
+// operations that are not already in v. The child sums are read *before*
+// any block is allocated so the frequent nothing-to-do case touches the
+// arena not at all.
+func (h *Handle[T]) createBlock(v int, i int64) *block[T] {
+	endLeft := h.readHead(2*v) - 1
+	endRight := h.readHead(2*v+1) - 1
+	lastLeft := h.readBlock(2*v, endLeft)
+	lastRight := h.readBlock(2*v+1, endRight)
+	sumEnq := lastLeft.sumEnq + lastRight.sumEnq
+	sumDeq := lastLeft.sumDeq + lastRight.sumDeq
 	prev := h.readBlock(v, i-1)
-	numEnq := b.sumEnq - prev.sumEnq
-	numDeq := b.sumDeq - prev.sumDeq
-	if v.isRoot() {
-		b.size = prev.size + numEnq - numDeq
+	if sumEnq == prev.sumEnq && sumDeq == prev.sumDeq {
+		return nil
+	}
+	b := h.newBlock()
+	b.endLeft = endLeft
+	b.endRight = endRight
+	b.sumEnq = sumEnq
+	b.sumDeq = sumDeq
+	if v == rootIdx {
+		b.size = prev.size + (sumEnq - prev.sumEnq) - (sumDeq - prev.sumDeq)
 		if b.size < 0 {
 			b.size = 0
 		}
-	}
-	if numEnq+numDeq == 0 {
-		return nil
 	}
 	return b
 }
@@ -197,9 +213,9 @@ func (h *Handle[T]) createBlock(v *node[T], i int64) *block[T] {
 // advance sets v.blocks[hd].super (so the block can be traced to its
 // superblock) and then moves v.head from hd to hd+1 (Advance, lines 58-64).
 // Both CASes are idempotent: concurrent helpers agree on the transition.
-func (h *Handle[T]) advance(v *node[T], hd int64) {
-	if !v.isRoot() {
-		parentHead := h.readHead(v.parent)
+func (h *Handle[T]) advance(v int, hd int64) {
+	if v != rootIdx {
+		parentHead := h.readHead(v >> 1)
 		b := h.readBlock(v, hd)
 		h.casSuper(b, parentHead)
 	}
@@ -211,42 +227,43 @@ func (h *Handle[T]) advance(v *node[T], hd int64) {
 // Each helper performs exactly one shared-memory operation and charges it to
 // the handle's counter, implementing the paper's step-complexity cost model.
 
-// readHead loads v.head.
-func (h *Handle[T]) readHead(v *node[T]) int64 {
+// readHead loads nodes[v].head.
+func (h *Handle[T]) readHead(v int) int64 {
 	h.counter.Read(1)
-	return v.head.Load()
+	return h.nodes[v].head.Load()
 }
 
-// readBlock loads v.blocks[i], which the caller asserts is non-nil
+// readBlock loads nodes[v].blocks[i], which the caller asserts is non-nil
 // (Invariant 3 guarantees this for all i < v.head).
-func (h *Handle[T]) readBlock(v *node[T], i int64) *block[T] {
+func (h *Handle[T]) readBlock(v int, i int64) *block[T] {
 	h.counter.Read(1)
-	return v.blocks.Get(i)
+	return h.nodes[v].blocks.Get(i)
 }
 
-// readBlockOrNil loads v.blocks[i] where nil is an expected outcome.
-func (h *Handle[T]) readBlockOrNil(v *node[T], i int64) *block[T] {
+// readBlockOrNil loads nodes[v].blocks[i] where nil is an expected outcome.
+func (h *Handle[T]) readBlockOrNil(v int, i int64) *block[T] {
 	h.counter.Read(1)
-	return v.blocks.Get(i)
+	return h.nodes[v].blocks.Get(i)
 }
 
-// storeBlock publishes b at v.blocks[i]. Only used on the handle's own leaf,
-// which has a single writer.
-func (h *Handle[T]) storeBlock(v *node[T], i int64, b *block[T]) {
+// storeBlock publishes b at nodes[v].blocks[i]. Only used on the handle's
+// own leaf, which has a single writer.
+func (h *Handle[T]) storeBlock(v int, i int64, b *block[T]) {
 	h.counter.Write()
-	v.blocks.Store(i, b)
+	h.nodes[v].blocks.Store(i, b)
 }
 
-// casBlock tries to install b at v.blocks[i], expecting the slot to be nil.
-func (h *Handle[T]) casBlock(v *node[T], i int64, b *block[T]) bool {
-	ok := v.blocks.CompareAndSwap(i, nil, b)
+// casBlock tries to install b at nodes[v].blocks[i], expecting the slot to
+// be nil.
+func (h *Handle[T]) casBlock(v int, i int64, b *block[T]) bool {
+	ok := h.nodes[v].blocks.CompareAndSwap(i, nil, b)
 	h.counter.CAS(ok)
 	return ok
 }
 
-// casHead tries to advance v.head from hd to hd+1.
-func (h *Handle[T]) casHead(v *node[T], hd int64) {
-	ok := v.head.CompareAndSwap(hd, hd+1)
+// casHead tries to advance nodes[v].head from hd to hd+1.
+func (h *Handle[T]) casHead(v int, hd int64) {
+	ok := h.nodes[v].head.CompareAndSwap(hd, hd+1)
 	h.counter.CAS(ok)
 }
 

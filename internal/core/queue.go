@@ -34,10 +34,13 @@ var ErrBadProcs = errors.New("core: process count must be at least 1")
 
 // Queue is a linearizable wait-free FIFO queue for a fixed set of processes.
 type Queue[T any] struct {
-	root    *node[T]
-	leaves  []*node[T]
-	handles []Handle[T]
-	procs   int
+	// nodes holds the ordering tree flat in 1-indexed heap order; see
+	// node.go for the layout. nodes[0] is unused.
+	nodes     []node[T]
+	numLeaves int
+	handles   []Handle[T]
+	procs     int
+	arena     blockArena[T]
 
 	// Ablation switches (see Option). Both default to the paper's design.
 	plainRootSearch bool
@@ -48,9 +51,15 @@ type Queue[T any] struct {
 // one leaf of the ordering tree. A handle may be used by only one goroutine
 // at a time.
 type Handle[T any] struct {
-	queue   *Queue[T]
-	leaf    *node[T]
+	queue *Queue[T]
+	// nodes aliases queue.nodes so the hot accessors skip one indirection.
+	nodes   []node[T]
+	leaf    int // heap index of this handle's leaf
 	counter *metrics.Counter
+
+	// Block arena state private to this handle; see pool.go.
+	slab  []block[T]
+	spare []*block[T]
 }
 
 // Option configures a Queue; the zero configuration is the paper's design.
@@ -92,17 +101,16 @@ func New[T any](procs int, opts ...Option) (*Queue[T], error) {
 	if numLeaves < 2 {
 		numLeaves = 2
 	}
-	root, leaves := buildTree[T](numLeaves)
 	q := &Queue[T]{
-		root:            root,
-		leaves:          leaves,
+		nodes:           newTree[T](numLeaves),
+		numLeaves:       numLeaves,
 		procs:           procs,
 		plainRootSearch: o.plainRootSearch,
 		spinningRefresh: o.spinningRefresh,
 	}
 	q.handles = make([]Handle[T], procs)
 	for i := 0; i < procs; i++ {
-		q.handles[i] = Handle[T]{queue: q, leaf: leaves[i]}
+		q.handles[i] = Handle[T]{queue: q, nodes: q.nodes, leaf: numLeaves + i}
 	}
 	return q, nil
 }
@@ -134,7 +142,7 @@ func (q *Queue[T]) MustHandle(i int) *Handle[T] {
 // It is a linearizable-read-free estimate intended for monitoring: the value
 // was exact at some recent moment but may lag concurrent operations.
 func (q *Queue[T]) Len() int {
-	root := q.root
+	root := &q.nodes[rootIdx]
 	h := root.head.Load()
 	// blocks[h-1] is always non-nil (Invariant 3).
 	return int(root.blocks.Get(h - 1).size)
@@ -147,15 +155,9 @@ func (q *Queue[T]) Len() int {
 // (compare Queue.TotalBlocks in package bounded).
 func (q *Queue[T]) BlocksInstalled() int64 {
 	var total int64
-	var walk func(n *node[T])
-	walk = func(n *node[T]) {
-		total += n.head.Load() - 1
-		if !n.isLeaf() {
-			walk(n.left)
-			walk(n.right)
-		}
+	for v := rootIdx; v < len(q.nodes); v++ {
+		total += q.nodes[v].head.Load() - 1
 	}
-	walk(q.root)
 	return total
 }
 

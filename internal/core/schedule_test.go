@@ -29,16 +29,17 @@ type schedOp struct {
 	idx   int64 // leaf block index once appended
 }
 
-// expandLeafOps expands block b of node n into leaf-operation references in
+// expandLeafOps expands block b of node v into leaf-operation references in
 // linearization order (enqueues and dequeues separately).
-func expandLeafOps[T any](n *node[T], b int64) (enqs, deqs [][2]int64) {
+func expandLeafOps[T any](q *Queue[T], v int, b int64) (enqs, deqs [][2]int64) {
 	if b == 0 {
 		return nil, nil
 	}
+	n := &q.nodes[v]
 	blk := n.blocks.Get(b)
-	if n.isLeaf() {
+	if q.isLeaf(v) {
 		prev := n.blocks.Get(b - 1)
-		ref := [2]int64{int64(n.leafID), b}
+		ref := [2]int64{int64(v - q.numLeaves), b}
 		if blk.sumEnq > prev.sumEnq {
 			return [][2]int64{ref}, nil
 		}
@@ -46,12 +47,12 @@ func expandLeafOps[T any](n *node[T], b int64) (enqs, deqs [][2]int64) {
 	}
 	prev := n.blocks.Get(b - 1)
 	for i := prev.endLeft + 1; i <= blk.endLeft; i++ {
-		e, d := expandLeafOps(n.left, i)
+		e, d := expandLeafOps(q, 2*v, i)
 		enqs = append(enqs, e...)
 		deqs = append(deqs, d...)
 	}
 	for i := prev.endRight + 1; i <= blk.endRight; i++ {
-		e, d := expandLeafOps(n.right, i)
+		e, d := expandLeafOps(q, 2*v+1, i)
 		enqs = append(enqs, e...)
 		deqs = append(deqs, d...)
 	}
@@ -99,16 +100,16 @@ func exploreSchedule(t *testing.T, rng *rand.Rand, procs, opsPerProc, trial int)
 
 	// Enumerate internal-node paths for refresh actions.
 	var paths []string
-	var walkPaths func(n *node[int], path string)
-	walkPaths = func(n *node[int], path string) {
-		if n.isLeaf() {
+	var walkPaths func(v int, path string)
+	walkPaths = func(v int, path string) {
+		if q.isLeaf(v) {
 			return
 		}
 		paths = append(paths, path)
-		walkPaths(n.left, path+"L")
-		walkPaths(n.right, path+"R")
+		walkPaths(2*v, path+"L")
+		walkPaths(2*v+1, path+"R")
 	}
-	walkPaths(q.root, "")
+	walkPaths(rootIdx, "")
 
 	// Random schedule: interleave appends with refreshes of random nodes.
 	// Protocol constraint: a process may invoke its next operation only
@@ -141,7 +142,7 @@ func exploreSchedule(t *testing.T, rng *rand.Rand, procs, opsPerProc, trial int)
 		}
 		if appended[p] > 0 {
 			prev := script[p][appended[p]-1]
-			if !propagatedToRoot(q.leaves[p], prev.idx) {
+			if !propagatedToRoot(q, q.numLeaves+p, prev.idx) {
 				stall++
 				continue
 			}
@@ -169,7 +170,7 @@ func exploreSchedule(t *testing.T, rng *rand.Rand, procs, opsPerProc, trial int)
 	}
 
 	// Extract the linearization from the root.
-	root := q.root
+	root := &q.nodes[rootIdx]
 	opByRef := map[[2]int64]*schedOp{}
 	for _, op := range all {
 		opByRef[[2]int64{int64(op.proc), op.idx}] = op
@@ -182,7 +183,7 @@ func exploreSchedule(t *testing.T, rng *rand.Rand, procs, opsPerProc, trial int)
 		ok  bool
 	}{}
 	for b := int64(1); root.blocks.Get(b) != nil; b++ {
-		enqs, deqs := expandLeafOps(root, b)
+		enqs, deqs := expandLeafOps(q, rootIdx, b)
 		for _, ref := range enqs {
 			op := opByRef[ref]
 			if op == nil || !op.isEnq {
@@ -261,10 +262,10 @@ func describe(script [][]*schedOp) string {
 
 // propagatedToRoot reports whether leaf block b is contained in some block
 // of the root, by following end indices upward.
-func propagatedToRoot[T any](n *node[T], b int64) bool {
-	for !n.isRoot() {
-		dir := n.childDir()
-		parent := n.parent
+func propagatedToRoot[T any](q *Queue[T], v int, b int64) bool {
+	for v != rootIdx {
+		dir := childDir(v)
+		parent := &q.nodes[v>>1]
 		found := int64(-1)
 		for s := int64(1); parent.blocks.Get(s) != nil; s++ {
 			if parent.blocks.Get(s).end(dir) >= b {
@@ -275,7 +276,7 @@ func propagatedToRoot[T any](n *node[T], b int64) bool {
 		if found < 0 {
 			return false
 		}
-		n, b = parent, found
+		v, b = v>>1, found
 	}
 	return true
 }

@@ -4,27 +4,29 @@ package core
 // block in the root (IndexDequeue, task T2), deciding emptiness and the rank
 // of the enqueue to return (FindResponse, task T3), and tracing that enqueue
 // down to the leaf that stores it (GetEnqueue, task T4). Lines 65-118 of
-// Figure 4 in the paper.
+// Figure 4 in the paper. Tree nodes are heap indices (node.go): parent v>>1,
+// children 2v/2v+1, sibling v^1.
 
 // indexDequeue returns (b', i') such that the i-th dequeue of
 // D(v.blocks[b]) is the (i')-th dequeue of D(root.blocks[b']).
 //
 // Preconditions: v.blocks[b] is non-nil, has been propagated to the root,
 // and contains at least i dequeues.
-func (h *Handle[T]) indexDequeue(v *node[T], b, i int64) (int64, int64) {
-	for !v.isRoot() {
-		dir := v.childDir()
+func (h *Handle[T]) indexDequeue(v int, b, i int64) (int64, int64) {
+	for v != rootIdx {
+		dir := childDir(v)
+		parent := v >> 1
 		blk := h.readBlock(v, b)
 		// super may undershoot the true superblock index by one (Lemma 12);
 		// checking whether block b is within the candidate's range resolves
 		// the ambiguity (line 73).
 		sup := h.readSuper(blk)
-		supBlk := h.readBlock(v.parent, sup)
+		supBlk := h.readBlock(parent, sup)
 		if b > supBlk.end(dir) {
 			sup++
-			supBlk = h.readBlock(v.parent, sup)
+			supBlk = h.readBlock(parent, sup)
 		}
-		prevSup := h.readBlock(v.parent, sup-1)
+		prevSup := h.readBlock(parent, sup-1)
 
 		// Dequeues contributed by earlier subblocks of the superblock that
 		// live in v (line 76): blocks prevSup.end(dir)+1 .. b-1.
@@ -34,11 +36,11 @@ func (h *Handle[T]) indexDequeue(v *node[T], b, i int64) (int64, int64) {
 			// precede our dequeue in D(superblock) by equation (3.1)
 			// (line 78; the paper's pseudocode has a typo reading these
 			// sums from v rather than from the left sibling).
-			sib := v.sibling()
+			sib := v ^ 1
 			i += h.readBlock(sib, supBlk.endLeft).sumDeq -
 				h.readBlock(sib, prevSup.endLeft).sumDeq
 		}
-		v, b = v.parent, sup
+		v, b = parent, sup
 	}
 	return b, i
 }
@@ -47,9 +49,8 @@ func (h *Handle[T]) indexDequeue(v *node[T], b, i int64) (int64, int64) {
 // D(root.blocks[b]) (lines 83-96). The boolean result is false for a null
 // dequeue (queue empty at its linearization point).
 func (h *Handle[T]) findResponse(b, i int64) (T, bool) {
-	root := h.queue.root
-	blkB := h.readBlock(root, b)
-	prevB := h.readBlock(root, b-1)
+	blkB := h.readBlock(rootIdx, b)
+	prevB := h.readBlock(rootIdx, b-1)
 	numEnq := blkB.numEnqueues(prevB)
 	if prevB.size+numEnq < i {
 		// The queue is empty when this dequeue takes effect: within a block
@@ -63,8 +64,8 @@ func (h *Handle[T]) findResponse(b, i int64) (T, bool) {
 	// blocks 1..b-1 (line 89).
 	e := i + prevB.sumEnq - prevB.size
 	be := h.searchRootForEnqueue(b, e)
-	ie := e - h.readBlock(root, be-1).sumEnq
-	return h.getEnqueue(root, be, ie), true
+	ie := e - h.readBlock(rootIdx, be-1).sumEnq
+	return h.getEnqueue(rootIdx, be, ie), true
 }
 
 // searchRootForEnqueue finds the minimum index be <= b with
@@ -72,7 +73,6 @@ func (h *Handle[T]) findResponse(b, i int64) (T, bool) {
 // range in O(log(b-be)) probes — which Lemma 20 shows is O(log(q_e + q_d)) —
 // before the binary search.
 func (h *Handle[T]) searchRootForEnqueue(b, e int64) int64 {
-	root := h.queue.root
 	lo := int64(0)
 	if !h.queue.plainRootSearch {
 		// Walk lo through b-1, b-2, b-4, ... until blocks[lo] has fewer
@@ -80,7 +80,7 @@ func (h *Handle[T]) searchRootForEnqueue(b, e int64) int64 {
 		// lo == 0 works as a final fallback without a read.
 		lo = b - 1
 		delta := int64(1)
-		for lo > 0 && h.readBlock(root, lo).sumEnq >= e {
+		for lo > 0 && h.readBlock(rootIdx, lo).sumEnq >= e {
 			delta <<= 1
 			lo = b - delta
 			if lo < 0 {
@@ -92,7 +92,7 @@ func (h *Handle[T]) searchRootForEnqueue(b, e int64) int64 {
 	hi := b
 	for hi-lo > 1 {
 		mid := lo + (hi-lo)/2
-		if h.readBlock(root, mid).sumEnq >= e {
+		if h.readBlock(rootIdx, mid).sumEnq >= e {
 			hi = mid
 		} else {
 			lo = mid
@@ -106,28 +106,29 @@ func (h *Handle[T]) searchRootForEnqueue(b, e int64) int64 {
 //
 // Preconditions: i >= 1, v.blocks[b] is non-nil and contains at least i
 // enqueues.
-func (h *Handle[T]) getEnqueue(v *node[T], b, i int64) T {
-	for !v.isLeaf() {
+func (h *Handle[T]) getEnqueue(v int, b, i int64) T {
+	for !h.queue.isLeaf(v) {
+		lc, rc := 2*v, 2*v+1
 		blkB := h.readBlock(v, b)
 		prevB := h.readBlock(v, b-1)
 		// Number of enqueues of E(blkB) contributed by the left child: the
 		// left child's subblocks span prevB.endLeft+1 .. blkB.endLeft.
-		sumLeft := h.readBlock(v.left, blkB.endLeft).sumEnq
-		prevLeft := h.readBlock(v.left, prevB.endLeft).sumEnq
+		sumLeft := h.readBlock(lc, blkB.endLeft).sumEnq
+		prevLeft := h.readBlock(lc, prevB.endLeft).sumEnq
 
 		var (
-			child        *node[T]
+			child        int
 			prevChild    int64 // enqueues in child.blocks[1..range start-1]
 			loIdx, hiIdx int64 // subblock index range in child
 		)
 		if i <= sumLeft-prevLeft {
-			child = v.left
+			child = lc
 			prevChild = prevLeft
 			loIdx, hiIdx = prevB.endLeft+1, blkB.endLeft
 		} else {
 			i -= sumLeft - prevLeft
-			child = v.right
-			prevChild = h.readBlock(v.right, prevB.endRight).sumEnq
+			child = rc
+			prevChild = h.readBlock(rc, prevB.endRight).sumEnq
 			loIdx, hiIdx = prevB.endRight+1, blkB.endRight
 		}
 

@@ -48,15 +48,22 @@ type TreeSnapshot struct {
 
 // Snapshot captures the current state of every node's blocks array. Blocks
 // are read up to and including any block installed at the head position.
+// The walk descends the flat heap layout (children 2v/2v+1) in preorder so
+// the Path strings match the pointer-tree era exactly.
 func (q *Queue[T]) Snapshot() TreeSnapshot {
 	snap := TreeSnapshot{Procs: q.procs}
-	var walk func(n *node[T], path string)
-	walk = func(n *node[T], path string) {
+	var walk func(v int, path string)
+	walk = func(v int, path string) {
+		n := &q.nodes[v]
+		leafID := -1
+		if q.isLeaf(v) {
+			leafID = v - q.numLeaves
+		}
 		ns := NodeSnapshot{
 			Path:   path,
-			IsLeaf: n.isLeaf(),
-			IsRoot: n.isRoot(),
-			LeafID: n.leafID,
+			IsLeaf: q.isLeaf(v),
+			IsRoot: v == rootIdx,
+			LeafID: leafID,
 			Head:   n.head.Load(),
 		}
 		// Read past head while blocks exist: a block may be installed at
@@ -78,7 +85,7 @@ func (q *Queue[T]) Snapshot() TreeSnapshot {
 			switch {
 			case i == 0:
 				bs.Kind = KindDummy
-			case !n.isLeaf():
+			case !q.isLeaf(v):
 				bs.Kind = KindInternal
 			default:
 				prev := n.blocks.Get(i - 1)
@@ -97,11 +104,11 @@ func (q *Queue[T]) Snapshot() TreeSnapshot {
 			ns.Blocks = append(ns.Blocks, bs)
 		}
 		snap.Nodes = append(snap.Nodes, ns)
-		if !n.isLeaf() {
-			walk(n.left, path+"L")
-			walk(n.right, path+"R")
+		if !q.isLeaf(v) {
+			walk(2*v, path+"L")
+			walk(2*v+1, path+"R")
 		}
 	}
-	walk(q.root, "")
+	walk(rootIdx, "")
 	return snap
 }

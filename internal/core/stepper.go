@@ -19,11 +19,10 @@ import "fmt"
 func (h *Handle[T]) StepEnqueue(e T) int64 {
 	hd := h.readHead(h.leaf)
 	prev := h.readBlock(h.leaf, hd-1)
-	b := &block[T]{
-		element: e,
-		sumEnq:  prev.sumEnq + 1,
-		sumDeq:  prev.sumDeq,
-	}
+	b := h.newBlock()
+	b.element = e
+	b.sumEnq = prev.sumEnq + 1
+	b.sumDeq = prev.sumDeq
 	h.storeBlock(h.leaf, hd, b)
 	h.advance(h.leaf, hd)
 	return hd
@@ -35,10 +34,9 @@ func (h *Handle[T]) StepEnqueue(e T) int64 {
 func (h *Handle[T]) StepDequeue() int64 {
 	hd := h.readHead(h.leaf)
 	prev := h.readBlock(h.leaf, hd-1)
-	b := &block[T]{
-		sumEnq: prev.sumEnq,
-		sumDeq: prev.sumDeq + 1,
-	}
+	b := h.newBlock()
+	b.sumEnq = prev.sumEnq
+	b.sumDeq = prev.sumDeq + 1
 	h.storeBlock(h.leaf, hd, b)
 	h.advance(h.leaf, hd)
 	return hd
@@ -55,7 +53,7 @@ func (h *Handle[T]) StepFinishDequeue(idx int64) (T, bool) {
 // StepPropagate runs the standard double-Refresh propagation from the
 // handle's leaf to the root, completing any pending appends.
 func (h *Handle[T]) StepPropagate() {
-	h.propagate(h.leaf.parent)
+	h.propagate(h.leaf >> 1)
 }
 
 // StepRefresh performs a single Refresh on the internal node identified by
@@ -64,31 +62,31 @@ func (h *Handle[T]) StepPropagate() {
 // (installed a block or found nothing to propagate). The handle's counter is
 // charged as usual.
 func (q *Queue[T]) StepRefresh(h *Handle[T], path string) (bool, error) {
-	n, err := q.nodeAt(path)
+	v, err := q.nodeAt(path)
 	if err != nil {
 		return false, err
 	}
-	if n.isLeaf() {
+	if q.isLeaf(v) {
 		return false, fmt.Errorf("core: StepRefresh target %q is a leaf", path)
 	}
-	return h.refresh(n), nil
+	return h.refresh(v), nil
 }
 
-// nodeAt resolves a path of 'L'/'R' steps from the root.
-func (q *Queue[T]) nodeAt(path string) (*node[T], error) {
-	n := q.root
+// nodeAt resolves a path of 'L'/'R' steps from the root to a heap index.
+func (q *Queue[T]) nodeAt(path string) (int, error) {
+	v := rootIdx
 	for i := 0; i < len(path); i++ {
-		if n.isLeaf() {
-			return nil, fmt.Errorf("core: path %q descends past a leaf", path)
+		if q.isLeaf(v) {
+			return 0, fmt.Errorf("core: path %q descends past a leaf", path)
 		}
 		switch path[i] {
 		case 'L':
-			n = n.left
+			v = 2 * v
 		case 'R':
-			n = n.right
+			v = 2*v + 1
 		default:
-			return nil, fmt.Errorf("core: path %q contains invalid step %q", path, path[i])
+			return 0, fmt.Errorf("core: path %q contains invalid step %q", path, path[i])
 		}
 	}
-	return n, nil
+	return v, nil
 }

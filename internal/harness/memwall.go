@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/queues"
+	"repro/internal/shard"
+)
+
+// MemWallConfig parameterizes ExpMemWall.
+type MemWallConfig struct {
+	// Backend selects the per-shard queue implementation for the fabric
+	// columns (the nr baseline column is always the unsharded core queue).
+	Backend shard.Backend
+	// RequirePairs makes ExpMemWall fail if the hand-off workload
+	// eliminated zero enqueue/dequeue pairs at the largest shard count —
+	// the CI smoke gate that keeps the elimination path from silently
+	// rotting into dead code.
+	RequirePairs bool
+}
+
+// ExpMemWall (T17) re-measures the T10 sharded-scaling sweep after the
+// memory-system overhaul, adding the allocation dimension: ops/s, heap
+// allocations and bytes per operation for the nr baseline and the fabric
+// across shard counts, plus the fraction of operations served by the
+// elimination fast path. T10's table (bench_results/BENCH_T10.json) is the
+// frozen "before"; this experiment is the "after".
+func ExpMemWall(gs, shardCounts []int, opsPerProc int, cfg MemWallConfig) (*Table, error) {
+	kMax := shardCounts[len(shardCounts)-1]
+	cols := []string{"g", "nr Mops/s", "nr allocs/op"}
+	for _, k := range shardCounts {
+		cols = append(cols, fmt.Sprintf("k=%d", k))
+	}
+	cols = append(cols,
+		fmt.Sprintf("k=%d allocs/op", kMax),
+		fmt.Sprintf("k=%d B/op", kMax),
+		"pair %",
+		"handoff pair %",
+		fmt.Sprintf("speedup k=%d", kMax),
+	)
+	t := &Table{
+		ID:      "T17",
+		Title:   fmt.Sprintf("Memory-wall rerun of T10: throughput and allocation profile (%s backend, pairs workload)", cfg.Backend),
+		Columns: cols,
+		Notes: []string{
+			"Mops/s = completed operations per second / 1e6, best of 3 trials; allocs/op and B/op are heap-allocation deltas (runtime.MemStats) over the whole run divided by completed operations, minimum over the trials.",
+			"pair % = operations served by the enqueue/dequeue elimination path at k=" + fmt.Sprint(kMax) + " under the pairs workload; handoff pair % = the same under a 50/50 mixed workload that keeps the backlog near zero.",
+			"Before/after comparison: BENCH_T10.json rows measured the same workload before block recycling, tree flattening, false-sharing padding, and elimination.",
+			"speedup = fabric at the largest shard count over the single nr-queue at the same goroutine count.",
+		},
+	}
+	for _, g := range gs {
+		g := g
+		base, err := measureAlloc(func() (queues.Queue, error) { return queues.NewNR(g) }, g, opsPerProc)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{g, base.mops, base.allocsPerOp}
+		var last allocMeasurement
+		for _, k := range shardCounts {
+			k := k
+			m, err := measureAlloc(func() (queues.Queue, error) {
+				return queues.NewSharded(g, k, cfg.Backend)
+			}, g, opsPerProc)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, m.mops)
+			last = m
+		}
+		handoff, err := measureHandoffPairs(g, kMax, opsPerProc, cfg.Backend)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.RequirePairs && handoff.pairPct == 0 {
+			return nil, fmt.Errorf("memwall: elimination never fired at g=%d k=%d under the hand-off workload", g, kMax)
+		}
+		speedup := 0.0
+		if base.mops > 0 {
+			speedup = last.mops / base.mops
+		}
+		row = append(row, last.allocsPerOp, last.bytesPerOp, last.pairPct, handoff.pairPct, speedup)
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// allocMeasurement is one cell group of the T17 table.
+type allocMeasurement struct {
+	mops        float64 // best-of-trials throughput, millions of ops/s
+	allocsPerOp float64 // min-of-trials heap allocations per operation
+	bytesPerOp  float64 // min-of-trials heap bytes per operation
+	pairPct     float64 // eliminated operations as % of all, best-throughput trial
+}
+
+// measureAlloc runs the pairs workload three times on fresh queues and
+// reports the best throughput alongside the minimum per-op allocation
+// profile: throughput tables compare capability, and the minimum strips
+// one-off warm-up allocations (arena slabs, goroutine stacks) that a longer
+// run amortizes away anyway.
+func measureAlloc(mk func() (queues.Queue, error), procs, opsPerProc int) (allocMeasurement, error) {
+	out := allocMeasurement{allocsPerOp: -1, bytesPerOp: -1}
+	for trial := 0; trial < 3; trial++ {
+		q, err := mk()
+		if err != nil {
+			return out, err
+		}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		res, err := RunPairs(q, procs, opsPerProc, int64(trial+1))
+		if err != nil {
+			return out, err
+		}
+		runtime.ReadMemStats(&m1)
+		ops := float64(res.Summary.Ops)
+		if ops == 0 {
+			continue
+		}
+		allocs := float64(m1.Mallocs-m0.Mallocs) / ops
+		bytes := float64(m1.TotalAlloc-m0.TotalAlloc) / ops
+		if tp := res.ThroughputOps(); tp > out.mops*1e6 {
+			out.mops = tp / 1e6
+			out.pairPct = pairPercent(q, res.Summary.Ops)
+		}
+		if out.allocsPerOp < 0 || allocs < out.allocsPerOp {
+			out.allocsPerOp = allocs
+		}
+		if out.bytesPerOp < 0 || bytes < out.bytesPerOp {
+			out.bytesPerOp = bytes
+		}
+	}
+	return out, nil
+}
+
+// measureHandoffPairs runs the 50/50 mixed workload — random enqueue or
+// dequeue per step, backlog a random walk around zero — which is the regime
+// the elimination path targets: dequeuers keep probing an empty fabric
+// while enqueuers keep finding an empty home shard.
+func measureHandoffPairs(procs, k, opsPerProc int, backend shard.Backend) (allocMeasurement, error) {
+	var out allocMeasurement
+	q, err := queues.NewSharded(procs, k, backend)
+	if err != nil {
+		return out, err
+	}
+	res, err := RunMixed(q, procs, opsPerProc, 0.5, 1)
+	if err != nil {
+		return out, err
+	}
+	out.mops = res.ThroughputOps() / 1e6
+	out.pairPct = pairPercent(q, res.Summary.Ops)
+	return out, nil
+}
+
+// pairPercent reads the fabric's eliminated-pair tally (live atomics, no
+// fold needed) and converts it to a percentage of completed operations;
+// each pair accounts for two operations. Non-fabric queues report 0.
+func pairPercent(q queues.Queue, ops int64) float64 {
+	u, ok := q.(interface{ Unwrap() *shard.Queue[int64] })
+	if !ok || ops == 0 {
+		return 0
+	}
+	var pairs int64
+	for _, s := range u.Unwrap().ShardStats() {
+		pairs += s.Pairs
+	}
+	return 100 * float64(2*pairs) / float64(ops)
+}

@@ -31,6 +31,12 @@ type Counter struct {
 	MaxOpSteps   int64 // worst single-operation step count observed
 	totalSteps   int64 // steps attributed to finished operations
 	opStartSteps int64 // steps snapshot at the start of the current op
+
+	// Pad to 128 bytes: harnesses allocate one Counter per goroutine in a
+	// single slice, and without padding the per-op field bumps of adjacent
+	// goroutines' counters false-share cache lines, perturbing the very
+	// costs being measured. 10 int64 fields = 80 bytes.
+	_ [128 - 80]byte
 }
 
 // Read records n shared reads.

@@ -16,19 +16,37 @@ import (
 //
 // The bitmap is advisory: dequeue correctness never depends on it, because
 // Dequeue falls back to a full shard sweep before reporting empty.
+//
+// Each 64-shard word is padded to its own pair of cache lines: the words
+// are the most write-shared atomics in the fabric (every enqueue may set,
+// every dequeue may clear), and with k <= a few hundred shards the padding
+// costs a few KB to remove all cross-word false sharing.
 type bitmap struct {
-	words []atomic.Uint64
+	words []padUint64
 	n     int
+}
+
+// padUint64 is an atomic word alone on two cache lines.
+type padUint64 struct {
+	v atomic.Uint64
+	_ [120]byte
+}
+
+// padInt64 is the int64 counterpart (used by the registry free list and the
+// home directory).
+type padInt64 struct {
+	v atomic.Int64
+	_ [120]byte
 }
 
 func (b *bitmap) init(n int) {
 	b.n = n
-	b.words = make([]atomic.Uint64, (n+63)/64)
+	b.words = make([]padUint64, (n+63)/64)
 }
 
 // set marks shard j nonempty.
 func (b *bitmap) set(j int) {
-	w := &b.words[j>>6]
+	w := &b.words[j>>6].v
 	mask := uint64(1) << (uint(j) & 63)
 	if w.Load()&mask == 0 { // skip the RMW when already set (common case)
 		w.Or(mask)
@@ -37,12 +55,12 @@ func (b *bitmap) set(j int) {
 
 // clear marks shard j empty.
 func (b *bitmap) clear(j int) {
-	b.words[j>>6].And(^(uint64(1) << (uint(j) & 63)))
+	b.words[j>>6].v.And(^(uint64(1) << (uint(j) & 63)))
 }
 
 // isSet reports whether shard j is marked nonempty.
 func (b *bitmap) isSet(j int) bool {
-	return b.words[j>>6].Load()&(uint64(1)<<(uint(j)&63)) != 0
+	return b.words[j>>6].v.Load()&(uint64(1)<<(uint(j)&63)) != 0
 }
 
 // randomSet returns a uniformly-started cyclic probe: the first set bit at
@@ -57,7 +75,7 @@ func (b *bitmap) randomSet(rng *uint64) int {
 	nw := len(b.words)
 	for i := 0; i < nw; i++ {
 		wi := (sw + i) % nw
-		w := b.words[wi].Load()
+		w := b.words[wi].v.Load()
 		if i == 0 {
 			w &= ^uint64(0) << sb // ignore bits before the start position
 		}
@@ -70,7 +88,7 @@ func (b *bitmap) randomSet(rng *uint64) int {
 		}
 	}
 	// Wrap: bits before the start position in the start word.
-	w := b.words[sw].Load() & ((uint64(1) << sb) - 1)
+	w := b.words[sw].v.Load() & ((uint64(1) << sb) - 1)
 	if w != 0 {
 		j := sw<<6 + bits.TrailingZeros64(w)
 		if j < b.n {

@@ -1,0 +1,118 @@
+package shard
+
+// Enqueue/dequeue elimination. A FIFO enqueue and a concurrent dequeue on
+// an *empty* queue annihilate: handing the value straight across is
+// linearizable (order both at the hand-off instant). The fabric already
+// relaxes cross-shard ordering, so the only order that must survive is
+// per-producer FIFO — and an enqueuer parks only while its home shard is
+// empty, which (because every completed enqueue of this producer is
+// contained in the home root's prefix, and the root size counts that whole
+// prefix) implies all of its previous elements are already consumed. The
+// pair is therefore indistinguishable from "enqueue; immediate dequeue" at
+// the hand-off, for every producer individually.
+//
+// Mechanics: each shard carries a small array of exchange slots. An
+// enqueuer publishes a freshly allocated, immutable parked node with one
+// CAS, spins briefly, yields once (essential on a single P: the matching
+// dequeuer cannot run otherwise), and then withdraws with a second CAS.
+// A dequeuer claims a parked node with one CAS. The withdraw-CAS and the
+// claim-CAS race on the same (slot, node) pair, so exactly one side wins:
+// claimed means the enqueue is complete without touching the tree;
+// withdrawn means the enqueuer falls back to the normal tree append. The
+// value is read only after a successful claim, and the node is never
+// mutated after publication, so there is no data race; node reclamation is
+// the Go GC's job, which also kills ABA — a stale claim-CAS can only
+// compare against a node address that is still reachable, hence still the
+// same logical node, never a recycled one.
+//
+// Wait-freedom is untouched: the fast path is two CASes and a bounded spin
+// in front of the wait-free tree path, never a retry loop around it.
+//
+// Resize safety: parks happen between Handle.enter and Handle.exit, inside
+// the published-epoch window the resize grace period waits on, and every
+// park resolves (taken or withdrawn) before the enqueue returns. A retired
+// shard can therefore never hold a parked value when its drain runs.
+//
+// A per-handle backoff (pairEvery, doubling up to pairEveryMax on each
+// withdrawal, reset on each hit) keeps the fast path's cost near zero for
+// workloads where elimination never matches, e.g. a persistently backlogged
+// shard.
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+const (
+	// pairSlots is the exchange-slot count per shard: enough that a few
+	// concurrent producers on one shard don't collide on a single slot,
+	// small enough that the dequeuer's probe stays O(1).
+	pairSlots = 4
+
+	// pairSpins bounds the owner's busy-wait before it yields and
+	// withdraws. Parks only happen when the shard looks empty, so a taker
+	// is either already probing or a scheduling quantum away.
+	pairSpins = 64
+
+	// pairEveryMax caps the elimination backoff: at worst one park attempt
+	// per 64 empty-shard enqueues.
+	pairEveryMax = 64
+)
+
+// parked is one parked enqueue value. It is immutable from the moment its
+// address is published in a slot; claimers read v only after winning the
+// claim CAS.
+type parked[T any] struct{ v T }
+
+// pairSlot is a single exchange slot, alone on two cache lines: slots are
+// pure ping-pong lines between one producer and one consumer, and packing
+// them would false-share the pongs.
+type pairSlot[T any] struct {
+	p atomic.Pointer[parked[T]]
+	_ [120]byte
+}
+
+// tryPair attempts to eliminate the enqueue of e against a concurrent
+// dequeuer at home's exchange slots. It reports whether the value was
+// handed off (the enqueue is complete); false means no hand-off happened
+// and the caller must take the tree path. The shard's pairs tally is
+// bumped by the taker, so conservation audits see the pair exactly once.
+func (h *Handle[T]) tryPair(t *topology[T], home int, e T) bool {
+	s := t.shards[home]
+	slot := &s.exch[int(xorshift(&h.rng))&(pairSlots-1)]
+	n := &parked[T]{v: e}
+	if !slot.p.CompareAndSwap(nil, n) {
+		return false // slot occupied; don't stack parks
+	}
+	for i := 0; i < pairSpins; i++ {
+		if slot.p.Load() != n {
+			return true // claimed mid-spin
+		}
+	}
+	// Let a dequeuer run; on GOMAXPROCS=1 this yield is the only way a
+	// taker can appear at all.
+	runtime.Gosched()
+	if slot.p.CompareAndSwap(n, nil) {
+		return false // withdrawn; the value was never visible to a claim winner
+	}
+	return true // a taker won the race: hand-off complete
+}
+
+// takeParked probes shard j's exchange slots for a parked value. On a hit
+// it owns the value exclusively (claim CAS) and tallies both the dequeue
+// (the parker tallied the matching enqueue on its side, so the shard's
+// enqueues-dequeues == len audit stays exact) and the eliminated pair.
+func (h *Handle[T]) takeParked(t *topology[T], j int) (T, bool) {
+	s := t.shards[j]
+	for i := range s.exch {
+		if n := s.exch[i].p.Load(); n != nil {
+			if s.exch[i].p.CompareAndSwap(n, nil) {
+				h.deqs[j]++
+				s.pairs.Add(1)
+				return n.v, true
+			}
+		}
+	}
+	var zero T
+	return zero, false
+}

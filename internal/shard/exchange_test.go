@@ -1,0 +1,286 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+)
+
+func totalPairs[T any](q *Queue[T]) int64 {
+	var sum int64
+	for _, s := range q.ShardStats() {
+		sum += s.Pairs
+	}
+	return sum
+}
+
+// TestExchangeWithdraw checks the no-taker path deterministically: a park
+// with nobody probing must withdraw cleanly, leave the slot empty, and
+// report no hand-off.
+func TestExchangeWithdraw(t *testing.T) {
+	q, err := New[int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	topo := q.topo.Load()
+	if h.tryPair(topo, 0, 7) {
+		t.Fatal("tryPair reported a hand-off with no taker running")
+	}
+	for i := range topo.shards[0].exch {
+		if topo.shards[0].exch[i].p.Load() != nil {
+			t.Fatalf("slot %d still occupied after withdrawal", i)
+		}
+	}
+	if got := totalPairs(q); got != 0 {
+		t.Fatalf("pairs = %d after a withdrawn park, want 0", got)
+	}
+}
+
+// TestExchangeClaim checks the taker path deterministically: a parked value
+// staged in a slot is claimed by a dequeue (with empty trees everywhere),
+// tallied as a pair, and the slot is released.
+func TestExchangeClaim(t *testing.T) {
+	q, err := New[int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	topo := q.topo.Load()
+	for j := range topo.shards {
+		topo.shards[j].exch[1].p.Store(&parked[int]{v: 40 + j})
+	}
+	seen := map[int]bool{}
+	for range topo.shards {
+		v, ok := h.Dequeue()
+		if !ok {
+			t.Fatal("Dequeue missed a parked value")
+		}
+		seen[v] = true
+	}
+	if !seen[40] || !seen[41] {
+		t.Fatalf("claimed values = %v, want {40, 41}", seen)
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("Dequeue returned a value from an empty fabric")
+	}
+	if got := totalPairs(q); got != 2 {
+		t.Fatalf("pairs = %d, want 2", got)
+	}
+}
+
+// TestPairingFires runs a hand-off-shaped workload — consumers spinning on
+// an empty fabric while producers trickle values in — and checks that (a)
+// elimination actually fires, (b) every value still arrives exactly once,
+// and (c) the folded enqueue/dequeue tallies balance, i.e. eliminated pairs
+// are counted on both sides.
+func TestPairingFires(t *testing.T) {
+	const (
+		producers = 2
+		consumers = 2
+		perProd   = 3000
+	)
+	q, err := New[uint64](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := make(map[uint64]int, producers*perProd)
+	var consumed sync.WaitGroup
+	consumed.Add(producers * perProd)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := q.Acquire()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer h.Release()
+			done := make(chan struct{})
+			go func() { consumed.Wait(); close(done) }()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if v, ok := h.Dequeue(); ok {
+					mu.Lock()
+					seen[v]++
+					mu.Unlock()
+					consumed.Done()
+				}
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h, err := q.Acquire()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer h.Release()
+			for i := 0; i < perProd; i++ {
+				if err := h.Enqueue(uint64(p)<<32 | uint64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if len(seen) != producers*perProd {
+		t.Fatalf("consumed %d distinct values, want %d", len(seen), producers*perProd)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %#x consumed %d times", v, n)
+		}
+	}
+	var enqs, deqs int64
+	for _, s := range q.ShardStats() {
+		enqs += s.Enqueues
+		deqs += s.Dequeues
+	}
+	if enqs != deqs || enqs != int64(producers*perProd) {
+		t.Fatalf("tally imbalance: enqueues %d, dequeues %d, want both %d",
+			enqs, deqs, producers*perProd)
+	}
+	if pairs := totalPairs(q); pairs == 0 {
+		t.Fatal("no pairs eliminated under a hand-off workload")
+	} else {
+		t.Logf("eliminated %d of %d pairs", pairs, producers*perProd)
+	}
+}
+
+// TestPairingPerProducerOrder checks the legality claim directly: with
+// pairing enabled, each producer's values are still consumed in its own
+// enqueue order, even when some of them bypass the tree entirely.
+func TestPairingPerProducerOrder(t *testing.T) {
+	const (
+		producers = 3
+		perProd   = 2000
+	)
+	q, err := New[uint64](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	lastSeq := make([]int64, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	var consumed sync.WaitGroup
+	consumed.Add(producers * perProd)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h, err := q.Acquire()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer h.Release()
+		done := make(chan struct{})
+		go func() { consumed.Wait(); close(done) }()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if v, ok := h.Dequeue(); ok {
+				p, seq := int(v>>32), int64(v&0xffffffff)
+				mu.Lock()
+				if seq <= lastSeq[p] {
+					t.Errorf("producer %d: seq %d after %d", p, seq, lastSeq[p])
+				}
+				lastSeq[p] = seq
+				mu.Unlock()
+				consumed.Done()
+			}
+		}
+	}()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h, err := q.Acquire()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer h.Release()
+			for i := 0; i < perProd; i++ {
+				if err := h.Enqueue(uint64(p)<<32 | uint64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p, last := range lastSeq {
+		if last != perProd-1 {
+			t.Errorf("producer %d: last consumed seq %d, want %d", p, last, perProd-1)
+		}
+	}
+}
+
+// TestWithPairingDisabled checks the opt-out: no parks, no pairs, exchange
+// slots never touched.
+func TestWithPairingDisabled(t *testing.T) {
+	q, err := New[int](2, WithPairing(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := q.Acquire()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer h.Release()
+			for i := 0; i < 2000; i++ {
+				if err := h.Enqueue(i); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := h.Dequeue(); !ok {
+					// Another goroutine may have taken it; that's fine.
+					continue
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := totalPairs(q); got != 0 {
+		t.Fatalf("pairs = %d with pairing disabled, want 0", got)
+	}
+	topo := q.topo.Load()
+	for j := range topo.shards {
+		for i := range topo.shards[j].exch {
+			if topo.shards[j].exch[i].p.Load() != nil {
+				t.Fatalf("shard %d slot %d occupied with pairing disabled", j, i)
+			}
+		}
+	}
+}

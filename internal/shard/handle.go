@@ -29,6 +29,13 @@ type Handle[T any] struct {
 	enq      int64 // home-shard enqueue tally
 	lastHome int   // home shard of the last enqueue path, for re-home detection
 
+	// Elimination backoff (exchange.go): a park is attempted only every
+	// pairEvery-th eligible enqueue; pairEvery doubles up to pairEveryMax
+	// when a park goes unmatched and resets to 1 on a hit, so workloads
+	// where elimination never pays stop paying for it almost entirely.
+	pairTick  uint32
+	pairEvery uint32
+
 	counters   []*metrics.Counter // per-shard, only with WithShardMetrics
 	counter    *metrics.Counter   // user-set aggregate counter (SetCounter), applied across refreshes
 	counterSet bool               // SetCounter was called — its value (nil included) outlives refreshes
@@ -184,6 +191,27 @@ func (h *Handle[T]) Enqueue(v T) error {
 			h.exit() // re-homed by a newer epoch: restart against it
 			continue
 		}
+		// Elimination fast path: with the home shard empty, every prior
+		// element of this producer is already consumed, so handing v
+		// straight to a concurrent dequeuer preserves per-producer FIFO
+		// (exchange.go). The emptiness check is part of the correctness
+		// gate, not a heuristic, so it sits inside the backoff window.
+		if h.q.cfg.pairing && len(t.shards) >= 2 {
+			h.pairTick++
+			if h.pairTick >= h.pairEvery {
+				h.pairTick = 0
+				if t.shards[j].len() == 0 && h.tryPair(t, j, v) {
+					h.pairEvery = 1
+					h.enq++ // the taker tallies the matching dequeue
+					// No bitmap set: the element never reached the tree.
+					h.exit()
+					return nil
+				}
+				if h.pairEvery < pairEveryMax {
+					h.pairEvery *= 2
+				}
+			}
+		}
 		h.sub[j].Enqueue(v)
 		h.enq++
 		// The element is at the root before Enqueue returns (propagation
@@ -261,6 +289,14 @@ func (h *Handle[T]) Dequeue() (T, bool) {
 // dequeueSweep runs Dequeue's three phases against one topology snapshot.
 func (h *Handle[T]) dequeueSweep(t *topology[T]) (T, bool) {
 	home := h.q.effHome(h.slot, t)
+	// Parked hand-offs first: a parker is spinning right now waiting for
+	// exactly this probe, so claiming one is both the cheapest dequeue the
+	// fabric has and the only way the parker's fast path succeeds.
+	if h.q.cfg.pairing && len(t.shards) >= 2 {
+		if v, ok := h.takeParked(t, home); ok {
+			return v, true
+		}
+	}
 	// Locality fast path: the home shard first. Producers-turned-consumers
 	// (and symmetric workloads like pairs) find their own elements there
 	// without touching other shards' cache lines.
@@ -362,6 +398,17 @@ func (h *Handle[T]) batchFrom(t *topology[T], j, n int, out []T) []T {
 		out = append(out, vs...)
 	}
 	if got < want {
+		// Top up from parked hand-offs before certifying the shard empty;
+		// takeParked tallies each claim itself.
+		if h.q.cfg.pairing && len(t.shards) >= 2 {
+			for len(out) < n {
+				v, ok := h.takeParked(t, j)
+				if !ok {
+					break
+				}
+				out = append(out, v)
+			}
+		}
 		t.bitmap.clear(j)
 		if t.shards[j].len() > 0 {
 			t.bitmap.set(j)
@@ -394,6 +441,13 @@ func (h *Handle[T]) dequeueFrom(t *topology[T], j int) (T, bool) {
 	if v, ok := h.sub[j].Dequeue(); ok {
 		h.deqs[j]++
 		return v, true
+	}
+	// The tree is empty, but an enqueuer may be parked at the exchange
+	// slots — exactly the regime elimination targets.
+	if h.q.cfg.pairing && len(t.shards) >= 2 {
+		if v, ok := h.takeParked(t, j); ok {
+			return v, true
+		}
 	}
 	// Observed empty: clear the bit, then re-set it if elements raced in
 	// between the failed dequeue and the clear (an enqueue reaches the

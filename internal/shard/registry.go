@@ -18,7 +18,10 @@ import "sync/atomic"
 // retry path: they count completed operations, not attempts.
 type registry struct {
 	head atomic.Uint64
-	next []atomic.Int64
+	// next entries are cache-line padded: under handle churn (a lease per
+	// connection) adjacent slots' free-list links are written by unrelated
+	// goroutines back to back.
+	next []padInt64
 
 	acquires atomic.Int64
 	releases atomic.Int64
@@ -38,15 +41,15 @@ func regSlot(head uint64) int64 {
 // init makes every slot in [0, n) available, with slot 0 on top so the first
 // Acquires get the lowest indices.
 func (r *registry) init(n int) {
-	r.next = make([]atomic.Int64, n)
+	r.next = make([]padInt64, n)
 	if n == 0 {
 		r.head.Store(regPack(0, -1)) // empty sentinel, not slot 0
 		return
 	}
 	for i := 0; i < n; i++ {
-		r.next[i].Store(int64(i + 1))
+		r.next[i].v.Store(int64(i + 1))
 	}
-	r.next[n-1].Store(-1)
+	r.next[n-1].v.Store(-1)
 	r.head.Store(regPack(0, 0))
 }
 
@@ -62,7 +65,7 @@ func (r *registry) acquire() (slot int, ok bool) {
 		// next[s] is stable while s is on the free list: only the releaser
 		// wrote it, and nobody rewrites it until s is popped and re-pushed —
 		// which the tag CAS below detects.
-		nxt := r.next[s].Load()
+		nxt := r.next[s].v.Load()
 		if r.head.CompareAndSwap(h, regPack(h>>regTagShift+1, nxt)) {
 			r.acquires.Add(1)
 			return int(s), true
@@ -75,7 +78,7 @@ func (r *registry) acquire() (slot int, ok bool) {
 func (r *registry) release(slot int) {
 	for {
 		h := r.head.Load()
-		r.next[slot].Store(regSlot(h))
+		r.next[slot].v.Store(regSlot(h))
 		if r.head.CompareAndSwap(h, regPack(h>>regTagShift+1, int64(slot))) {
 			r.releases.Add(1)
 			return
@@ -87,7 +90,7 @@ func (r *registry) release(slot int) {
 // only exact while no Acquire/Release is in flight.
 func (r *registry) free() int {
 	n := 0
-	for s := regSlot(r.head.Load()); s >= 0; s = r.next[s].Load() {
+	for s := regSlot(r.head.Load()); s >= 0; s = r.next[s].v.Load() {
 		n++
 		if n > len(r.next) { // torn read during concurrent mutation
 			break

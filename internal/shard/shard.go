@@ -11,6 +11,14 @@
 // Because every handle routes all of its enqueues to a single home shard,
 // per-producer order is still preserved for the lifetime of a lease.
 //
+// When the fabric has k >= 2 shards, an enqueue whose home shard is empty
+// may additionally be *eliminated*: handed directly to a concurrent
+// dequeuer through a per-shard exchange slot without touching the ordering
+// tree at all (see exchange.go). The pair linearizes at the hand-off, which
+// is legal under exactly the relaxed cross-shard order above and never
+// reorders one producer's elements; WithPairing(false) restores strict
+// tree-only routing.
+//
 // Dequeues use d-random-choice guided by a lock-free nonempty-shard bitmap:
 // a dequeuer samples up to d set bits, takes the candidate with the largest
 // estimated backlog, and falls back to a deterministic full sweep before
@@ -130,10 +138,16 @@ type shardState[T any] struct {
 	// folds from handles that collected tallies against a retired shard
 	// follow the chain, so lifetime totals survive any resize schedule.
 	mergedInto atomic.Pointer[shardState[T]]
+	// pairs counts enqueue/dequeue pairs eliminated at this shard's
+	// exchange slots without touching the ordering tree.
+	pairs atomic.Int64
 	// Pad to a multiple of the cache line so neighbouring shards' tallies
 	// never false-share: cross-shard independence is the whole point of
 	// the fabric.
-	_ [128 - (16+8+8*2+8)%128]byte
+	_ [128 - (16+8+8*2+8+8)%128]byte
+	// exch is the shard's elimination slot array; each slot is itself
+	// cache-line padded (exchange.go), so it rides after the pad.
+	exch [pairSlots]pairSlot[T]
 }
 
 // len returns the shard's backlog as of its queue's last root propagation.
@@ -164,6 +178,7 @@ type config struct {
 	choices       int
 	gcInterval    int64
 	perShard      bool
+	pairing       bool
 }
 
 // WithBackend selects the per-shard queue implementation (default
@@ -198,6 +213,17 @@ func WithShardMetrics() Option {
 	return func(c *config) { c.perShard = true }
 }
 
+// WithPairing enables or disables the enqueue/dequeue elimination fast path
+// (exchange.go); it defaults to enabled. Elimination linearizes a matched
+// pair at the hand-off instant, which respects per-producer FIFO and the
+// fabric's documented relaxed cross-shard order, but not a strict global
+// FIFO over all shards — callers that certify the fabric against a strict
+// sequential queue model (or need exact cross-producer order at k >= 2)
+// should disable it. With k = 1 pairing never engages regardless.
+func WithPairing(enabled bool) Option {
+	return func(c *config) { c.pairing = enabled }
+}
+
 // Queue is a sharded queue fabric. It is safe for concurrent use; operate on
 // it through handles leased with Acquire. The shard set is elastic: Resize
 // installs a new epoch-numbered topology while operations continue.
@@ -216,7 +242,7 @@ type Queue[T any] struct {
 	// operation (through effHome); Resize rewrites entries under the
 	// deterministic home-mod-k rule when a shrink retires their shard, so a
 	// slot's home survives any number of epochs without per-handle history.
-	homes []atomic.Int64
+	homes []padInt64
 
 	// slotEpochs is the per-slot published operation epoch Resize's grace
 	// period waits on (see topology.go).
@@ -240,6 +266,7 @@ func New[T any](shards int, opts ...Option) (*Queue[T], error) {
 	cfg := config{
 		backend: BackendCore,
 		choices: 2,
+		pairing: true,
 	}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -261,7 +288,7 @@ func New[T any](shards int, opts ...Option) (*Queue[T], error) {
 	}
 	q := &Queue[T]{
 		cfg:        cfg,
-		homes:      make([]atomic.Int64, cfg.maxHandles),
+		homes:      make([]padInt64, cfg.maxHandles),
 		slotEpochs: make([]slotEpoch, cfg.maxHandles),
 	}
 	t := &topology[T]{
@@ -342,16 +369,17 @@ func (q *Queue[T]) Acquire() (*Handle[T], error) {
 	for {
 		t = q.topo.Load()
 		home = int(base % uint64(len(t.shards)))
-		q.homes[slot].Store(int64(home))
+		q.homes[slot].v.Store(int64(home))
 		if q.topo.Load() == t {
 			break
 		}
 	}
 	h := &Handle[T]{
-		q:        q,
-		slot:     slot,
-		rng:      rngSeed(slot),
-		lastHome: home,
+		q:         q,
+		slot:      slot,
+		rng:       rngSeed(slot),
+		lastHome:  home,
+		pairEvery: 1,
 	}
 	h.refresh(t)
 	return h, nil
@@ -400,6 +428,7 @@ type ShardStat struct {
 	Len      int   `json:"len"`      // backlog as of the shard's last root propagation
 	Enqueues int64 `json:"enqueues"` // completed enqueues routed to this shard (migrations included)
 	Dequeues int64 `json:"dequeues"` // successful dequeues served by this shard (migrations included)
+	Pairs    int64 `json:"pairs"`    // enqueue/dequeue pairs eliminated at the exchange slots
 }
 
 // ShardStats returns per-shard routing statistics, one entry per current
@@ -418,6 +447,7 @@ func (q *Queue[T]) ShardStats() []ShardStat {
 			Len:      s.len(),
 			Enqueues: s.enqueues.Load(),
 			Dequeues: s.dequeues.Load(),
+			Pairs:    s.pairs.Load(),
 		}
 	}
 	return out

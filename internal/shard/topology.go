@@ -71,7 +71,7 @@ type slotEpoch struct {
 // store — so a handle racing that window computes the same home either
 // way.
 func (q *Queue[T]) effHome(slot int, t *topology[T]) int {
-	return int(q.homes[slot].Load()) % len(t.shards)
+	return int(q.homes[slot].v.Load()) % len(t.shards)
 }
 
 // maintSlot is the sub-queue handle slot reserved for the fabric's own
@@ -173,8 +173,8 @@ func (q *Queue[T]) Resize(k int) error {
 	q.topo.Store(nt)
 	if k < kOld {
 		for i := range q.homes {
-			if h := q.homes[i].Load(); h >= int64(k) {
-				q.homes[i].Store(h % int64(k))
+			if h := q.homes[i].v.Load(); h >= int64(k) {
+				q.homes[i].v.Store(h % int64(k))
 			}
 		}
 	}
