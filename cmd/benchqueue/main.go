@@ -18,6 +18,14 @@
 //	benchqueue -exp trace               # T16 stage decomposition
 //	benchqueue -exp memwall             # T17 allocation profile + elimination
 //	benchqueue -exp all -json results   # also emit results/BENCH_<ID>.json
+//	benchqueue -exp sharded -seeds 3    # 3 fixed seeds, variance columns + manifest
+//
+//	benchqueue -compare bench_results/BENCH_T12.json -tolerance 0.15
+//	  re-runs the experiment with the baseline manifest's parameters and
+//	  seeds, checks every recorded metric against the baseline within a
+//	  variance-scaled tolerance band, and exits 1 on regression. Add
+//	  -portable to skip machine-dependent columns (throughput, latency)
+//	  when gating on a baseline recorded on different hardware.
 //
 // Experiments: casbound, enqsteps, deqsteps, retry, adversary, space,
 // boundedsteps, throughput, waitfree, ablation, sharded, service, batch,
@@ -25,6 +33,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,15 +46,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch multitenant elastic obs trace memwall all)")
-		ops     = flag.Int("ops", 2000, "operations per process per measurement")
-		procs   = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
-		psFlag  = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
-		impl    = flag.String("impl", "", "focus on one implementation: sharded (runs the T10 scaling experiment)")
-		shards  = flag.Int("shards", 8, "largest shard count for -exp sharded / -impl sharded")
-		backend = flag.String("backend", "core", "sharded fabric backend: core or bounded")
-		jsonDir = flag.String("json", "", "also write each table as BENCH_<ID>.json into this directory")
-		smoke   = flag.Bool("smoke", false, "fail -exp memwall unless the elimination fast path fired (CI gate)")
+		exp       = flag.String("exp", "all", "experiment to run (casbound enqsteps deqsteps retry adversary space boundedsteps throughput waitfree ablation sharded service batch multitenant elastic obs trace memwall all)")
+		ops       = flag.Int("ops", 2000, "operations per process per measurement")
+		procs     = flag.Int("procs", 8, "process count for single-p experiments (space, deqsteps q-sweep)")
+		psFlag    = flag.String("ps", "1,2,4,8,16,32,64", "comma-separated process counts for sweeps")
+		impl      = flag.String("impl", "", "focus on one implementation: sharded (runs the T10 scaling experiment)")
+		shards    = flag.Int("shards", 8, "largest shard count for -exp sharded / -impl sharded")
+		backend   = flag.String("backend", "core", "sharded fabric backend: core or bounded")
+		jsonDir   = flag.String("json", "", "also write each table as BENCH_<ID>.json into this directory")
+		smoke     = flag.Bool("smoke", false, "fail -exp memwall unless the elimination fast path fired (CI gate)")
+		seeds     = flag.Int("seeds", 1, "run each experiment this many times with fixed seeds (42,123,456,...) and emit mean/stddev/cv variance columns plus a run manifest")
+		compare   = flag.String("compare", "", "re-run the experiment recorded in this BENCH_<ID>.json and exit 1 if any metric leaves its tolerance band")
+		tolerance = flag.Float64("tolerance", 0.15, "relative tolerance for -compare; the band per metric is tolerance + 2*cv(baseline)")
+		portable  = flag.Bool("portable", false, "with -compare, skip environment-dependent columns (throughput, latency, speedup) so a baseline from other hardware can gate structural metrics")
 	)
 	flag.Parse()
 	ps, err := parseInts(*psFlag)
@@ -60,13 +73,23 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := runConfig{
-		ps:      ps,
-		ops:     *ops,
-		procs:   *procs,
-		shards:  *shards,
-		backend: shard.Backend(*backend),
-		jsonDir: *jsonDir,
-		smoke:   *smoke,
+		ps:        ps,
+		ops:       *ops,
+		procs:     *procs,
+		shards:    *shards,
+		backend:   shard.Backend(*backend),
+		jsonDir:   *jsonDir,
+		smoke:     *smoke,
+		seeds:     *seeds,
+		tolerance: *tolerance,
+		portable:  *portable,
+	}
+	if *compare != "" {
+		if err := runCompare(*compare, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "benchqueue:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	what := *exp
 	if *impl != "" {
@@ -90,123 +113,324 @@ func main() {
 }
 
 type runConfig struct {
-	ps      []int
-	ops     int
-	procs   int
-	shards  int
-	backend shard.Backend
-	jsonDir string
-	smoke   bool
+	ps        []int
+	ops       int
+	procs     int
+	shards    int
+	backend   shard.Backend
+	jsonDir   string
+	smoke     bool
+	seeds     int
+	tolerance float64
+	portable  bool
 }
 
-func run(exp string, cfg runConfig) error {
-	ps, ops, procs := cfg.ps, cfg.ops, cfg.procs
-	show := func(t *harness.Table, err error) error {
+// runner executes one named experiment for one seed. Wall-clock-driven
+// experiments (service, obs, trace, ...) have no statistical seed; for them
+// the seed is a repetition label and across-seed variance isolates
+// environment noise.
+type runner func(cfg runConfig, seed int64) ([]*harness.Table, error)
+
+func runners() map[string]runner {
+	one := func(t *harness.Table, err error) ([]*harness.Table, error) {
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Println(t.String())
-		return emitJSON(cfg.jsonDir, t)
+		return []*harness.Table{t}, nil
 	}
-	runners := map[string]func() error{
-		"casbound": func() error { return show(harness.ExpCASBound(ps, ops)) },
-		"enqsteps": func() error { return show(harness.ExpEnqueueSteps(ps, ops)) },
-		"deqsteps": func() error {
-			if err := show(harness.ExpDequeueStepsVsP(ps, 1024, ops)); err != nil {
-				return err
+	return map[string]runner{
+		"casbound": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
+			return one(harness.ExpCASBound(cfg.ps, cfg.ops, seed))
+		},
+		"enqsteps": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
+			return one(harness.ExpEnqueueSteps(cfg.ps, cfg.ops, seed))
+		},
+		"deqsteps": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
+			a, err := harness.ExpDequeueStepsVsP(cfg.ps, 1024, cfg.ops, seed)
+			if err != nil {
+				return nil, err
 			}
-			return show(harness.ExpDequeueStepsVsQ(procs,
-				[]int{16, 64, 256, 1024, 4096, 16384, 65536, 262144}, ops))
+			b, err := harness.ExpDequeueStepsVsQ(cfg.procs,
+				[]int{16, 64, 256, 1024, 4096, 16384, 65536, 262144}, cfg.ops, seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*harness.Table{a, b}, nil
 		},
-		"retry":        func() error { return show(harness.ExpRetryProblem(ps, ops)) },
-		"adversary":    func() error { return show(harness.ExpAdversarial(ps, ops)) },
-		"space":        func() error { return show(harness.ExpSpaceBound(procs, 64, 4000)) },
-		"boundedsteps": func() error { return show(harness.ExpBoundedSteps(ps, ops)) },
-		"throughput":   func() error { return show(harness.ExpThroughput(ps, ops)) },
-		"waitfree":     func() error { return show(harness.ExpWaitFree(ps, ops)) },
-		"sharded": func() error {
-			return show(harness.ExpShardedScaling(ps,
-				harness.ShardCountsUpTo(cfg.shards), ops, cfg.backend))
+		"retry": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
+			return one(harness.ExpRetryProblem(cfg.ps, cfg.ops, seed))
 		},
-		"memwall": func() error {
+		"adversary": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
+			return one(harness.ExpAdversarial(cfg.ps, cfg.ops, seed))
+		},
+		"space": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
+			// Fully deterministic: no randomness to seed.
+			return one(harness.ExpSpaceBound(cfg.procs, 64, 4000))
+		},
+		"boundedsteps": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
+			return one(harness.ExpBoundedSteps(cfg.ps, cfg.ops, seed))
+		},
+		"throughput": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
+			return one(harness.ExpThroughput(cfg.ps, cfg.ops, seed))
+		},
+		"waitfree": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
+			return one(harness.ExpWaitFree(cfg.ps, cfg.ops, seed))
+		},
+		"sharded": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
+			return one(harness.ExpShardedScaling(cfg.ps,
+				harness.ShardCountsUpTo(cfg.shards), cfg.ops, cfg.backend, seed))
+		},
+		"memwall": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
 			// T17: the T10 sweep re-measured after the memory-system
 			// overhaul (block arenas, flattened tree, padding, elimination),
 			// with allocs/op, B/op, and elimination hit-rate columns. The
 			// goroutine sweep is fixed so the table lines up with
 			// BENCH_T10.json, the frozen before-measurement.
-			return show(harness.ExpMemWall([]int{8, 16, 32, 64},
-				harness.ShardCountsUpTo(cfg.shards), ops,
-				harness.MemWallConfig{Backend: cfg.backend, RequirePairs: cfg.smoke}))
+			return one(harness.ExpMemWall([]int{8, 16, 32, 64},
+				harness.ShardCountsUpTo(cfg.shards), cfg.ops,
+				harness.MemWallConfig{Backend: cfg.backend, RequirePairs: cfg.smoke, Seed: seed}))
 		},
-		"batch": func() error {
+		"batch": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
 			// T12: one multi-op leaf block per batch; blocks installed per
 			// operation must fall as the batch grows.
-			return show(harness.ExpBatchAmortization([]int{1, 4, 16, 64}, cfg.procs, ops))
+			return one(harness.ExpBatchAmortization([]int{1, 4, 16, 64}, cfg.procs, cfg.ops, seed))
 		},
-		"service": func() error {
+		"service": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
 			// Modest in-process sweep; cmd/qload drives the full-knob
 			// version against an external queued.
-			return show(harness.ExpServiceLatency([]int{1000, 4000, 16000},
+			return one(harness.ExpServiceLatency([]int{1000, 4000, 16000},
 				harness.ServiceConfig{Shards: cfg.shards, Backend: cfg.backend}))
 		},
-		"multitenant": func() error {
+		"multitenant": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
 			// T13: per-queue throughput isolation as tenants multiply at
 			// equal aggregate offered load; cmd/qload -tenants drives the
 			// full-knob version against an external queued.
-			return show(harness.ExpMultiTenant([]int{1, 2, 4},
+			return one(harness.ExpMultiTenant([]int{1, 2, 4},
 				harness.MultiTenantConfig{Shards: cfg.shards, Backend: cfg.backend}))
 		},
-		"elastic": func() error {
+		"elastic": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
 			// T14: the autoscaler tracking a grow -> shrink -> grow load
 			// ramp, conservation-checked per phase; cmd/qload -ramp drives
 			// the full-knob version against an external autoscaling queued.
-			return show(harness.ExpElasticScaling([]int{8000, 400, 8000},
+			return one(harness.ExpElasticScaling([]int{8000, 400, 8000},
 				harness.ElasticConfig{Backend: cfg.backend}))
 		},
-		"obs": func() error {
+		"obs": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
 			// T15: the observability layer's CPU cost per operation, obs-on
 			// vs obs-off servers under identical paced open-loop load. All
 			// rates stay below loopback capacity (~160k ops/s here) so both
 			// arms do identical work and the CPU delta isolates the
 			// observability layer; saturated throughput is too noisy on
 			// shared hardware to resolve the <3% budget.
-			return show(harness.ExpObsOverhead([]int{16000, 64000, 128000},
+			return one(harness.ExpObsOverhead([]int{16000, 64000, 128000},
 				harness.ObsConfig{Shards: cfg.shards, Backend: cfg.backend}))
 		},
-		"trace": func() error {
+		"trace": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
 			// T16: per-stage latency decomposition of traced requests at
 			// low, mid, and saturation load, plus the tracing-disabled
 			// overhead re-measurement. Rates mirror the T11 sweep shape:
 			// the last point is past loopback capacity so the saturation
 			// row shows where queueing delay accumulates.
-			return show(harness.ExpTraceDecomposition([]int{8000, 32000, 128000},
+			return one(harness.ExpTraceDecomposition([]int{8000, 32000, 128000},
 				harness.TraceConfig{Shards: cfg.shards, Backend: cfg.backend}))
 		},
-		"ablation": func() error {
-			if err := show(harness.ExpAblationSearch(4, 16, []int{0, 4, 16, 64, 256}, 500)); err != nil {
-				return err
+		"ablation": func(cfg runConfig, seed int64) ([]*harness.Table, error) {
+			a, err := harness.ExpAblationSearch(4, 16, []int{0, 4, 16, 64, 256}, 500, seed)
+			if err != nil {
+				return nil, err
 			}
-			if err := show(harness.ExpAblationRefresh(ps, ops)); err != nil {
-				return err
+			b, err := harness.ExpAblationRefresh(cfg.ps, cfg.ops, seed)
+			if err != nil {
+				return nil, err
 			}
-			return show(harness.ExpAblationGC(procs, []int64{4, 16, 64, 256, 1024, 8192}, ops))
+			c, err := harness.ExpAblationGC(cfg.procs, []int64{4, 16, 64, 256, 1024, 8192}, cfg.ops, seed)
+			if err != nil {
+				return nil, err
+			}
+			return []*harness.Table{a, b, c}, nil
 		},
 	}
+}
+
+// params records the run configuration in the manifest so compare mode can
+// reproduce the exact run from the baseline file alone.
+func params(exp string, cfg runConfig) map[string]any {
+	return map[string]any{
+		"exp":     exp,
+		"ps":      cfg.ps,
+		"ops":     cfg.ops,
+		"procs":   cfg.procs,
+		"shards":  cfg.shards,
+		"backend": string(cfg.backend),
+	}
+}
+
+func run(exp string, cfg runConfig) error {
+	reg := runners()
+	names := []string{exp}
 	if exp == "all" {
-		for _, name := range []string{"casbound", "enqsteps", "deqsteps", "retry", "adversary",
+		names = []string{"casbound", "enqsteps", "deqsteps", "retry", "adversary",
 			"space", "boundedsteps", "throughput", "waitfree", "ablation", "sharded", "batch", "service",
-			"multitenant", "elastic", "obs", "trace", "memwall"} {
-			if err := runners[name](); err != nil {
+			"multitenant", "elastic", "obs", "trace", "memwall"}
+	}
+	for _, name := range names {
+		r, ok := reg[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		tables, err := runSeeded(name, r, cfg)
+		if err != nil {
+			if exp == "all" {
 				return fmt.Errorf("%s: %w", name, err)
 			}
+			return err
 		}
-		return nil
+		for _, t := range tables {
+			fmt.Println(t.String())
+			if err := emitJSON(cfg.jsonDir, t); err != nil {
+				return err
+			}
+		}
 	}
-	r, ok := runners[exp]
+	return nil
+}
+
+// runSeeded executes one experiment across the configured seeds, printing
+// any precondition violations the manifest recorded.
+func runSeeded(name string, r runner, cfg runConfig) ([]*harness.Table, error) {
+	seeds := harness.Seeds(cfg.seeds)
+	tables, err := harness.RunSeededTables(seeds, params(name, cfg), func(seed int64) ([]*harness.Table, error) {
+		return r(cfg, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(tables) > 0 && tables[0].Manifest != nil {
+		for _, v := range tables[0].Manifest.Preconditions {
+			fmt.Fprintln(os.Stderr, "benchqueue: precondition:", v)
+		}
+	}
+	return tables, nil
+}
+
+// runCompare re-runs the experiment recorded in a committed baseline with
+// the baseline's own parameters and seeds, checks every recorded metric
+// against its variance-scaled tolerance band, and returns a non-nil error
+// (wrapping harness.ErrRegression) if any metric regressed.
+func runCompare(path string, cfg runConfig) error {
+	baseline, err := harness.ReadTableJSON(path)
+	if err != nil {
+		return err
+	}
+	if baseline.Manifest == nil {
+		return fmt.Errorf("%s has no run manifest; regenerate it with -seeds >= 2 before gating on it", path)
+	}
+	name, rcfg, err := configFromManifest(baseline.Manifest, cfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	r, ok := runners()[name]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q", exp)
+		return fmt.Errorf("%s: baseline manifest names unknown experiment %q", path, name)
 	}
-	return r()
+	rcfg.seeds = len(baseline.Manifest.Seeds)
+	tables, err := harness.RunSeededTables(baseline.Manifest.Seeds, params(name, rcfg), func(seed int64) ([]*harness.Table, error) {
+		return r(rcfg, seed)
+	})
+	if err != nil {
+		return err
+	}
+	var current *harness.Table
+	for _, t := range tables {
+		if t.ID == baseline.ID {
+			current = t
+			break
+		}
+	}
+	if current == nil {
+		return fmt.Errorf("%s: experiment %q produced no table with id %s", path, name, baseline.ID)
+	}
+	if bm, cm := baseline.Manifest, current.Manifest; cm != nil && bm.GOMAXPROCS != cm.GOMAXPROCS {
+		fmt.Fprintf(os.Stderr, "benchqueue: warning: GOMAXPROCS differs (baseline %d, here %d); contention-sensitive metrics may drift — record baselines and gates at matching GOMAXPROCS\n",
+			bm.GOMAXPROCS, cm.GOMAXPROCS)
+	}
+	report, cmpErr := harness.Compare(baseline, current, cfg.tolerance, cfg.portable)
+	if report != nil {
+		fmt.Println(report.String())
+		if cfg.jsonDir != "" {
+			p, werr := harness.WriteCompareJSON(cfg.jsonDir, report)
+			if werr != nil {
+				return errors.Join(cmpErr, werr)
+			}
+			fmt.Fprintln(os.Stderr, "benchqueue: wrote", p)
+		}
+	}
+	return cmpErr
+}
+
+// configFromManifest rebuilds the run configuration compare mode needs from
+// a baseline's manifest params (JSON round-trips numbers as float64).
+// Gate-only knobs (tolerance, portable, jsonDir) carry over from the
+// command line.
+func configFromManifest(m *harness.Manifest, cli runConfig) (string, runConfig, error) {
+	cfg := runConfig{
+		jsonDir:   cli.jsonDir,
+		tolerance: cli.tolerance,
+		portable:  cli.portable,
+	}
+	name, ok := m.Params["exp"].(string)
+	if !ok || name == "" {
+		return "", cfg, fmt.Errorf("manifest params lack the experiment name")
+	}
+	var err error
+	if cfg.ops, err = paramInt(m.Params, "ops"); err != nil {
+		return "", cfg, err
+	}
+	if cfg.procs, err = paramInt(m.Params, "procs"); err != nil {
+		return "", cfg, err
+	}
+	if cfg.shards, err = paramInt(m.Params, "shards"); err != nil {
+		return "", cfg, err
+	}
+	if cfg.ps, err = paramIntSlice(m.Params, "ps"); err != nil {
+		return "", cfg, err
+	}
+	backend, _ := m.Params["backend"].(string)
+	if backend == "" {
+		backend = string(shard.BackendCore)
+	}
+	cfg.backend = shard.Backend(backend)
+	return name, cfg, nil
+}
+
+func paramInt(params map[string]any, key string) (int, error) {
+	switch v := params[key].(type) {
+	case float64:
+		return int(v), nil
+	case int:
+		return v, nil
+	default:
+		return 0, fmt.Errorf("manifest params lack %q", key)
+	}
+}
+
+func paramIntSlice(params map[string]any, key string) ([]int, error) {
+	switch v := params[key].(type) {
+	case []int:
+		return v, nil
+	case []any:
+		out := make([]int, 0, len(v))
+		for _, e := range v {
+			f, ok := e.(float64)
+			if !ok {
+				return nil, fmt.Errorf("manifest params %q has a non-numeric entry", key)
+			}
+			out = append(out, int(f))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("manifest params lack %q", key)
+	}
 }
 
 // emitJSON writes t as dir/BENCH_<ID>.json via the shared harness writer

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/harness"
@@ -69,5 +71,135 @@ func TestJSONEmission(t *testing.T) {
 	}
 	if got.ID != "T10" || len(got.Columns) == 0 || len(got.Rows) == 0 {
 		t.Errorf("unexpected table: id=%q cols=%d rows=%d", got.ID, len(got.Columns), len(got.Rows))
+	}
+}
+
+func TestRunSeededEmitsVarianceAndManifest(t *testing.T) {
+	// The acceptance path: -exp sharded -seeds 3 -json out must emit
+	// mean/stddev/cv columns plus a run manifest.
+	dir := t.TempDir()
+	cfg := tinyConfig([]int{2}, 30, 2)
+	cfg.seeds = 3
+	cfg.jsonDir = dir
+	if err := run("sharded", cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := harness.ReadTableJSON(filepath.Join(dir, "BENCH_T10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Variance == nil || len(got.Variance) != len(got.Rows) {
+		t.Fatalf("variance block missing or misaligned: %d rows, %d variance", len(got.Rows), len(got.Variance))
+	}
+	var sawAgg bool
+	for _, row := range got.Variance {
+		for _, a := range row {
+			if a != nil {
+				sawAgg = true
+				if a.N != 3 {
+					t.Errorf("agg N = %d, want 3", a.N)
+				}
+			}
+		}
+	}
+	if !sawAgg {
+		t.Error("no numeric cell got a variance aggregate")
+	}
+	m := got.Manifest
+	if m == nil {
+		t.Fatal("no manifest")
+	}
+	if len(m.Seeds) != 3 || m.Seeds[0] != 42 || m.Seeds[1] != 123 || m.Seeds[2] != 456 {
+		t.Errorf("seeds = %v, want default 42/123/456", m.Seeds)
+	}
+	if m.GoVersion == "" || m.NumCPU < 1 {
+		t.Errorf("manifest env incomplete: %+v", m)
+	}
+	if m.Params["exp"] != "sharded" {
+		t.Errorf("manifest params = %v", m.Params)
+	}
+	// The raw JSON must spell out the schema keys the tooling greps for.
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_T10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"mean"`, `"stddev"`, `"cv"`, `"manifest"`, `"seeds"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("BENCH_T10.json lacks %s", key)
+		}
+	}
+}
+
+// TestCompareModeExitSemantics demonstrates the regression gate end to end:
+// compare exits 0 (nil error) against a just-emitted baseline and exits 1
+// (ErrRegression) when a baseline metric is artificially degraded beyond
+// its tolerance band.
+func TestCompareModeExitSemantics(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig([]int{2}, 40, 2)
+	cfg.seeds = 2
+	cfg.jsonDir = dir
+	if err := run("batch", cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_T12.json")
+
+	// Pass: fresh run against its own baseline, wide band to keep the
+	// pass leg robust on a loaded test machine; portable skips wall-clock
+	// columns. What is under test is the exit semantics, not the band.
+	gate := runConfig{tolerance: 0.75, portable: true, jsonDir: dir}
+	if err := runCompare(path, gate); err != nil {
+		t.Fatalf("compare against own baseline: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "COMPARE_T12.json")); err != nil {
+		t.Errorf("compare artifact not written: %v", err)
+	}
+
+	// Fail: degrade the committed blocks/op baseline 10x; the re-run's
+	// honest value now sits far outside any band.
+	baseline, err := harness.ReadTableJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := -1
+	for i, c := range baseline.Columns {
+		if c == "blocks/op" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("no blocks/op column in %v", baseline.Columns)
+	}
+	for r := range baseline.Variance {
+		if a := baseline.Variance[r][col]; a != nil {
+			a.Mean *= 10
+			a.Min *= 10
+			a.Max *= 10
+		}
+	}
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = runCompare(path, gate)
+	if !errors.Is(err, harness.ErrRegression) {
+		t.Fatalf("degraded baseline: err = %v, want ErrRegression", err)
+	}
+}
+
+func TestCompareRejectsLegacyBaseline(t *testing.T) {
+	// A pre-variance single-run table must be rejected with guidance, not
+	// silently compared without bands.
+	dir := t.TempDir()
+	legacy := &harness.Table{ID: "T12", Columns: []string{"m"}, Rows: [][]string{{"1"}}}
+	path, err := harness.WriteTableJSON(dir, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(path, runConfig{tolerance: 0.15}); err == nil {
+		t.Error("legacy baseline without manifest accepted")
 	}
 }

@@ -41,7 +41,7 @@ func (h coreVariantHandle) SetCounter(c *metrics.Counter) { h.h.SetCounter(c) }
 // root search at O(log q) even after the root has accumulated a long block
 // history; a plain binary search over the whole history grows with the
 // total operation count.
-func ExpAblationSearch(p, queueSize int, agingRounds []int, opsPerRound int) (*Table, error) {
+func ExpAblationSearch(p, queueSize int, agingRounds []int, opsPerRound int, seed int64) (*Table, error) {
 	t := &Table{
 		ID:    "A1",
 		Title: fmt.Sprintf("Ablation: doubling search vs plain binary search (p=%d, q≈%d)", p, queueSize),
@@ -82,10 +82,10 @@ func ExpAblationSearch(p, queueSize int, agingRounds []int, opsPerRound int) (*T
 		}{{doubling, &lastDoubling}, {plain, &lastPlain}} {
 			wrapped := coreVariant{q: variant.q, name: "variant"}
 			// Age the root history, then measure a fresh window.
-			if _, err := RunPairs(wrapped, p, rounds*opsPerRound, 1); err != nil {
+			if _, err := RunPairs(wrapped, p, rounds*opsPerRound, seed); err != nil {
 				return nil, err
 			}
-			res, err := RunPairs(wrapped, p, opsPerRound, 2)
+			res, err := RunPairs(wrapped, p, opsPerRound, seed+1)
 			if err != nil {
 				return nil, err
 			}
@@ -105,7 +105,7 @@ func ExpAblationSearch(p, queueSize int, agingRounds []int, opsPerRound int) (*T
 // retry-until-success propagation. The spinning variant stays linearizable
 // but is only lock-free; under contention it issues more CAS attempts and
 // has no per-operation step bound.
-func ExpAblationRefresh(ps []int, opsPerProc int) (*Table, error) {
+func ExpAblationRefresh(ps []int, opsPerProc int, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "A2",
 		Title:   "Ablation: double-Refresh vs spin-until-success propagation",
@@ -121,7 +121,7 @@ func ExpAblationRefresh(ps []int, opsPerProc int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunPairs(coreVariant{q: q, name: "variant"}, p, opsPerProc, 1)
+			res, err := RunPairs(coreVariant{q: q, name: "variant"}, p, opsPerProc, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -137,7 +137,7 @@ func ExpAblationRefresh(ps []int, opsPerProc int) (*Table, error) {
 // interval G. Small G wastes steps on constant collection; large G wastes
 // space. The paper's G = p^2 ceil(log2 p) balances the two so GC adds O(1)
 // amortized tree operations per op.
-func ExpAblationGC(p int, gs []int64, opsPerProc int) (*Table, error) {
+func ExpAblationGC(p int, gs []int64, opsPerProc int, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "A3",
 		Title:   fmt.Sprintf("Ablation: GC interval G (p=%d, pairs workload)", p),
@@ -149,7 +149,7 @@ func ExpAblationGC(p int, gs []int64, opsPerProc int) (*Table, error) {
 			return nil, err
 		}
 		wrapped := boundedVariant{q}
-		res, err := RunPairs(wrapped, p, opsPerProc, 1)
+		res, err := RunPairs(wrapped, p, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -14,7 +14,7 @@ import (
 // worst observed single-operation step count under concurrent execution is
 // reported next to its O(log p) CAS budget (Proposition 19), and the ratio
 // column shows the separation growing with p.
-func ExpAdversarial(ps []int, opsPerProc int) (*Table, error) {
+func ExpAdversarial(ps []int, opsPerProc int, seed int64) (*Table, error) {
 	t := &Table{
 		ID:    "T4b",
 		Title: "Worst-case schedules: MS-queue under CAS-storm adversary vs NR-queue",
@@ -52,7 +52,7 @@ func ExpAdversarial(ps []int, opsPerProc int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := RunPairs(nrQ, p, opsPerProc, 1)
+		res, err := RunPairs(nrQ, p, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}

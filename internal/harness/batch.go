@@ -17,12 +17,19 @@ import (
 // roughly as 1/m toward the helping-dedup floor, with steps/op and CAS/op
 // following. Every cell also verifies exact conservation (each enqueued
 // value dequeued exactly once; lost and dup must be 0).
-func ExpBatchAmortization(ms []int, procs, opsPerProc int) (*Table, error) {
+// The seed is a repetition label only: the batch workload itself is
+// deterministic, so across-seed variance isolates pure scheduler noise.
+func ExpBatchAmortization(ms []int, procs, opsPerProc int, seed int64) (*Table, error) {
+	_ = seed
 	t := &Table{
 		ID: "T12",
 		Title: fmt.Sprintf("Batch amortization vs batch size m (p=%d, %d ops/proc, pairs workload)",
 			procs, opsPerProc),
 		Columns: []string{"m", "blocks/op", "steps/op", "cas/op", "Mops/s", "lost", "dup"},
+		// Wall-clock throughput is machine-dependent; the structural
+		// counters (blocks, steps, CAS per op) and the conservation
+		// columns are comparable across machines at matching GOMAXPROCS.
+		EnvCols: []string{"Mops/s"},
 		Notes: []string{
 			"blocks/op = tree blocks installed / completed operations: the propagation work and root-CAS bandwidth paid per op.",
 			"One m-op batch installs one leaf block and propagates once, so blocks/op falls toward 1/m x the single-op cost (helping dedups the rest).",

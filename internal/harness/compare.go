@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// ErrRegression is wrapped by Compare's error when at least one metric
+// fell outside its tolerance band; callers exit nonzero on it.
+var ErrRegression = fmt.Errorf("harness: metric outside tolerance band")
+
+// CompareEntry is the verdict for one (row, column) cell of a baseline
+// comparison.
+type CompareEntry struct {
+	Row      int     `json:"row"`
+	RowLabel string  `json:"row_label"` // first cell of the row, for humans
+	Column   string  `json:"column"`
+	Baseline float64 `json:"baseline"` // baseline mean
+	CV       float64 `json:"cv"`       // baseline coefficient of variation
+	Current  float64 `json:"current"`  // freshly measured mean
+	Band     float64 `json:"band"`     // relative tolerance actually applied
+	Delta    float64 `json:"delta"`    // relative delta vs baseline mean (0 for zero-mean cells)
+	Status   string  `json:"status"`   // "ok", "regression", or "skipped-env"
+}
+
+// CompareReport is the full result of checking a fresh run against a
+// committed baseline; it is printed and written as COMPARE_<ID>.json so CI
+// can archive it as an artifact.
+type CompareReport struct {
+	ID          string         `json:"id"`
+	Tolerance   float64        `json:"tolerance"`
+	Portable    bool           `json:"portable"`
+	Baseline    *Manifest      `json:"baseline_manifest,omitempty"`
+	Current     *Manifest      `json:"current_manifest,omitempty"`
+	Entries     []CompareEntry `json:"entries"`
+	Checked     int            `json:"checked"`
+	Regressions int            `json:"regressions"`
+	SkippedEnv  int            `json:"skipped_env"`
+}
+
+// Compare checks a freshly produced table against a committed baseline.
+// Every numeric baseline cell (one with a variance aggregate) is checked
+// two-sided against the matching current cell with a relative band of
+// tolerance + 2*cv(baseline); zero-mean baselines degrade to the absolute
+// |current| <= 2*stddev rule, so a lost/dup baseline of exactly 0 demands
+// exactly 0. In portable mode, columns the baseline declared
+// environment-dependent (throughput, latency, speedup) are skipped so the
+// check is meaningful across machines. Returns the report and a non-nil
+// error wrapping ErrRegression if any cell fails.
+func Compare(baseline *TableJSON, current *Table, tolerance float64, portable bool) (*CompareReport, error) {
+	if baseline.ID != current.ID {
+		return nil, fmt.Errorf("harness: comparing %s against baseline %s", current.ID, baseline.ID)
+	}
+	if baseline.Variance == nil {
+		return nil, fmt.Errorf("harness: baseline %s has no variance block; regenerate it with -seeds >= 2 before gating on it", baseline.ID)
+	}
+	if len(baseline.Columns) != len(current.Columns) {
+		return nil, fmt.Errorf("harness: %s: column count changed (baseline %d, current %d); re-emit the baseline", baseline.ID, len(baseline.Columns), len(current.Columns))
+	}
+	if len(baseline.Rows) != len(current.Rows) {
+		return nil, fmt.Errorf("harness: %s: row count changed (baseline %d, current %d); run parameters must match the baseline manifest", baseline.ID, len(baseline.Rows), len(current.Rows))
+	}
+	env := make(map[string]bool, len(baseline.EnvCols))
+	for _, c := range baseline.EnvCols {
+		env[c] = true
+	}
+	rep := &CompareReport{
+		ID:        baseline.ID,
+		Tolerance: tolerance,
+		Portable:  portable,
+		Baseline:  baseline.Manifest,
+		Current:   current.Manifest,
+	}
+	for r := range baseline.Rows {
+		if r >= len(baseline.Variance) {
+			break
+		}
+		label := ""
+		if len(baseline.Rows[r]) > 0 {
+			label = baseline.Rows[r][0]
+		}
+		for c, agg := range baseline.Variance[r] {
+			if agg == nil || c >= len(current.Columns) {
+				continue
+			}
+			col := baseline.Columns[c]
+			entry := CompareEntry{
+				Row: r, RowLabel: label, Column: col,
+				Baseline: agg.Mean, CV: agg.CV, Band: agg.Band(tolerance),
+			}
+			if portable && env[col] {
+				entry.Status = "skipped-env"
+				rep.SkippedEnv++
+				rep.Entries = append(rep.Entries, entry)
+				continue
+			}
+			cur, ok := currentCell(current, r, c)
+			if !ok {
+				return nil, fmt.Errorf("harness: %s: cell (%s, %s) is numeric in the baseline but %q now", baseline.ID, label, col, current.Rows[r][c])
+			}
+			entry.Current = cur
+			if agg.Mean != 0 {
+				entry.Delta = (cur - agg.Mean) / agg.Mean
+			}
+			if agg.WithinBand(cur, tolerance) {
+				entry.Status = "ok"
+			} else {
+				entry.Status = "regression"
+				rep.Regressions++
+			}
+			rep.Checked++
+			rep.Entries = append(rep.Entries, entry)
+		}
+	}
+	if rep.Regressions > 0 {
+		return rep, fmt.Errorf("%w: %s: %d of %d checked metrics", ErrRegression, baseline.ID, rep.Regressions, rep.Checked)
+	}
+	return rep, nil
+}
+
+// currentCell extracts the numeric value of cell (r,c) from the fresh run,
+// preferring the across-seed mean from its variance block over re-parsing
+// the formatted string.
+func currentCell(t *Table, r, c int) (float64, bool) {
+	if t.Variance != nil && r < len(t.Variance) && c < len(t.Variance[r]) && t.Variance[r][c] != nil {
+		return t.Variance[r][c].Mean, true
+	}
+	if r >= len(t.Rows) || c >= len(t.Rows[r]) {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(t.Rows[r][c], 64)
+	return v, err == nil
+}
+
+// String renders the report as an aligned verdict table.
+func (r *CompareReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== compare %s: tolerance %.0f%%", r.ID, r.Tolerance*100)
+	if r.Portable {
+		sb.WriteString(", portable (env-dependent columns skipped)")
+	}
+	sb.WriteString(" ===\n")
+	rows := [][]string{{"row", "column", "baseline", "current", "delta", "band", "status"}}
+	for _, e := range r.Entries {
+		if e.Status == "skipped-env" {
+			rows = append(rows, []string{e.RowLabel, e.Column, trim(e.Baseline), "-", "-", "-", e.Status})
+			continue
+		}
+		rows = append(rows, []string{
+			e.RowLabel, e.Column, trim(e.Baseline), trim(e.Current),
+			fmt.Sprintf("%+.1f%%", e.Delta*100), fmt.Sprintf("±%.1f%%", e.Band*100), e.Status,
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, row := range rows {
+		for j, cell := range row {
+			if j > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[j], cell)
+		}
+		sb.WriteString("\n")
+		if i == 0 {
+			for j, w := range widths {
+				if j > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", w))
+			}
+			sb.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&sb, "checked %d metrics, %d regressions, %d env-dependent skipped\n",
+		r.Checked, r.Regressions, r.SkippedEnv)
+	return sb.String()
+}
+
+func trim(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// WriteCompareJSON writes the report as dir/COMPARE_<ID>.json (the CI
+// artifact), creating dir first, and returns the written path.
+func WriteCompareJSON(dir string, r *CompareReport) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "COMPARE_"+r.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

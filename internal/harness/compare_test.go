@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// cmpBaseline builds a committed-baseline TableJSON with one row:
+// columns p (exact int), metric (mean 100, cv 5%), zero (exactly 0),
+// tput (env-dependent, mean 50).
+func cmpBaseline() *TableJSON {
+	agg := func(mean, sd float64) *stats.Agg {
+		cv := 0.0
+		if mean != 0 {
+			cv = sd / mean
+		}
+		return &stats.Agg{Mean: mean, Stddev: sd, Min: mean - sd, Max: mean + sd, CV: cv, N: 3}
+	}
+	return &TableJSON{
+		ID:      "TZ",
+		Columns: []string{"p", "metric", "zero", "tput"},
+		Rows:    [][]string{{"8", "100.00", "0", "50.00"}},
+		EnvCols: []string{"tput"},
+		Variance: [][]*stats.Agg{{
+			agg(8, 0), agg(100, 5), agg(0, 0), agg(50, 1),
+		}},
+		Manifest: &Manifest{Seeds: []int64{42, 123, 456}},
+	}
+}
+
+// cmpCurrent builds a fresh-run table with the given cell values.
+func cmpCurrent(metric, zero, tput float64) *Table {
+	t := &Table{ID: "TZ", Columns: []string{"p", "metric", "zero", "tput"}}
+	t.AddRow(8, metric, zero, tput)
+	return t
+}
+
+func TestCompareWithinBand(t *testing.T) {
+	// metric band = 0.15 + 2*0.05 = 25%; 120 is inside.
+	rep, err := Compare(cmpBaseline(), cmpCurrent(120, 0, 52), 0.15, false)
+	if err != nil {
+		t.Fatalf("Compare: %v\n%s", err, rep.String())
+	}
+	if rep.Regressions != 0 || rep.Checked != 4 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestCompareRegressionExceedsBand(t *testing.T) {
+	// 130 is a 30% drift, outside the 25% band.
+	rep, err := Compare(cmpBaseline(), cmpCurrent(130, 0, 50), 0.15, false)
+	if !errors.Is(err, ErrRegression) {
+		t.Fatalf("err = %v, want ErrRegression", err)
+	}
+	if rep.Regressions != 1 {
+		t.Errorf("regressions = %d, want 1", rep.Regressions)
+	}
+	var found bool
+	for _, e := range rep.Entries {
+		if e.Column == "metric" && e.Status == "regression" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("metric not flagged: %+v", rep.Entries)
+	}
+}
+
+func TestCompareTwoSided(t *testing.T) {
+	// Improvements beyond the band also fail: a 2x "speedup" on a
+	// structural metric usually means the experiment changed, not the code
+	// got better, and the baseline must be re-emitted consciously.
+	if _, err := Compare(cmpBaseline(), cmpCurrent(60, 0, 50), 0.15, false); !errors.Is(err, ErrRegression) {
+		t.Fatalf("err = %v, want ErrRegression for -40%% drift", err)
+	}
+}
+
+func TestCompareZeroMeanExact(t *testing.T) {
+	// The zero column was exactly 0 across seeds (stddev 0): any nonzero
+	// current value — one lost element — must fail regardless of tolerance.
+	if _, err := Compare(cmpBaseline(), cmpCurrent(100, 1, 50), 10.0, false); !errors.Is(err, ErrRegression) {
+		t.Fatalf("err = %v, want ErrRegression for nonzero lost count", err)
+	}
+}
+
+func TestComparePortableSkipsEnvColumns(t *testing.T) {
+	// tput drifted 4x, but it is declared env-dependent: portable mode
+	// skips it, non-portable flags it.
+	rep, err := Compare(cmpBaseline(), cmpCurrent(100, 0, 200), 0.15, true)
+	if err != nil {
+		t.Fatalf("portable Compare: %v\n%s", err, rep.String())
+	}
+	if rep.SkippedEnv != 1 {
+		t.Errorf("skipped = %d, want 1", rep.SkippedEnv)
+	}
+	if _, err := Compare(cmpBaseline(), cmpCurrent(100, 0, 200), 0.15, false); !errors.Is(err, ErrRegression) {
+		t.Fatalf("non-portable err = %v, want ErrRegression", err)
+	}
+}
+
+func TestCompareRejectsShapeDrift(t *testing.T) {
+	b := cmpBaseline()
+	cur := &Table{ID: "TZ", Columns: []string{"p", "metric", "zero", "tput"}}
+	cur.AddRow(8, 100.0, 0, 50.0)
+	cur.AddRow(16, 100.0, 0, 50.0)
+	if _, err := Compare(b, cur, 0.15, false); err == nil {
+		t.Error("row-count drift must error, not silently compare a prefix")
+	}
+	wrongID := cmpCurrent(100, 0, 50)
+	wrongID.ID = "TQ"
+	if _, err := Compare(b, wrongID, 0.15, false); err == nil {
+		t.Error("table id mismatch must error")
+	}
+	noVar := cmpBaseline()
+	noVar.Variance = nil
+	if _, err := Compare(noVar, cmpCurrent(100, 0, 50), 0.15, false); err == nil {
+		t.Error("single-run baseline without variance must be rejected")
+	}
+}
+
+func TestCompareReportArtifact(t *testing.T) {
+	rep, err := Compare(cmpBaseline(), cmpCurrent(110, 0, 51), 0.15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := WriteCompareJSON(dir, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "COMPARE_TZ.json" {
+		t.Errorf("path = %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"status": "ok"`, `"tolerance": 0.15`, `"column": "metric"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("artifact missing %s:\n%s", want, data)
+		}
+	}
+	if s := rep.String(); !strings.Contains(s, "checked 4 metrics") {
+		t.Errorf("report rendering:\n%s", s)
+	}
+}

@@ -33,7 +33,7 @@ func DefaultFactories() []queues.Factory {
 // operation. The paper guarantees <= 5 ceil(log2 p) + O(1) CAS per operation
 // for the NR-queue, while the MS-queue's CAS count per operation is
 // unbounded in the worst case and Theta(p) amortized under contention.
-func ExpCASBound(ps []int, opsPerProc int) (*Table, error) {
+func ExpCASBound(ps []int, opsPerProc int, seed int64) (*Table, error) {
 	t := &Table{
 		ID:    "T1",
 		Title: "CAS instructions per operation (pairs workload)",
@@ -45,19 +45,19 @@ func ExpCASBound(ps []int, opsPerProc int) (*Table, error) {
 		},
 	}
 	for _, p := range ps {
-		nr, err := measureCAS(queues.Factory{Name: "nr", New: queues.NewNR}, p, opsPerProc)
+		nr, err := measureCAS(queues.Factory{Name: "nr", New: queues.NewNR}, p, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}
-		nrb, err := measureCAS(queues.Factory{Name: "nrb", New: queues.NewBounded}, p, opsPerProc)
+		nrb, err := measureCAS(queues.Factory{Name: "nrb", New: queues.NewBounded}, p, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}
-		ms, err := measureCAS(queues.Factory{Name: "ms", New: func(p int) (queues.Queue, error) { return newAdapter(p, "ms") }}, p, opsPerProc)
+		ms, err := measureCAS(queues.Factory{Name: "ms", New: func(p int) (queues.Queue, error) { return newAdapter(p, "ms") }}, p, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}
-		faa, err := measureCAS(queues.Factory{Name: "faa", New: func(p int) (queues.Queue, error) { return newAdapter(p, "faa") }}, p, opsPerProc)
+		faa, err := measureCAS(queues.Factory{Name: "faa", New: func(p int) (queues.Queue, error) { return newAdapter(p, "faa") }}, p, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -72,12 +72,12 @@ type casStats struct {
 	maxOp int64
 }
 
-func measureCAS(f queues.Factory, procs, opsPerProc int) (casStats, error) {
+func measureCAS(f queues.Factory, procs, opsPerProc int, seed int64) (casStats, error) {
 	q, err := f.New(procs)
 	if err != nil {
 		return casStats{}, err
 	}
-	res, err := RunPairs(q, procs, opsPerProc, 1)
+	res, err := RunPairs(q, procs, opsPerProc, seed)
 	if err != nil {
 		return casStats{}, err
 	}
@@ -107,7 +107,7 @@ func maxCASOneOp(res Result) int64 {
 
 // ExpEnqueueSteps (T2, Theorem 22): enqueue steps grow as O(log p); doubling
 // p should add roughly a constant number of steps.
-func ExpEnqueueSteps(ps []int, opsPerProc int) (*Table, error) {
+func ExpEnqueueSteps(ps []int, opsPerProc int, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "T2",
 		Title:   "Enqueue steps per operation vs p (enqueue-only workload)",
@@ -120,7 +120,7 @@ func ExpEnqueueSteps(ps []int, opsPerProc int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := RunEnqueueOnly(q, p, opsPerProc, 1)
+		res, err := RunEnqueueOnly(q, p, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +142,7 @@ func ExpEnqueueSteps(ps []int, opsPerProc int) (*Table, error) {
 
 // ExpDequeueStepsVsP (T3a, Theorem 22): dequeue steps vs p at a fixed queue
 // size.
-func ExpDequeueStepsVsP(ps []int, prefill, opsPerProc int) (*Table, error) {
+func ExpDequeueStepsVsP(ps []int, prefill, opsPerProc int, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "T3a",
 		Title:   fmt.Sprintf("Dequeue steps per operation vs p (pairs workload, q≈%d)", prefill),
@@ -158,7 +158,7 @@ func ExpDequeueStepsVsP(ps []int, prefill, opsPerProc int) (*Table, error) {
 		if err := Prefill(q, prefill); err != nil {
 			return nil, err
 		}
-		res, err := RunPairs(q, p, opsPerProc, 1)
+		res, err := RunPairs(q, p, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +180,7 @@ func ExpDequeueStepsVsP(ps []int, prefill, opsPerProc int) (*Table, error) {
 
 // ExpDequeueStepsVsQ (T3b, Theorem 22): dequeue steps vs queue size at fixed
 // p; the log q term comes from the root's doubling search (Lemma 20).
-func ExpDequeueStepsVsQ(p int, prefills []int, opsPerProc int) (*Table, error) {
+func ExpDequeueStepsVsQ(p int, prefills []int, opsPerProc int, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "T3b",
 		Title:   fmt.Sprintf("Dequeue steps per operation vs queue size (p=%d)", p),
@@ -196,7 +196,7 @@ func ExpDequeueStepsVsQ(p int, prefills []int, opsPerProc int) (*Table, error) {
 		if err := Prefill(q, prefill); err != nil {
 			return nil, err
 		}
-		res, err := RunPairs(q, p, opsPerProc, 1)
+		res, err := RunPairs(q, p, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -222,7 +222,7 @@ func ExpDequeueStepsVsQ(p int, prefills []int, opsPerProc int) (*Table, error) {
 // implementations as p grows. The MS-queue family grows linearly (CAS retry
 // problem); the NR-queue grows polylogarithmically. The table's last column
 // shows the crossover: the ratio ms/nr rises above 1 as p grows.
-func ExpRetryProblem(ps []int, opsPerProc int) (*Table, error) {
+func ExpRetryProblem(ps []int, opsPerProc int, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "T4",
 		Title:   "Amortized steps per operation (pairs workload): CAS retry problem",
@@ -250,7 +250,7 @@ func ExpRetryProblem(ps []int, opsPerProc int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunPairs(q, p, opsPerProc, 1)
+			res, err := RunPairs(q, p, opsPerProc, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -335,7 +335,7 @@ func ExpSpaceBound(p int, qmax, rounds int) (*Table, error) {
 
 // ExpBoundedSteps (T6, Theorem 32): amortized steps of the bounded queue,
 // including GC work, grow as O(log p log(p+q)).
-func ExpBoundedSteps(ps []int, opsPerProc int) (*Table, error) {
+func ExpBoundedSteps(ps []int, opsPerProc int, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "T6",
 		Title:   "Bounded queue amortized steps per operation vs p (pairs workload)",
@@ -346,7 +346,7 @@ func ExpBoundedSteps(ps []int, opsPerProc int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		bres, err := RunPairs(bq, p, opsPerProc, 1)
+		bres, err := RunPairs(bq, p, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -354,7 +354,7 @@ func ExpBoundedSteps(ps []int, opsPerProc int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ures, err := RunPairs(uq, p, opsPerProc, 1)
+		ures, err := RunPairs(uq, p, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -368,7 +368,7 @@ func ExpBoundedSteps(ps []int, opsPerProc int) (*Table, error) {
 // ExpThroughput (T7): wall-clock throughput comparison. The paper predicts
 // its queue loses to the MS-queue at low contention (higher constant work)
 // — the reproduction should show that honestly.
-func ExpThroughput(ps []int, opsPerProc int) (*Table, error) {
+func ExpThroughput(ps []int, opsPerProc int, seed int64) (*Table, error) {
 	factories := DefaultFactories()
 	cols := []string{"p"}
 	for _, f := range factories {
@@ -389,7 +389,7 @@ func ExpThroughput(ps []int, opsPerProc int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := RunPairs(q, p, opsPerProc, 1)
+			res, err := RunPairs(q, p, opsPerProc, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -404,7 +404,7 @@ func ExpThroughput(ps []int, opsPerProc int) (*Table, error) {
 // stalled processes. Wait-freedom bounds every operation individually; the
 // lock-based baselines cannot bound it, and the MS-queue's worst operation
 // degrades with contention.
-func ExpWaitFree(ps []int, opsPerProc int) (*Table, error) {
+func ExpWaitFree(ps []int, opsPerProc int, seed int64) (*Table, error) {
 	t := &Table{
 		ID:      "T8",
 		Title:   "Worst single-operation steps with 1/4 of processes stalling",
@@ -422,7 +422,7 @@ func ExpWaitFree(ps []int, opsPerProc int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		nr, err := RunWithStalls(nrQ, p, opsPerProc, stalled, 50*time.Microsecond, 1)
+		nr, err := RunWithStalls(nrQ, p, opsPerProc, stalled, 50*time.Microsecond, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -430,7 +430,7 @@ func ExpWaitFree(ps []int, opsPerProc int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ms, err := RunWithStalls(msQ, p, opsPerProc, stalled, 50*time.Microsecond, 1)
+		ms, err := RunWithStalls(msQ, p, opsPerProc, stalled, 50*time.Microsecond, seed)
 		if err != nil {
 			return nil, err
 		}

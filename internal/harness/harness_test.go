@@ -117,34 +117,34 @@ func TestExperimentsSmoke(t *testing.T) {
 	// Tiny parameters: these are correctness smoke tests for the drivers,
 	// not measurements.
 	ps := []int{2, 4}
-	if tbl, err := ExpCASBound(ps, 200); err != nil || len(tbl.Rows) != 2 {
+	if tbl, err := ExpCASBound(ps, 200, 1); err != nil || len(tbl.Rows) != 2 {
 		t.Errorf("ExpCASBound: %v", err)
 	}
-	if tbl, err := ExpEnqueueSteps(ps, 200); err != nil || len(tbl.Rows) != 2 {
+	if tbl, err := ExpEnqueueSteps(ps, 200, 1); err != nil || len(tbl.Rows) != 2 {
 		t.Errorf("ExpEnqueueSteps: %v", err)
 	}
-	if tbl, err := ExpDequeueStepsVsP(ps, 64, 200); err != nil || len(tbl.Rows) != 2 {
+	if tbl, err := ExpDequeueStepsVsP(ps, 64, 200, 1); err != nil || len(tbl.Rows) != 2 {
 		t.Errorf("ExpDequeueStepsVsP: %v", err)
 	}
-	if tbl, err := ExpDequeueStepsVsQ(2, []int{16, 256}, 200); err != nil || len(tbl.Rows) != 2 {
+	if tbl, err := ExpDequeueStepsVsQ(2, []int{16, 256}, 200, 1); err != nil || len(tbl.Rows) != 2 {
 		t.Errorf("ExpDequeueStepsVsQ: %v", err)
 	}
-	if tbl, err := ExpRetryProblem(ps, 200); err != nil || len(tbl.Rows) != 2 {
+	if tbl, err := ExpRetryProblem(ps, 200, 1); err != nil || len(tbl.Rows) != 2 {
 		t.Errorf("ExpRetryProblem: %v", err)
 	}
-	if tbl, err := ExpAdversarial(ps, 200); err != nil || len(tbl.Rows) != 2 {
+	if tbl, err := ExpAdversarial(ps, 200, 1); err != nil || len(tbl.Rows) != 2 {
 		t.Errorf("ExpAdversarial: %v", err)
 	}
 	if tbl, err := ExpSpaceBound(2, 8, 64); err != nil || len(tbl.Rows) == 0 {
 		t.Errorf("ExpSpaceBound: %v", err)
 	}
-	if tbl, err := ExpBoundedSteps(ps, 200); err != nil || len(tbl.Rows) != 2 {
+	if tbl, err := ExpBoundedSteps(ps, 200, 1); err != nil || len(tbl.Rows) != 2 {
 		t.Errorf("ExpBoundedSteps: %v", err)
 	}
-	if tbl, err := ExpThroughput([]int{2}, 200); err != nil || len(tbl.Rows) != 1 {
+	if tbl, err := ExpThroughput([]int{2}, 200, 1); err != nil || len(tbl.Rows) != 1 {
 		t.Errorf("ExpThroughput: %v", err)
 	}
-	if tbl, err := ExpWaitFree([]int{2}, 200); err != nil || len(tbl.Rows) != 1 {
+	if tbl, err := ExpWaitFree([]int{2}, 200, 1); err != nil || len(tbl.Rows) != 1 {
 		t.Errorf("ExpWaitFree: %v", err)
 	}
 }
@@ -178,13 +178,13 @@ func TestNewAdapterUnknown(t *testing.T) {
 }
 
 func TestAblationExperimentsSmoke(t *testing.T) {
-	if tbl, err := ExpAblationSearch(2, 8, []int{0, 2}, 100); err != nil || len(tbl.Rows) != 2 {
+	if tbl, err := ExpAblationSearch(2, 8, []int{0, 2}, 100, 1); err != nil || len(tbl.Rows) != 2 {
 		t.Errorf("ExpAblationSearch: %v", err)
 	}
-	if tbl, err := ExpAblationRefresh([]int{2, 4}, 150); err != nil || len(tbl.Rows) != 2 {
+	if tbl, err := ExpAblationRefresh([]int{2, 4}, 150, 1); err != nil || len(tbl.Rows) != 2 {
 		t.Errorf("ExpAblationRefresh: %v", err)
 	}
-	if tbl, err := ExpAblationGC(2, []int64{4, 64}, 150); err != nil || len(tbl.Rows) != 2 {
+	if tbl, err := ExpAblationGC(2, []int64{4, 64}, 150, 1); err != nil || len(tbl.Rows) != 2 {
 		t.Errorf("ExpAblationGC: %v", err)
 	}
 }

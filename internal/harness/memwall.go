@@ -18,6 +18,10 @@ type MemWallConfig struct {
 	// the CI smoke gate that keeps the elimination path from silently
 	// rotting into dead code.
 	RequirePairs bool
+	// Seed is the experiment seed; trial seeds derive from it so a run is
+	// reproducible from one number. Zero means seed 1 (the historical
+	// default).
+	Seed int64
 }
 
 // ExpMemWall (T17) re-measures the T10 sharded-scaling sweep after the
@@ -27,6 +31,10 @@ type MemWallConfig struct {
 // elimination fast path. T10's table (bench_results/BENCH_T10.json) is the
 // frozen "before"; this experiment is the "after".
 func ExpMemWall(gs, shardCounts []int, opsPerProc int, cfg MemWallConfig) (*Table, error) {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	kMax := shardCounts[len(shardCounts)-1]
 	cols := []string{"g", "nr Mops/s", "nr allocs/op"}
 	for _, k := range shardCounts {
@@ -39,10 +47,18 @@ func ExpMemWall(gs, shardCounts []int, opsPerProc int, cfg MemWallConfig) (*Tabl
 		"handoff pair %",
 		fmt.Sprintf("speedup k=%d", kMax),
 	)
+	envCols := []string{"nr Mops/s", "pair %", "handoff pair %", fmt.Sprintf("speedup k=%d", kMax)}
+	for _, k := range shardCounts {
+		envCols = append(envCols, fmt.Sprintf("k=%d", k))
+	}
 	t := &Table{
 		ID:      "T17",
 		Title:   fmt.Sprintf("Memory-wall rerun of T10: throughput and allocation profile (%s backend, pairs workload)", cfg.Backend),
 		Columns: cols,
+		// Throughput, speedup, and elimination hit rates depend on the
+		// machine; the allocation profile columns stay checkable across
+		// machines (run the gate with matching GOMAXPROCS).
+		EnvCols: envCols,
 		Notes: []string{
 			"Mops/s = completed operations per second / 1e6, best of 3 trials; allocs/op and B/op are heap-allocation deltas (runtime.MemStats) over the whole run divided by completed operations, minimum over the trials.",
 			"pair % = operations served by the enqueue/dequeue elimination path at k=" + fmt.Sprint(kMax) + " under the pairs workload; handoff pair % = the same under a 50/50 mixed workload that keeps the backlog near zero.",
@@ -52,7 +68,7 @@ func ExpMemWall(gs, shardCounts []int, opsPerProc int, cfg MemWallConfig) (*Tabl
 	}
 	for _, g := range gs {
 		g := g
-		base, err := measureAlloc(func() (queues.Queue, error) { return queues.NewNR(g) }, g, opsPerProc)
+		base, err := measureAlloc(func() (queues.Queue, error) { return queues.NewNR(g) }, g, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -62,14 +78,14 @@ func ExpMemWall(gs, shardCounts []int, opsPerProc int, cfg MemWallConfig) (*Tabl
 			k := k
 			m, err := measureAlloc(func() (queues.Queue, error) {
 				return queues.NewSharded(g, k, cfg.Backend)
-			}, g, opsPerProc)
+			}, g, opsPerProc, seed)
 			if err != nil {
 				return nil, err
 			}
 			row = append(row, m.mops)
 			last = m
 		}
-		handoff, err := measureHandoffPairs(g, kMax, opsPerProc, cfg.Backend)
+		handoff, err := measureHandoffPairs(g, kMax, opsPerProc, cfg.Backend, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +115,7 @@ type allocMeasurement struct {
 // profile: throughput tables compare capability, and the minimum strips
 // one-off warm-up allocations (arena slabs, goroutine stacks) that a longer
 // run amortizes away anyway.
-func measureAlloc(mk func() (queues.Queue, error), procs, opsPerProc int) (allocMeasurement, error) {
+func measureAlloc(mk func() (queues.Queue, error), procs, opsPerProc int, seed int64) (allocMeasurement, error) {
 	out := allocMeasurement{allocsPerOp: -1, bytesPerOp: -1}
 	for trial := 0; trial < 3; trial++ {
 		q, err := mk()
@@ -109,7 +125,7 @@ func measureAlloc(mk func() (queues.Queue, error), procs, opsPerProc int) (alloc
 		var m0, m1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
-		res, err := RunPairs(q, procs, opsPerProc, int64(trial+1))
+		res, err := RunPairs(q, procs, opsPerProc, seed*8+int64(trial))
 		if err != nil {
 			return out, err
 		}
@@ -138,13 +154,13 @@ func measureAlloc(mk func() (queues.Queue, error), procs, opsPerProc int) (alloc
 // dequeue per step, backlog a random walk around zero — which is the regime
 // the elimination path targets: dequeuers keep probing an empty fabric
 // while enqueuers keep finding an empty home shard.
-func measureHandoffPairs(procs, k, opsPerProc int, backend shard.Backend) (allocMeasurement, error) {
+func measureHandoffPairs(procs, k, opsPerProc int, backend shard.Backend, seed int64) (allocMeasurement, error) {
 	var out allocMeasurement
 	q, err := queues.NewSharded(procs, k, backend)
 	if err != nil {
 		return out, err
 	}
-	res, err := RunMixed(q, procs, opsPerProc, 0.5, 1)
+	res, err := RunMixed(q, procs, opsPerProc, 0.5, seed)
 	if err != nil {
 		return out, err
 	}

@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// RaceEnabled reports whether the binary was built with the race detector,
+// one of the build-tag preconditions the multi-seed runner records: race
+// timings are 5-20x off and must never be compared against non-race
+// baselines.
+const RaceEnabled = true

@@ -1,0 +1,312 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// DefaultSeeds are the fixed seeds the multi-seed runner uses, following
+// the hypothesis-experiment convention of reusing the same small seed set
+// everywhere so any single run can be reproduced by name.
+var DefaultSeeds = []int64{42, 123, 456}
+
+// Seeds returns n seeds: the default triple first, then deterministic
+// extras (1000, 1001, ...) for larger sweeps.
+func Seeds(n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		if i < len(DefaultSeeds) {
+			out = append(out, DefaultSeeds[i])
+		} else {
+			out = append(out, int64(1000+i-len(DefaultSeeds)))
+		}
+	}
+	return out
+}
+
+// Manifest records everything needed to judge whether two runs of the same
+// experiment are comparable: the seeds, the toolchain and machine, the
+// commit, any precondition violations observed before measuring, and the
+// experiment parameters (which compare mode uses to re-run the experiment
+// exactly as the baseline did).
+type Manifest struct {
+	Seeds         []int64        `json:"seeds"`
+	GoVersion     string         `json:"go_version"`
+	GOOS          string         `json:"goos"`
+	GOARCH        string         `json:"goarch"`
+	NumCPU        int            `json:"num_cpu"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	Race          bool           `json:"race"`
+	Commit        string         `json:"commit"`
+	Preconditions []string       `json:"preconditions,omitempty"`
+	Params        map[string]any `json:"params,omitempty"`
+}
+
+// Summary renders the manifest as one human-readable line for table output.
+func (m *Manifest) Summary() string {
+	var sb strings.Builder
+	seeds := make([]string, len(m.Seeds))
+	for i, s := range m.Seeds {
+		seeds[i] = strconv.FormatInt(s, 10)
+	}
+	fmt.Fprintf(&sb, "seeds=%s %s %s/%s cpus=%d gomaxprocs=%d commit=%s",
+		strings.Join(seeds, ","), m.GoVersion, m.GOOS, m.GOARCH,
+		m.NumCPU, m.GOMAXPROCS, m.Commit)
+	if m.Race {
+		sb.WriteString(" race=on")
+	}
+	if len(m.Preconditions) > 0 {
+		fmt.Fprintf(&sb, " preconditions=[%s]", strings.Join(m.Preconditions, "; "))
+	}
+	return sb.String()
+}
+
+// NewManifest captures the current environment plus the given seeds and
+// experiment parameters, running the precondition checks as a side effect.
+func NewManifest(seeds []int64, params map[string]any) *Manifest {
+	return &Manifest{
+		Seeds:         append([]int64(nil), seeds...),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Race:          RaceEnabled,
+		Commit:        buildCommit(),
+		Preconditions: CheckPreconditions(),
+		Params:        params,
+	}
+}
+
+// buildCommit returns the VCS revision baked into the binary by the Go
+// toolchain, or "unknown" outside a stamped build (go test, go run from a
+// dirty tree on older toolchains, ...).
+func buildCommit() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty && rev != "unknown" {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// CheckPreconditions inspects the environment for conditions that make a
+// measurement untrustworthy and returns one human-readable violation per
+// problem (empty slice when clean). Violations are recorded in the run
+// manifest and printed, not fatal: CI boxes legitimately violate some of
+// them, and the variance columns plus tolerance bands absorb the noise —
+// but a reader of the JSON must be able to see the run was compromised.
+func CheckPreconditions() []string {
+	var out []string
+	if p, n := runtime.GOMAXPROCS(0), runtime.NumCPU(); p < n {
+		out = append(out, fmt.Sprintf("GOMAXPROCS=%d below NumCPU=%d: parallel speedup rows will be capped", p, n))
+	}
+	if RaceEnabled {
+		out = append(out, "race detector enabled: timings are not comparable to non-race builds")
+	}
+	if load, ok := loadAvg1(); ok {
+		if busy := float64(runtime.NumCPU()) * 0.5; load > busy {
+			out = append(out, fmt.Sprintf("1-min loadavg %.2f above %.1f (half of %d CPUs): machine not idle", load, busy, runtime.NumCPU()))
+		}
+	}
+	return out
+}
+
+// loadAvg1 reads the 1-minute load average on Linux; ok=false elsewhere or
+// on any read/parse failure (preconditions degrade gracefully off-Linux).
+func loadAvg1() (float64, bool) {
+	data, err := os.ReadFile("/proc/loadavg")
+	if err != nil {
+		return 0, false
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// RunSeeded executes a single-table experiment once per seed and merges the
+// results: numeric cells become the across-seed mean with a stats.Agg
+// recorded in the table's variance block; non-numeric cells must agree
+// across seeds or the merged cell shows the disagreement explicitly. The
+// merged table carries a Manifest built from seeds and params.
+func RunSeeded(seeds []int64, params map[string]any, exp func(seed int64) (*Table, error)) (*Table, error) {
+	tables, err := RunSeededTables(seeds, params, func(seed int64) ([]*Table, error) {
+		t, err := exp(seed)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tables[0], nil
+}
+
+// RunSeededTables is RunSeeded for experiments that emit several tables per
+// run (e.g. -exp deqsteps): each table position is merged independently.
+func RunSeededTables(seeds []int64, params map[string]any, exp func(seed int64) ([]*Table, error)) ([]*Table, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("harness: RunSeeded needs at least one seed")
+	}
+	manifest := NewManifest(seeds, params)
+	runs := make([][]*Table, len(seeds))
+	for i, seed := range seeds {
+		ts, err := exp(seed)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("seed %d: experiment produced no tables", seed)
+		}
+		if i > 0 && len(ts) != len(runs[0]) {
+			return nil, fmt.Errorf("seed %d: produced %d tables, seed %d produced %d", seed, len(ts), seeds[0], len(runs[0]))
+		}
+		runs[i] = ts
+	}
+	merged := make([]*Table, len(runs[0]))
+	for pos := range runs[0] {
+		perSeed := make([]*Table, len(runs))
+		for i := range runs {
+			perSeed[i] = runs[i][pos]
+		}
+		m, err := mergeSeedTables(perSeed)
+		if err != nil {
+			return nil, err
+		}
+		m.Manifest = manifest
+		merged[pos] = m
+	}
+	return merged, nil
+}
+
+// mergeSeedTables folds per-seed copies of the same table into one: shape
+// (id, columns, row count) must match; numeric cells are averaged with a
+// variance aggregate, identical strings pass through, and diverging
+// non-numeric cells are joined with "|" so conservation notes and similar
+// qualitative outputs are never silently averaged away.
+func mergeSeedTables(ts []*Table) (*Table, error) {
+	base := ts[0]
+	for _, t := range ts[1:] {
+		if t.ID != base.ID {
+			return nil, fmt.Errorf("harness: seed runs produced different tables (%s vs %s)", base.ID, t.ID)
+		}
+		if len(t.Columns) != len(base.Columns) {
+			return nil, fmt.Errorf("harness: %s: column count differs across seeds (%d vs %d)", base.ID, len(t.Columns), len(base.Columns))
+		}
+		if len(t.Rows) != len(base.Rows) {
+			return nil, fmt.Errorf("harness: %s: row count differs across seeds (%d vs %d): the varied dimension must be fixed across seeds", base.ID, len(t.Rows), len(base.Rows))
+		}
+	}
+	out := &Table{
+		ID:      base.ID,
+		Title:   base.Title,
+		Columns: append([]string(nil), base.Columns...),
+		EnvCols: append([]string(nil), base.EnvCols...),
+	}
+	out.Rows = make([][]string, len(base.Rows))
+	out.Variance = make([][]*stats.Agg, len(base.Rows))
+	for r := range base.Rows {
+		ncols := len(base.Rows[r])
+		out.Rows[r] = make([]string, ncols)
+		out.Variance[r] = make([]*stats.Agg, ncols)
+		for c := 0; c < ncols; c++ {
+			cells := make([]string, len(ts))
+			vals := make([]float64, len(ts))
+			numeric := true
+			for i, t := range ts {
+				if r >= len(t.Rows) || c >= len(t.Rows[r]) {
+					return nil, fmt.Errorf("harness: %s: ragged rows across seeds at (%d,%d)", base.ID, r, c)
+				}
+				cells[i] = t.Rows[r][c]
+				v, err := strconv.ParseFloat(cells[i], 64)
+				if err != nil {
+					numeric = false
+				}
+				vals[i] = v
+			}
+			if numeric {
+				agg := stats.Aggregate(vals)
+				out.Variance[r][c] = &agg
+				out.Rows[r][c] = formatLike(cells[0], agg.Mean)
+			} else if allEqual(cells) {
+				out.Rows[r][c] = cells[0]
+			} else {
+				out.Rows[r][c] = strings.Join(dedupe(cells), "|")
+			}
+		}
+	}
+	// Union of notes across seeds, first-appearance order: fit notes from
+	// the first run come through, and a conservation violation from any
+	// seed survives the merge.
+	seen := make(map[string]bool)
+	for _, t := range ts {
+		for _, n := range t.Notes {
+			if !seen[n] {
+				seen[n] = true
+				out.Notes = append(out.Notes, n)
+			}
+		}
+	}
+	return out, nil
+}
+
+// formatLike renders v in the style of sample: integer cells stay integral
+// when the mean is integral, everything else uses the table's standard two
+// decimals.
+func formatLike(sample string, v float64) string {
+	if !strings.ContainsAny(sample, ".eE") && v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+func allEqual(xs []string) bool {
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupe(xs []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestSeeds(t *testing.T) {
+	got := Seeds(5)
+	want := []int64{42, 123, 456, 1000, 1001}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Seeds(5) = %v, want %v", got, want)
+		}
+	}
+	if one := Seeds(0); len(one) != 1 || one[0] != 42 {
+		t.Errorf("Seeds(0) = %v, want [42]", one)
+	}
+}
+
+// fakeExp builds a deterministic per-seed table: one numeric column whose
+// value depends on the seed, one constant numeric column, one string
+// column, and a per-seed note.
+func fakeExp(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "TX",
+		Title:   "fake",
+		Columns: []string{"p", "metric", "flat", "label"},
+		EnvCols: []string{"metric"},
+		Notes:   []string{"shared note", fmt.Sprintf("seed-specific %d", seed)},
+	}
+	t.AddRow(4, float64(seed), 7.5, "ok")
+	return t, nil
+}
+
+func TestRunSeededMergesVariance(t *testing.T) {
+	merged, err := RunSeeded([]int64{10, 20, 30}, map[string]any{"exp": "fake"}, fakeExp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Rows) != 1 || len(merged.Variance) != 1 {
+		t.Fatalf("rows/variance = %d/%d, want 1/1", len(merged.Rows), len(merged.Variance))
+	}
+	row, v := merged.Rows[0], merged.Variance[0]
+	if row[0] != "4" {
+		t.Errorf("integer cell mean = %q, want 4", row[0])
+	}
+	if row[1] != "20.00" {
+		t.Errorf("metric mean cell = %q, want 20.00", row[1])
+	}
+	if v[1] == nil || v[1].Mean != 20 || v[1].Min != 10 || v[1].Max != 30 || v[1].N != 3 {
+		t.Errorf("metric agg = %+v", v[1])
+	}
+	if v[1].Stddev == 0 || v[1].CV == 0 {
+		t.Errorf("metric agg should record spread, got %+v", v[1])
+	}
+	if v[2] == nil || v[2].Stddev != 0 || v[2].Mean != 7.5 {
+		t.Errorf("flat agg = %+v", v[2])
+	}
+	if row[3] != "ok" || v[3] != nil {
+		t.Errorf("string cell = %q (agg %v), want ok/nil", row[3], v[3])
+	}
+	if len(merged.EnvCols) != 1 || merged.EnvCols[0] != "metric" {
+		t.Errorf("EnvCols = %v", merged.EnvCols)
+	}
+	// Notes: union across seeds, shared note once.
+	wantNotes := map[string]bool{
+		"shared note": true, "seed-specific 10": true,
+		"seed-specific 20": true, "seed-specific 30": true,
+	}
+	if len(merged.Notes) != len(wantNotes) {
+		t.Errorf("notes = %v", merged.Notes)
+	}
+	m := merged.Manifest
+	if m == nil {
+		t.Fatal("merged table has no manifest")
+	}
+	if len(m.Seeds) != 3 || m.Seeds[0] != 10 {
+		t.Errorf("manifest seeds = %v", m.Seeds)
+	}
+	if m.GoVersion == "" || m.NumCPU < 1 || m.GOMAXPROCS < 1 || m.Commit == "" {
+		t.Errorf("manifest env incomplete: %+v", m)
+	}
+	if m.Params["exp"] != "fake" {
+		t.Errorf("manifest params = %v", m.Params)
+	}
+}
+
+func TestRunSeededShapeMismatch(t *testing.T) {
+	calls := 0
+	_, err := RunSeeded([]int64{1, 2}, nil, func(seed int64) (*Table, error) {
+		calls++
+		tbl := &Table{ID: "TY", Columns: []string{"a"}}
+		for i := 0; i < calls; i++ {
+			tbl.AddRow(i)
+		}
+		return tbl, nil
+	})
+	if err == nil {
+		t.Fatal("row-count mismatch across seeds must fail the merge")
+	}
+}
+
+func TestSeededTableJSONRoundTrip(t *testing.T) {
+	merged, err := RunSeeded([]int64{10, 20, 30}, map[string]any{"exp": "fake"}, fakeExp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := WriteTableJSON(dir, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_TX.json" {
+		t.Errorf("path = %s", path)
+	}
+	back, err := ReadTableJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "TX" || back.Manifest == nil || back.Variance == nil {
+		t.Fatalf("round trip lost blocks: %+v", back)
+	}
+	if back.Variance[0][1].Mean != 20 {
+		t.Errorf("variance mean = %v, want 20", back.Variance[0][1].Mean)
+	}
+	if got := back.Manifest.Seeds; len(got) != 3 || got[2] != 30 {
+		t.Errorf("manifest seeds = %v", got)
+	}
+	if len(back.EnvCols) != 1 || back.EnvCols[0] != "metric" {
+		t.Errorf("env columns = %v", back.EnvCols)
+	}
+}
+
+func TestReadTableJSONLegacy(t *testing.T) {
+	// Pre-variance files (no variance/manifest) must still load.
+	dir := t.TempDir()
+	legacy := &Table{ID: "TL", Title: "legacy", Columns: []string{"a"}, Rows: [][]string{{"1"}}}
+	path, err := WriteTableJSON(dir, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTableJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Variance != nil || back.Manifest != nil {
+		t.Errorf("legacy table grew blocks: %+v", back)
+	}
+}
+
+func TestCheckPreconditionsReportsStrings(t *testing.T) {
+	// Environment-dependent, so only sanity-check the shape: no empty
+	// violation strings, and the race flag matches the build.
+	for _, v := range CheckPreconditions() {
+		if v == "" {
+			t.Error("empty precondition violation")
+		}
+	}
+	m := NewManifest([]int64{1}, nil)
+	if m.Race != RaceEnabled {
+		t.Errorf("manifest race = %v, build race = %v", m.Race, RaceEnabled)
+	}
+}

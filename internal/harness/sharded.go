@@ -12,7 +12,7 @@ import (
 // A single tournament tree serializes all g goroutines through one root, so
 // the baseline plateaus as g grows; the fabric's k roots should lift the
 // plateau roughly k-fold until memory bandwidth interferes.
-func ExpShardedScaling(gs, shardCounts []int, opsPerProc int, backend shard.Backend) (*Table, error) {
+func ExpShardedScaling(gs, shardCounts []int, opsPerProc int, backend shard.Backend, seed int64) (*Table, error) {
 	cols := []string{"g", "nr Mops/s"}
 	for _, k := range shardCounts {
 		cols = append(cols, fmt.Sprintf("k=%d", k))
@@ -23,6 +23,9 @@ func ExpShardedScaling(gs, shardCounts []int, opsPerProc int, backend shard.Back
 		ID:      "T10",
 		Title:   fmt.Sprintf("Sharded fabric throughput vs shard count (%s backend, pairs workload)", backend),
 		Columns: cols,
+		// Every measured column is wall-clock throughput, so all of them
+		// depend on the machine; portable compare mode skips them.
+		EnvCols: cols[1:],
 		Notes: []string{
 			"Mops/s = completed operations per second / 1e6; pairs workload (alternating enqueue/dequeue per goroutine).",
 			"speedup = fabric at the largest shard count over the single nr-queue at the same goroutine count.",
@@ -30,7 +33,7 @@ func ExpShardedScaling(gs, shardCounts []int, opsPerProc int, backend shard.Back
 		},
 	}
 	for _, g := range gs {
-		base, err := measureThroughput(func() (queues.Queue, error) { return queues.NewNR(g) }, g, opsPerProc)
+		base, err := measureThroughput(func() (queues.Queue, error) { return queues.NewNR(g) }, g, opsPerProc, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -40,7 +43,7 @@ func ExpShardedScaling(gs, shardCounts []int, opsPerProc int, backend shard.Back
 			k := k
 			tp, err := measureThroughput(func() (queues.Queue, error) {
 				return queues.NewSharded(g, k, backend)
-			}, g, opsPerProc)
+			}, g, opsPerProc, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -60,14 +63,16 @@ func ExpShardedScaling(gs, shardCounts []int, opsPerProc int, backend shard.Back
 // measureThroughput reports the best of three trials on a fresh queue each
 // time: throughput tables compare capability, and the max is far less noisy
 // than a single run on a shared machine.
-func measureThroughput(mk func() (queues.Queue, error), procs, opsPerProc int) (float64, error) {
+func measureThroughput(mk func() (queues.Queue, error), procs, opsPerProc int, seed int64) (float64, error) {
 	best := 0.0
 	for trial := 0; trial < 3; trial++ {
 		q, err := mk()
 		if err != nil {
 			return 0, err
 		}
-		res, err := RunPairs(q, procs, opsPerProc, int64(trial+1))
+		// Trial seeds derive from the experiment seed so a whole
+		// measurement is reproducible from one number.
+		res, err := RunPairs(q, procs, opsPerProc, seed*8+int64(trial))
 		if err != nil {
 			return 0, err
 		}

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/stats"
 )
 
 // Table is a printable experiment result: the harness's equivalent of one of
@@ -16,6 +18,19 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+
+	// EnvCols names the columns whose values depend on the machine the
+	// experiment ran on (throughput, latency, speedup). Compare mode in
+	// portable mode skips them so a CI runner can be gated against a
+	// baseline recorded elsewhere.
+	EnvCols []string
+	// Variance parallels Rows when the table was produced by RunSeeded:
+	// Variance[r][c] aggregates the numeric cell (r,c) across seeds, nil
+	// for non-numeric cells. Nil entirely for single-run tables.
+	Variance [][]*stats.Agg
+	// Manifest records how the table was produced (seeds, environment,
+	// commit, preconditions) when it came from RunSeeded.
+	Manifest *Manifest
 }
 
 // AddRow appends a formatted row; values are rendered with %v.
@@ -33,13 +48,19 @@ func (t *Table) AddRow(vals ...any) {
 }
 
 // TableJSON is the on-disk schema of a BENCH_<ID>.json table, the format
-// the perf-trajectory tooling consumes.
+// the perf-trajectory tooling consumes. Single-run tables carry only the
+// id/title/columns/rows/notes core; tables from the multi-seed runner add
+// env_columns, a variance block parallel to rows (null for non-numeric
+// cells), and the run manifest.
 type TableJSON struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
+	ID       string         `json:"id"`
+	Title    string         `json:"title"`
+	Columns  []string       `json:"columns"`
+	Rows     [][]string     `json:"rows"`
+	Notes    []string       `json:"notes,omitempty"`
+	EnvCols  []string       `json:"env_columns,omitempty"`
+	Variance [][]*stats.Agg `json:"variance,omitempty"`
+	Manifest *Manifest      `json:"manifest,omitempty"`
 }
 
 // WriteTableJSON writes t as dir/BENCH_<ID>.json, creating dir (and any
@@ -49,11 +70,14 @@ func WriteTableJSON(dir string, t *Table) (string, error) {
 		return "", err
 	}
 	data, err := json.MarshalIndent(TableJSON{
-		ID:      t.ID,
-		Title:   t.Title,
-		Columns: t.Columns,
-		Rows:    t.Rows,
-		Notes:   t.Notes,
+		ID:       t.ID,
+		Title:    t.Title,
+		Columns:  t.Columns,
+		Rows:     t.Rows,
+		Notes:    t.Notes,
+		EnvCols:  t.EnvCols,
+		Variance: t.Variance,
+		Manifest: t.Manifest,
 	}, "", "  ")
 	if err != nil {
 		return "", err
@@ -65,7 +89,27 @@ func WriteTableJSON(dir string, t *Table) (string, error) {
 	return path, nil
 }
 
-// String renders the table with aligned columns.
+// ReadTableJSON loads a BENCH_<ID>.json previously written by
+// WriteTableJSON. Pre-variance files (no variance/manifest blocks) load
+// fine with those fields nil.
+func ReadTableJSON(path string) (*TableJSON, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t TableJSON
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if t.ID == "" {
+		return nil, fmt.Errorf("%s: not a BENCH table (missing id)", path)
+	}
+	return &t, nil
+}
+
+// String renders the table with aligned columns. Tables with a variance
+// block append a +/-stddev line per row so seed spread is visible in the
+// terminal rendering too, not only in the JSON.
 func (t *Table) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "=== %s: %s ===\n", t.ID, t.Title)
@@ -73,10 +117,33 @@ func (t *Table) String() string {
 	for i, c := range t.Columns {
 		widths[i] = len(c)
 	}
-	for _, row := range t.Rows {
+	measure := func(row []string) {
 		for i, cell := range row {
 			if i < len(widths) && len(cell) > widths[i] {
 				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range t.Rows {
+		measure(row)
+	}
+	spreads := make([][]string, len(t.Rows))
+	if t.Variance != nil {
+		for r := range t.Rows {
+			if r >= len(t.Variance) {
+				break
+			}
+			spread := make([]string, len(t.Rows[r]))
+			any := false
+			for c := range t.Rows[r] {
+				if c < len(t.Variance[r]) && t.Variance[r][c] != nil && t.Variance[r][c].N > 1 {
+					spread[c] = fmt.Sprintf("±%.2f", t.Variance[r][c].Stddev)
+					any = true
+				}
+			}
+			if any {
+				spreads[r] = spread
+				measure(spread)
 			}
 		}
 	}
@@ -97,11 +164,17 @@ func (t *Table) String() string {
 		sb.WriteString(strings.Repeat("-", w))
 	}
 	sb.WriteString("\n")
-	for _, row := range t.Rows {
+	for r, row := range t.Rows {
 		writeRow(row)
+		if spreads[r] != nil {
+			writeRow(spreads[r])
+		}
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	if t.Manifest != nil {
+		fmt.Fprintf(&sb, "manifest: %s\n", t.Manifest.Summary())
 	}
 	return sb.String()
 }

@@ -1,0 +1,226 @@
+package server
+
+// Conformance tests for the binding-stash seam: values pulled from a
+// queue's fabric but not yet shipped (a batch reply hit the frame cap)
+// are session-owned, and the two teardown paths that can interrupt them —
+// the owner deleting the queue mid-dequeue, and the idle reaper closing
+// the session — must keep them conserved: delivered at most once, never
+// invented, and re-enqueued behind the backlog when the session dies with
+// the queue still alive.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// stashValue builds a ~1KB value tagged by i in its first byte, so a
+// 4096-byte frame cap fits about four per batch reply and the remainder
+// of a larger pull lands in the binding stash.
+func stashValue(i int) []byte {
+	return append([]byte{byte(i)}, bytes.Repeat([]byte{'v'}, 1000)...)
+}
+
+// TestDequeueBatchRacesQueueDelete drives batch dequeues against a named
+// queue while another client deletes it. The fabric closes under the
+// dequeuer mid-stream; the server must never panic or wedge, must never
+// deliver a value twice (stash and fabric both feeding replies during the
+// swap is the hazard), and must stay fully serviceable on other queues.
+// Values still inside the fabric at delete time may drop — that loss is
+// the deleting owner's documented choice — but stash-held values are
+// already the session's and keep flowing.
+func TestDequeueBatchRacesQueueDelete(t *testing.T) {
+	const maxFrame = 4096
+	srv, admin := startTestServer(t, WithMaxFrame(maxFrame))
+	consumer, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+
+	nq, err := consumer.Open("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := nq.Enqueue(stashValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prime the stash: one oversized pull ships ~4 values and parks the
+	// rest of what it pulled server-side.
+	first, err := nq.DequeueBatch(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("primer batch came back empty")
+	}
+
+	seen := make(map[byte]int, n)
+	for _, v := range first {
+		seen[v[0]]++
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	deleted := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		if err := admin.Delete("doomed"); err != nil {
+			t.Errorf("delete: %v", err)
+		}
+		close(deleted)
+	}()
+
+	// Keep dequeuing through the delete. Termination: an empty reply after
+	// the delete has landed means stash and fabric remainder are drained.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("dequeue loop did not terminate after delete")
+		}
+		vs, err := nq.DequeueBatch(8)
+		if err != nil {
+			// The deleted queue's id may start refusing outright; that is a
+			// valid terminal answer too, but only once the delete happened.
+			<-deleted
+			break
+		}
+		for _, v := range vs {
+			seen[v[0]]++
+		}
+		if len(vs) == 0 {
+			select {
+			case <-deleted:
+			default:
+				continue // queue still live, genuinely drained early: retry
+			}
+			break
+		}
+	}
+	wg.Wait()
+
+	// At-most-once, nothing invented: every tag seen is one of ours and
+	// was delivered exactly once. (Exactly-n would overclaim: fabric-held
+	// values at delete time are legitimately dropped.)
+	for tag, count := range seen {
+		if int(tag) >= n {
+			t.Errorf("received value with unknown tag %d", tag)
+		}
+		if count != 1 {
+			t.Errorf("tag %d delivered %d times", tag, count)
+		}
+	}
+	if len(seen) < len(first) {
+		t.Errorf("lost already-delivered values: seen %d < primer %d", len(seen), len(first))
+	}
+
+	// The name is free again and must map to a fresh, empty queue under a
+	// new id — not the closed fabric.
+	nq2, err := admin.Open("doomed")
+	if err != nil {
+		t.Fatalf("reopen after delete: %v", err)
+	}
+	if nq2.ID() == nq.ID() {
+		t.Errorf("reopened queue reused id %d", nq.ID())
+	}
+	if l, err := nq2.Len(); err != nil || l != 0 {
+		t.Errorf("reopened queue len = %d, %v; want 0, nil", l, err)
+	}
+
+	// The consumer's session still holds a binding (and possibly a stash
+	// remnant) for the dead queue; closing it runs finishSession's
+	// re-enqueue against the closed fabric, which must be a quiet no-op.
+	consumer.Close()
+	if err := admin.Enqueue([]byte("alive")); err != nil {
+		t.Fatalf("server unserviceable after race: %v", err)
+	}
+	if v, ok, err := admin.Dequeue(); err != nil || !ok || string(v) != "alive" {
+		t.Fatalf("default queue round trip after race: %q %v %v", v, ok, err)
+	}
+}
+
+// TestIdleReapReEnqueuesStash parks values in a session's stash, lets the
+// idle reaper tear the session down, and checks conservation end to end:
+// the stashed values reappear in the fabric (behind the backlog, order
+// traded for conservation) and a second consumer drains exactly the
+// values the first one never received — the full set, no loss, no dup.
+func TestIdleReapReEnqueuesStash(t *testing.T) {
+	const maxFrame = 4096
+	q, err := shard.New[[]byte](1, shard.WithMaxHandles(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", q, WithMaxFrame(maxFrame), WithIdleTimeout(60*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	victim, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := victim.Enqueue(stashValue(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One pull for everything: ~4 ship, the rest is stash. The fabric is
+	// now empty — every undelivered value lives only in the session.
+	got, err := victim.DequeueBatch(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) >= n {
+		t.Fatalf("primer delivered %d of %d values; need a strict subset to exercise the stash", len(got), n)
+	}
+	stashed := n - len(got)
+
+	// Go silent and wait for the reaper: the stash must land back in the
+	// fabric, visible as the queue's length recovering to the stash size.
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Len() != stashed {
+		if time.Now().After(deadline) {
+			t.Fatalf("fabric len %d, want %d re-enqueued after idle reap", q.Len(), stashed)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	heir, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heir.Close()
+	seen := make(map[byte]int, n)
+	for _, v := range got {
+		seen[v[0]]++
+	}
+	for drained := 0; drained < stashed; {
+		vs, err := heir.DequeueBatch(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) == 0 {
+			t.Fatalf("fabric dry after %d of %d re-enqueued values", drained, stashed)
+		}
+		for _, v := range vs {
+			seen[v[0]]++
+			drained++
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("conservation broken: %d distinct values across both consumers, want %d", len(seen), n)
+	}
+	for tag, count := range seen {
+		if count != 1 {
+			t.Errorf("tag %d delivered %d times across reap", tag, count)
+		}
+	}
+}

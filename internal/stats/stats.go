@@ -61,6 +61,84 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// Min returns the minimum of xs (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Stddev returns the sample standard deviation of xs (n-1 denominator;
+// 0 for fewer than two points).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Agg summarizes repeated measurements of one metric across seeds. It is
+// the unit the BENCH_*.json variance block records per numeric cell.
+type Agg struct {
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	CV     float64 `json:"cv"` // coefficient of variation: stddev/|mean| (0 when mean is 0)
+	N      int     `json:"n"`  // number of runs aggregated
+}
+
+// Aggregate computes the Agg summary of xs.
+func Aggregate(xs []float64) Agg {
+	a := Agg{
+		Mean:   Mean(xs),
+		Stddev: Stddev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		N:      len(xs),
+	}
+	if a.Mean != 0 {
+		a.CV = a.Stddev / math.Abs(a.Mean)
+	}
+	return a
+}
+
+// Band returns the two-sided relative tolerance band around a baseline
+// aggregate: the caller's tolerance widened by twice the baseline's
+// coefficient of variation, so noisy metrics get proportionally more slack
+// than stable ones. A metric recorded with CV 0.05 at tolerance 0.15 may
+// drift 25% before it counts as a regression; an exactly-reproducible
+// metric gets the bare 15%.
+func (a Agg) Band(tolerance float64) float64 {
+	return tolerance + 2*a.CV
+}
+
+// WithinBand reports whether current is consistent with the baseline
+// aggregate under the given relative tolerance. For a zero-mean baseline
+// (e.g. lost or duplicated element counts) the relative test is undefined,
+// so the check degrades to an absolute one: |current| <= 2*stddev, which
+// for an exactly-zero baseline demands exactly zero.
+func (a Agg) WithinBand(current, tolerance float64) bool {
+	if a.Mean == 0 {
+		return math.Abs(current) <= 2*a.Stddev
+	}
+	rel := math.Abs(current-a.Mean) / math.Abs(a.Mean)
+	return rel <= a.Band(tolerance)
+}
+
 // Fit is the result of a one-basis least-squares fit y = a + b*f(x).
 type Fit struct {
 	Intercept float64 // a

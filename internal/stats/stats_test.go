@@ -151,3 +151,65 @@ func TestPercentileWithinBoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAggregate(t *testing.T) {
+	a := Aggregate([]float64{2, 4, 6})
+	if a.Mean != 4 || a.Min != 2 || a.Max != 6 || a.N != 3 {
+		t.Fatalf("Aggregate = %+v", a)
+	}
+	if math.Abs(a.Stddev-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", a.Stddev)
+	}
+	if math.Abs(a.CV-0.5) > 1e-12 {
+		t.Errorf("CV = %v, want 0.5", a.CV)
+	}
+	one := Aggregate([]float64{7})
+	if one.Mean != 7 || one.Stddev != 0 || one.CV != 0 || one.N != 1 {
+		t.Errorf("single-point Aggregate = %+v", one)
+	}
+	zero := Aggregate(nil)
+	if zero.N != 0 || zero.Mean != 0 || zero.CV != 0 {
+		t.Errorf("empty Aggregate = %+v", zero)
+	}
+	negMean := Aggregate([]float64{-2, -4, -6})
+	if math.Abs(negMean.CV-0.5) > 1e-12 {
+		t.Errorf("negative-mean CV = %v, want 0.5", negMean.CV)
+	}
+}
+
+func TestWithinBand(t *testing.T) {
+	// CV = 0.5/10 = 0.05 -> band at tolerance 0.1 is 0.1 + 2*0.05 = 0.2.
+	a := Agg{Mean: 10, Stddev: 0.5, CV: 0.05, N: 3}
+	if b := a.Band(0.1); math.Abs(b-0.2) > 1e-12 {
+		t.Fatalf("Band = %v, want 0.2", b)
+	}
+	cases := []struct {
+		current float64
+		want    bool
+	}{
+		{10, true},
+		{11.9, true},  // +19% inside the 20% band
+		{12.1, false}, // +21% outside
+		{8.1, true},   // -19% inside (two-sided)
+		{7.9, false},  // -21% outside
+	}
+	for _, c := range cases {
+		if got := a.WithinBand(c.current, 0.1); got != c.want {
+			t.Errorf("WithinBand(%v) = %v, want %v", c.current, got, c.want)
+		}
+	}
+}
+
+func TestWithinBandZeroMean(t *testing.T) {
+	exact := Agg{Mean: 0, Stddev: 0, N: 3}
+	if !exact.WithinBand(0, 0.15) {
+		t.Error("exact-zero baseline should accept 0")
+	}
+	if exact.WithinBand(1, 0.15) {
+		t.Error("exact-zero baseline must reject any nonzero current")
+	}
+	noisy := Agg{Mean: 0, Stddev: 2, N: 3}
+	if !noisy.WithinBand(3, 0.15) || noisy.WithinBand(5, 0.15) {
+		t.Error("zero-mean baseline should accept |x| <= 2*stddev only")
+	}
+}
