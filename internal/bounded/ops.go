@@ -92,6 +92,29 @@ func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
 	return vals, len(vals)
 }
 
+// DequeueBatchAppend is DequeueBatch appending into dst. The response's
+// value slice may be helper-published shared storage, so the elements are
+// copied into dst — never handed out by reference — and the (possibly
+// grown) slice is returned with the count appended.
+func (h *Handle[T]) DequeueBatchAppend(dst []T, n int) ([]T, int) {
+	if n <= 0 {
+		return dst, 0
+	}
+	h.counter.BeginOp()
+	res := h.dequeueBlock(int64(n))
+	got := 0
+	switch {
+	case res.vals != nil:
+		dst = append(dst, res.vals...)
+		got = len(res.vals)
+	case res.ok:
+		dst = append(dst, res.val) // n == 1 responses carry the value inline
+		got = 1
+	}
+	h.counter.EndBatch(0, int64(got), int64(n-got))
+	return dst, got
+}
+
 // dequeueBlock installs one leaf block carrying n dequeues, propagates it,
 // and computes the batch's response (falling back to the GC helpers'
 // published response when the needed blocks were already discarded).

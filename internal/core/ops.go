@@ -87,12 +87,21 @@ func (h *Handle[T]) Dequeue() (T, bool) {
 // batch in the root once (one IndexDequeue walk) and then resolve each op
 // rank with its own doubling search.
 func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
+	return h.DequeueBatchAppend(nil, n)
+}
+
+// DequeueBatchAppend is DequeueBatch appending into dst, so a caller that
+// batch-dequeues in a loop can reuse one result slice instead of paying a
+// fresh allocation per batch. Returns the (possibly grown) slice and the
+// count appended.
+func (h *Handle[T]) DequeueBatchAppend(dst []T, n int) ([]T, int) {
 	if n <= 0 {
-		return nil, 0
+		return dst, 0
 	}
 	h.counter.BeginOp()
 	rootBlk, rank := h.dequeueBlock(int64(n))
-	var out []T
+	base := len(dst)
+	out := dst
 	for j := int64(0); j < int64(n); j++ {
 		v, ok := h.findResponse(rootBlk, rank+j)
 		if !ok {
@@ -103,8 +112,9 @@ func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
 		}
 		out = append(out, v)
 	}
-	h.counter.EndBatch(0, int64(len(out)), int64(n-len(out)))
-	return out, len(out)
+	got := len(out) - base
+	h.counter.EndBatch(0, int64(got), int64(n-got))
+	return out, got
 }
 
 // dequeueBlock installs one leaf block carrying n dequeues, propagates it,

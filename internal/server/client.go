@@ -37,6 +37,45 @@ type call struct {
 	// replies (the flag on the status byte marks them); it closes the span
 	// on the client's clock. 0 for plain replies.
 	recvNs int64
+
+	// own is the call's private completion channel, created once and kept
+	// across pool cycles for synchronous round trips (pipelined callers
+	// pass their own shared channel instead).
+	own chan *call
+}
+
+// callPool recycles call structs between putCall and getCall, so
+// steady-state traffic allocates no per-request bookkeeping.
+var callPool = sync.Pool{New: func() any { return new(call) }}
+
+// getCall returns a reset call completing on done (or on its private
+// channel when done is nil).
+func getCall(done chan *call, tag any) *call {
+	cl := callPool.Get().(*call)
+	cl.f = frame{}
+	cl.err = nil
+	cl.tag = tag
+	cl.recvNs = 0
+	if done == nil {
+		if cl.own == nil {
+			cl.own = make(chan *call, 1)
+		}
+		done = cl.own
+	}
+	cl.done = done
+	return cl
+}
+
+// putCall recycles a completed call. Callers must have copied everything
+// they need out of it — the reply frame, the error, the tag — and must be
+// the sole holder (a call is completed exactly once, so the receiver of
+// that completion is).
+func putCall(cl *call) {
+	cl.f = frame{}
+	cl.err = nil
+	cl.done = nil
+	cl.tag = nil
+	callPool.Put(cl)
 }
 
 // Client speaks the wire protocol over one TCP connection. All methods are
@@ -48,6 +87,7 @@ type Client struct {
 
 	wmu sync.Mutex // serializes writers on bw
 	bw  *bufio.Writer
+	enc []byte // reusable frame-encode scratch, guarded by wmu
 
 	mu      sync.Mutex // guards pending, nextID, err
 	pending map[uint64]*call
@@ -151,29 +191,99 @@ func (c *Client) fail(err error) {
 // start registers a new call and writes its request frame (without
 // flushing — see flush).
 func (c *Client) start(op byte, payload []byte, done chan *call, tag any) (*call, error) {
-	if done == nil {
-		done = make(chan *call, 1)
-	}
-	cl := &call{done: done, tag: tag}
+	return c.startParts(op, done, tag, payload)
+}
+
+// register enters cl into the pending table under a fresh id.
+func (c *Client) register(cl *call) (uint64, error) {
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, err
+		return 0, err
 	}
 	c.nextID++ // ids start at 1; id 0 is reserved for connection errors
 	id := c.nextID
 	c.pending[id] = cl
 	c.mu.Unlock()
+	return id, nil
+}
 
-	c.wmu.Lock()
-	err := writeFrame(c.bw, id, op, payload)
-	c.wmu.Unlock()
+// unregister removes a call whose request frame never made it onto the
+// wire. The call itself is not recycled: a concurrent fail may already
+// hold a reference from its pending-table snapshot.
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// trimEnc bounds the retained encode scratch (wmu held). Mirrors the
+// server's frameWriter retention policy.
+func (c *Client) trimEnc() {
+	if cap(c.enc) > fwRetain {
+		c.enc = nil
+	}
+}
+
+// startParts is start with the request payload in pieces: the parts are
+// concatenated into the client's reusable encode scratch, so pipelined
+// senders pay no per-frame encode allocation — a trace stamp or queue-id
+// prefix can live in a caller's stack array.
+func (c *Client) startParts(op byte, done chan *call, tag any, parts ...[]byte) (*call, error) {
+	cl := getCall(done, tag)
+	id, err := c.register(cl)
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		putCall(cl)
 		return nil, err
+	}
+	c.wmu.Lock()
+	c.enc = appendFrame(c.enc[:0], id, op, parts...)
+	_, werr := c.bw.Write(c.enc)
+	c.trimEnc()
+	c.wmu.Unlock()
+	if werr != nil {
+		c.unregister(id)
+		return nil, werr
+	}
+	return cl, nil
+}
+
+// startBatch is startParts for batch-encoded requests: prefix (trace
+// stamp and/or queue id, possibly empty) then the batch encoding of vals,
+// all built in the encode scratch — the callers' equivalent of the
+// server's batchFrame, avoiding encodeBatch's intermediate allocation.
+func (c *Client) startBatch(op byte, prefix []byte, vals [][]byte, done chan *call, tag any) (*call, error) {
+	cl := getCall(done, tag)
+	id, err := c.register(cl)
+	if err != nil {
+		putCall(cl)
+		return nil, err
+	}
+	n := frameHeader + len(prefix) + encodedBatchSize(vals)
+	c.wmu.Lock()
+	buf := c.enc[:0]
+	var hdr [4 + frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
+	binary.BigEndian.PutUint64(hdr[4:12], id)
+	hdr[12] = op
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, prefix...)
+	var word [4]byte
+	binary.BigEndian.PutUint32(word[:], uint32(len(vals)))
+	buf = append(buf, word[:]...)
+	for _, v := range vals {
+		binary.BigEndian.PutUint32(word[:], uint32(len(v)))
+		buf = append(buf, word[:]...)
+		buf = append(buf, v...)
+	}
+	c.enc = buf
+	_, werr := c.bw.Write(buf)
+	c.trimEnc()
+	c.wmu.Unlock()
+	if werr != nil {
+		c.unregister(id)
+		return nil, werr
 	}
 	return cl, nil
 }
@@ -189,7 +299,34 @@ func (c *Client) flush() error {
 
 // roundTrip issues one request synchronously.
 func (c *Client) roundTrip(op byte, payload []byte) (frame, error) {
-	cl, err := c.start(op, payload, nil, nil)
+	return c.roundTripParts(op, payload)
+}
+
+// roundTripParts issues one request synchronously from payload parts. The
+// completed call is recycled: its frame (whose payload the caller may
+// keep — reply payloads are never pooled on the client) is copied out
+// first.
+func (c *Client) roundTripParts(op byte, parts ...[]byte) (frame, error) {
+	cl, err := c.startParts(op, nil, nil, parts...)
+	if err != nil {
+		return frame{}, err
+	}
+	if err := c.flush(); err != nil {
+		return frame{}, err // call still pending; completed later by reply or fail
+	}
+	<-cl.done
+	f, cerr := cl.f, cl.err
+	putCall(cl)
+	if cerr != nil {
+		return frame{}, cerr
+	}
+	return f, nil
+}
+
+// roundTripBatch issues one batch-encoded request synchronously (see
+// startBatch).
+func (c *Client) roundTripBatch(op byte, prefix []byte, vals [][]byte) (frame, error) {
+	cl, err := c.startBatch(op, prefix, vals, nil, nil)
 	if err != nil {
 		return frame{}, err
 	}
@@ -197,10 +334,12 @@ func (c *Client) roundTrip(op byte, payload []byte) (frame, error) {
 		return frame{}, err
 	}
 	<-cl.done
-	if cl.err != nil {
-		return frame{}, cl.err
+	f, cerr := cl.f, cl.err
+	putCall(cl)
+	if cerr != nil {
+		return frame{}, cerr
 	}
-	return cl.f, nil
+	return f, nil
 }
 
 // statusErr maps non-OK reply statuses shared by all ops to errors.
@@ -236,11 +375,15 @@ func (c *Client) enqueue(qid uint32, v []byte) error {
 	if len(v)+frameHeader+batchReplyOverhead > c.maxFrame {
 		return errValueTooLarge(len(v), c.maxFrame)
 	}
-	op, payload := OpEnqueue, v
+	var f frame
+	var err error
 	if qid != 0 {
-		op, payload = OpEnqueueQ, qualify(qid, v)
+		var q [queueIDLen]byte
+		binary.BigEndian.PutUint32(q[:], qid)
+		f, err = c.roundTripParts(OpEnqueueQ, q[:], v)
+	} else {
+		f, err = c.roundTripParts(OpEnqueue, v)
 	}
-	f, err := c.roundTrip(op, payload)
 	if err != nil {
 		return err
 	}
@@ -272,11 +415,15 @@ func (c *Client) enqueueBatch(qid uint32, vs [][]byte) error {
 		return fmt.Errorf("%w: %d-byte batch exceeds the %d-byte frame cap",
 			ErrFrameTooLarge, encodedBatchSize(vs), c.maxFrame)
 	}
-	op, payload := OpEnqueueBatch, encodeBatch(vs)
+	var f frame
+	var err error
 	if qid != 0 {
-		op, payload = OpEnqueueBatchQ, qualify(qid, payload)
+		var q [queueIDLen]byte
+		binary.BigEndian.PutUint32(q[:], qid)
+		f, err = c.roundTripBatch(OpEnqueueBatchQ, q[:], vs)
+	} else {
+		f, err = c.roundTripBatch(OpEnqueueBatch, nil, vs)
 	}
-	f, err := c.roundTrip(op, payload)
 	if err != nil {
 		return err
 	}
@@ -297,13 +444,16 @@ func (c *Client) dequeueBatch(qid uint32, n int) ([][]byte, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	var req [4]byte
-	binary.BigEndian.PutUint32(req[:], uint32(min(n, MaxBatchOps)))
-	op, payload := OpDequeueBatch, req[:]
+	var req [queueIDLen + 4]byte
+	binary.BigEndian.PutUint32(req[queueIDLen:], uint32(min(n, MaxBatchOps)))
+	var f frame
+	var err error
 	if qid != 0 {
-		op, payload = OpDequeueBatchQ, qualify(qid, payload)
+		binary.BigEndian.PutUint32(req[:queueIDLen], qid)
+		f, err = c.roundTripParts(OpDequeueBatchQ, req[:])
+	} else {
+		f, err = c.roundTripParts(OpDequeueBatch, req[queueIDLen:])
 	}
-	f, err := c.roundTrip(op, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -322,11 +472,15 @@ func (c *Client) dequeueBatch(qid uint32, n int) ([][]byte, error) {
 func (c *Client) Dequeue() ([]byte, bool, error) { return c.dequeue(0) }
 
 func (c *Client) dequeue(qid uint32) ([]byte, bool, error) {
-	op, payload := OpDequeue, []byte(nil)
+	var f frame
+	var err error
 	if qid != 0 {
-		op, payload = OpDequeueQ, qualify(qid, nil)
+		var q [queueIDLen]byte
+		binary.BigEndian.PutUint32(q[:], qid)
+		f, err = c.roundTripParts(OpDequeueQ, q[:])
+	} else {
+		f, err = c.roundTripParts(OpDequeue)
 	}
-	f, err := c.roundTrip(op, payload)
 	if err != nil {
 		return nil, false, err
 	}
@@ -344,11 +498,15 @@ func (c *Client) dequeue(qid uint32) ([]byte, bool, error) {
 func (c *Client) Len() (int, error) { return c.length(0) }
 
 func (c *Client) length(qid uint32) (int, error) {
-	op, payload := OpLen, []byte(nil)
+	var f frame
+	var err error
 	if qid != 0 {
-		op, payload = OpLenQ, qualify(qid, nil)
+		var q [queueIDLen]byte
+		binary.BigEndian.PutUint32(q[:], qid)
+		f, err = c.roundTripParts(OpLenQ, q[:])
+	} else {
+		f, err = c.roundTripParts(OpLen)
 	}
-	f, err := c.roundTrip(op, payload)
 	if err != nil {
 		return 0, err
 	}
@@ -372,13 +530,16 @@ func (c *Client) resize(qid uint32, k int) (int, error) {
 	if k < 1 || k > 1<<31-1 {
 		return 0, fmt.Errorf("server: shard count %d out of range", k)
 	}
-	var req [4]byte
-	binary.BigEndian.PutUint32(req[:], uint32(k))
-	op, payload := OpResize, req[:]
+	var req [queueIDLen + 4]byte
+	binary.BigEndian.PutUint32(req[queueIDLen:], uint32(k))
+	var f frame
+	var err error
 	if qid != 0 {
-		op, payload = OpResizeQ, qualify(qid, req[:])
+		binary.BigEndian.PutUint32(req[:queueIDLen], qid)
+		f, err = c.roundTripParts(OpResizeQ, req[:])
+	} else {
+		f, err = c.roundTripParts(OpResize, req[queueIDLen:])
 	}
-	f, err := c.roundTrip(op, payload)
 	if err != nil {
 		return 0, err
 	}

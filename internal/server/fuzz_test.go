@@ -84,7 +84,24 @@ func malformedSeeds() map[string][]byte {
 		// A perfectly valid frame, so the fuzzer starts from the happy path too.
 		"validEnqueue": rawFrame(17, OpEnqueue, []byte("hello")),
 		"validBatch":   rawFrame(18, OpEnqueueBatch, encodeBatch([][]byte{[]byte("a"), []byte("bc")})),
+		// A frame whose body fills the frame cap exactly: the largest
+		// admissible allocation, landing in the pool's top size class.
+		"maxFrameBody": rawFrame(19, OpEnqueueBatch, maxBatchPayload()),
+		// A large frame followed by a batch of zero-length entries on the
+		// same connection: the second frame reuses the first's recycled
+		// pool buffer, and its empty values must decode as empty — never
+		// alias the stale large-frame bytes still in the buffer.
+		"zeroLenBatchAfterLargeFrame": append(
+			rawFrame(20, OpEnqueue, bytes.Repeat([]byte{0xAB}, fuzzMaxFrame/2)),
+			rawFrame(21, OpEnqueueBatch, encodeBatch([][]byte{{}, {}, {}}))...),
 	}
+}
+
+// maxBatchPayload builds a batch-enqueue payload that makes the whole
+// frame exactly fuzzMaxFrame bytes: one entry absorbing all the room the
+// framing and batch headers leave.
+func maxBatchPayload() []byte {
+	return encodeBatch([][]byte{make([]byte, fuzzMaxFrame-frameHeader-8)})
 }
 
 // FuzzFrame feeds arbitrary bytes through every pure parser on the frame

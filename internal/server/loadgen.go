@@ -156,7 +156,11 @@ func (r *LoadResult) Conserved() bool { return r.Lost == 0 && r.Dup == 0 }
 
 // enqMeta tags an in-flight enqueue frame with its identity and schedule
 // slot. A batch frame covers the count consecutive sequences starting at
-// seq; its one ack (or rejection) covers them all.
+// seq; its one ack (or rejection) covers them all. Metas live in a
+// fixed per-producer slab that doubles as the in-flight window: the
+// producer takes one to send a frame (blocking when all are out), the
+// collector returns it once the frame's fate is recorded — so pacing
+// allocates no per-frame metadata and boxes no interface values.
 type enqMeta struct {
 	seq    int64
 	count  int
@@ -235,7 +239,17 @@ func RunLoad(addr string, cfg LoadConfig) (*LoadResult, error) {
 	deadline := start.Add(cfg.Duration)
 
 	for p := 0; p < cfg.Producers; p++ {
-		ps := &producerState{acked: make([]atomic.Bool, maxSeq)}
+		// Latency samples are preallocated at the sequence-space bound (one
+		// sample per acked value) so the hot ack path never grows the slice:
+		// a measurement harness that allocates per sample would smear its own
+		// GC over the latencies it reports.
+		ps := &producerState{
+			acked: make([]atomic.Bool, maxSeq),
+			latMs: make([]float64, 0, maxSeq),
+		}
+		if cfg.TraceEvery > 0 {
+			ps.traces = make([]TraceSample, 0, maxSeq/int64(cfg.Batch*cfg.TraceEvery)+1)
+		}
 		prods[p] = ps
 		prodWG.Add(1)
 		go func(p int, ps *producerState) {
@@ -334,17 +348,21 @@ func runProducer(addr string, cfg LoadConfig, p int, ps *producerState, nonce ui
 		return err
 	}
 
-	// Completions arrive on one shared channel; tokens bound the in-flight
-	// window. done's capacity exceeds the window so the client's read loop
-	// can never block delivering a completion.
+	// Completions arrive on one shared channel; the meta slab bounds the
+	// in-flight window (the producer blocks taking a meta when all Window
+	// of them are out). done's capacity exceeds the window so the client's
+	// read loop can never block delivering a completion.
 	done := make(chan *call, cfg.Window+1)
-	tokens := make(chan struct{}, cfg.Window)
+	tokens := make(chan *enqMeta, cfg.Window)
+	for i := 0; i < cfg.Window; i++ {
+		tokens <- new(enqMeta)
+	}
 	var collectorWG sync.WaitGroup
 	collectorWG.Add(1)
 	go func() {
 		defer collectorWG.Done()
 		for cl := range done {
-			meta := cl.tag.(enqMeta)
+			meta := cl.tag.(*enqMeta)
 			n := int64(meta.count)
 			f := cl.f
 			if meta.traced && cl.err == nil {
@@ -394,7 +412,8 @@ func runProducer(addr string, cfg LoadConfig, p int, ps *producerState, nonce ui
 			default:
 				ps.errs += n
 			}
-			<-tokens
+			putCall(cl)
+			tokens <- meta // frees the window slot; the meta is reused
 		}
 	}()
 
@@ -408,6 +427,11 @@ func runProducer(addr string, cfg LoadConfig, p int, ps *producerState, nonce ui
 		values[i] = make([]byte, cfg.ValueSize)
 		binary.BigEndian.PutUint64(values[i][16:24], nonce)
 	}
+	// prefixBuf holds the frame's wire prefixes — trace stamp first, then
+	// queue id, matching decodeOp's stripping order — assembled in place so
+	// a traced qualified frame costs no more encode allocations than a
+	// plain one (the client copies the parts into its own scratch).
+	var prefixBuf [traceStampLen + queueIDLen]byte
 	next := time.Now()
 pacing:
 	for time.Now().Before(deadline) && seq+int64(cfg.Burst*cfg.Batch) < int64(len(ps.acked)) {
@@ -416,31 +440,36 @@ pacing:
 		}
 		sched := next
 		for b := 0; b < cfg.Burst; b++ {
-			tokens <- struct{}{} // blocks when the window is full; the delay lands in the latency
+			meta := <-tokens // blocks when the window is full; the delay lands in the latency
 			for k := range values {
 				binary.BigEndian.PutUint64(values[k][0:8], loadKey(p, seq+int64(k)))
 				binary.BigEndian.PutUint64(values[k][8:16], uint64(sched.UnixNano()))
 			}
-			meta := enqMeta{seq: seq, count: cfg.Batch, sched: sched}
-			var op byte
-			var payload []byte
-			if cfg.Batch == 1 {
-				op, payload = OpEnqueue, values[0]
-			} else {
-				op, payload = OpEnqueueBatch, encodeBatch(values)
+			*meta = enqMeta{seq: seq, count: cfg.Batch, sched: sched}
+			op := OpEnqueue
+			if cfg.Batch > 1 {
+				op = OpEnqueueBatch
 			}
-			if qid != 0 {
-				op, payload = op|OpQueueFlag, qualify(qid, payload)
-			}
+			pre := prefixBuf[:0]
 			if cfg.TraceEvery > 0 && frames%int64(cfg.TraceEvery) == 0 {
 				meta.traced = true
 				meta.sendNs = time.Now().UnixNano()
-				op, payload = op|OpTraceFlag, tracePrefix(meta.sendNs, payload)
+				op |= OpTraceFlag
+				pre = binary.BigEndian.AppendUint64(pre, uint64(meta.sendNs))
+			}
+			if qid != 0 {
+				op |= OpQueueFlag
+				pre = binary.BigEndian.AppendUint32(pre, qid)
 			}
 			frames++
-			_, err := c.start(op, payload, done, meta)
+			var err error
+			if cfg.Batch == 1 {
+				_, err = c.startParts(op, done, meta, pre, values[0])
+			} else {
+				_, err = c.startBatch(op, pre, values, done, meta)
+			}
 			if err != nil {
-				<-tokens
+				tokens <- meta
 				ps.errs += int64(cfg.Batch)
 				broken = true
 				break pacing
@@ -462,10 +491,10 @@ pacing:
 		c.Close()
 	}
 
-	// Reclaiming the whole window proves the pipeline is empty; then the
+	// Reclaiming the whole meta slab proves the pipeline is empty; then the
 	// collector can be retired.
 	for i := 0; i < cfg.Window; i++ {
-		tokens <- struct{}{}
+		<-tokens
 	}
 	close(done)
 	collectorWG.Wait()
@@ -477,6 +506,10 @@ pacing:
 func runConsumer(addr string, cfg LoadConfig, stop <-chan struct{},
 	ours func(key, nonce uint64) bool, consumedOurs *atomic.Int64) (consumerOut, error) {
 	var out consumerOut
+	// Seeded with room for a fair share of the backlog so the recording
+	// path mostly appends in place; growth past this is amortized doubling.
+	out.keys = make([]uint64, 0, 4096)
+	out.latMs = make([]float64, 0, 4096)
 	c, err := Dial(addr)
 	if err != nil {
 		return out, err

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the test binary was built with the race
+// detector, whose instrumentation allocates on paths that are
+// allocation-free in normal builds — allocation-gate tests skip under it.
+const raceEnabled = true

@@ -35,6 +35,8 @@ type options struct {
 	highWatermark float64 // served ops/s per shard above which a queue grows
 
 	obs bool // per-(queue, op) latency histograms + control-plane trace ring
+
+	netPool bool // pooled ingress buffers + retained reply scratch (see pool.go)
 }
 
 // WithWindow sets the per-connection in-flight window W (default 64): the
@@ -126,6 +128,19 @@ func WithObservability(on bool) Option {
 	return func(o *options) { o.obs = on }
 }
 
+// WithNetPooling toggles the server's network memory system (default on):
+// request frames decode into size-classed pooled buffers recycled after
+// each window, enqueue payloads are copied out of their frame at admit
+// time into pooled storage recycled when a dequeue reply ships them, and
+// replies append into a retained per-session egress scratch flushed with
+// one sized write. Off, the server reproduces the pre-pooling cost model —
+// a fresh buffer per frame and per encode helper — which is what the T18
+// netwall experiment's before-arm measures; correctness is identical
+// either way.
+func WithNetPooling(on bool) Option {
+	return func(o *options) { o.netPool = on }
+}
+
 // DefaultMaxQueues is the default cap on named queues per server.
 const DefaultMaxQueues = 64
 
@@ -206,6 +221,7 @@ func Serve(addr string, q *shard.Queue[[]byte], opts ...Option) (*Server, error)
 		lowWatermark:  DefaultLowWatermark,
 		highWatermark: DefaultHighWatermark,
 		obs:           true,
+		netPool:       true,
 	}
 	for _, opt := range opts {
 		opt(&o)
@@ -378,7 +394,7 @@ func (srv *Server) readLoop(s *session) {
 	defer close(s.reqCh)
 	br := bufio.NewReader(s.conn)
 	for {
-		f, err := readFrame(br, srv.opts.maxFrame)
+		f, err := readFrameBuf(br, srv.opts.maxFrame, srv.opts.netPool)
 		if err != nil {
 			return
 		}
@@ -396,7 +412,12 @@ func (srv *Server) readLoop(s *session) {
 		default:
 			// Window full: reject this request. The BUSY marker still
 			// takes a window slot, so this send blocks until the worker
-			// frees one — pausing the read loop is the backpressure.
+			// frees one — pausing the read loop is the backpressure. The
+			// rejected frame's body dies here: the marker carries only the
+			// id, so the buffer recycles immediately.
+			if srv.opts.netPool {
+				putBuf(f.payload)
+			}
 			if n := srv.stats.busy.Add(1); (n-1)%busySampleEvery == 0 {
 				srv.trace.Add("busy", "", map[string]any{
 					"session": s.id, "busy_total": n})
@@ -418,8 +439,23 @@ func (srv *Server) readLoop(s *session) {
 func (srv *Server) batchWorker(s *session) {
 	defer srv.wg.Done()
 	defer srv.finishSession(s)
-	bw := bufio.NewWriter(s.conn)
+	pooled := srv.opts.netPool
+	fw := newFrameWriter(s.conn, pooled)
 	window := make([]frame, 0, srv.opts.batchMax)
+	// recycleWindow returns the window's frame bodies to the pool. By the
+	// time it runs, every reference into them is gone: enqueue payloads
+	// were copied out at admit time, reply bytes were copied into the
+	// egress scratch, error strings were materialized by Sprintf/string(),
+	// and spans carry timestamps only.
+	recycleWindow := func() {
+		if !pooled {
+			return
+		}
+		for i := range window {
+			putBuf(window[i].payload)
+			window[i].payload = nil
+		}
+	}
 	for {
 		f, ok := <-s.reqCh
 		if !ok {
@@ -439,11 +475,12 @@ func (srv *Server) batchWorker(s *session) {
 				break drain
 			}
 		}
-		err := srv.processWindow(s, window, bw)
+		err := srv.processWindow(s, window, fw)
 		srv.stats.batches.Add(1)
 		srv.stats.frames.Add(int64(len(window)))
+		recycleWindow()
 		if err == nil {
-			err = bw.Flush()
+			err = fw.flush()
 		}
 		if err != nil {
 			// The socket is broken; unblock the read loop (it may be
@@ -452,7 +489,10 @@ func (srv *Server) batchWorker(s *session) {
 			// window never got their flush stamp and are dropped with it.
 			s.winSpans = s.winSpans[:0]
 			s.shutdown()
-			for range s.reqCh {
+			for f := range s.reqCh {
+				if pooled {
+					putBuf(f.payload)
+				}
 			}
 			return
 		}
@@ -472,7 +512,7 @@ func (srv *Server) batchWorker(s *session) {
 // Coalescing preserves the session's request order — runs never reorder
 // across a frame of a different kind or queue — so pipelined
 // enqueue-then-dequeue sequences observe exactly the single-op semantics.
-func (srv *Server) processWindow(s *session, window []frame, bw *bufio.Writer) error {
+func (srv *Server) processWindow(s *session, window []frame, fw *frameWriter) error {
 	decs := s.decs[:0]
 	for _, f := range window {
 		decs = append(decs, decodeOp(f))
@@ -498,11 +538,11 @@ func (srv *Server) processWindow(s *session, window []frame, bw *bufio.Writer) e
 		var err error
 		switch {
 		case len(run) > 1 && d.op == OpEnqueue:
-			err = srv.executeEnqueueRun(s, d.qid, run, decs[i:j], bw)
+			err = srv.executeEnqueueRun(s, d.qid, run, decs[i:j], fw)
 		case len(run) > 1 && d.op == OpDequeue:
-			err = srv.executeDequeueRun(s, d.qid, run, decs[i:j], bw)
+			err = srv.executeDequeueRun(s, d.qid, run, decs[i:j], fw)
 		default:
-			err = srv.execute(s, run[0], d, bw)
+			err = srv.execute(s, run[0], d, fw)
 		}
 		if err != nil {
 			return err
@@ -514,9 +554,9 @@ func (srv *Server) processWindow(s *session, window []frame, bw *bufio.Writer) e
 
 // refuseRun answers every frame of a run with the same request-scoped
 // error (unknown queue, per-queue registry exhausted).
-func (srv *Server) refuseRun(run []frame, err error, bw *bufio.Writer) error {
+func (srv *Server) refuseRun(run []frame, err error, fw *frameWriter) error {
 	for _, f := range run {
-		if werr := writeFrame(bw, f.id, StatusErr, []byte(err.Error())); werr != nil {
+		if werr := fw.frame(f.id, StatusErr, []byte(err.Error())); werr != nil {
 			return werr
 		}
 	}
@@ -528,22 +568,34 @@ func (srv *Server) refuseRun(run []frame, err error, bw *bufio.Writer) error {
 // Oversized values (ones a batch reply could not ship back) are rare
 // enough that the whole run falls back to frame-by-frame execution, where
 // they are rejected individually.
-func (srv *Server) executeEnqueueRun(s *session, qid uint32, run []frame, decs []decoded, bw *bufio.Writer) error {
+func (srv *Server) executeEnqueueRun(s *session, qid uint32, run []frame, decs []decoded, fw *frameWriter) error {
 	b, berr := s.bind(qid)
 	if berr != nil {
-		return srv.refuseRun(run, berr, bw)
+		return srv.refuseRun(run, berr, fw)
 	}
-	vals := make([][]byte, len(run))
-	for i, d := range decs {
+	pooled := srv.opts.netPool
+	vals := s.vals[:0]
+	for _, d := range decs {
 		if !srv.enqueueFits(d.rest) {
+			if pooled {
+				for _, v := range vals {
+					putBuf(v)
+				}
+			}
 			for k, f := range run {
-				if err := srv.execute(s, f, decs[k], bw); err != nil {
+				if err := srv.execute(s, f, decs[k], fw); err != nil {
 					return err
 				}
 			}
 			return nil
 		}
-		vals[i] = d.rest
+		if pooled {
+			// Admit-time copy: the fabric's reference must be independent
+			// of the (recyclable) frame body.
+			vals = append(vals, copyBuf(d.rest))
+		} else {
+			vals = append(vals, d.rest)
+		}
 	}
 	// A sampled run pays two clock reads bounding the fabric call; the
 	// stamps are shared by every traced frame it carries.
@@ -561,14 +613,19 @@ func (srv *Server) executeEnqueueRun(s *session, qid uint32, run []frame, decs [
 		srv.stats.enqueues.Add(int64(len(run)))
 		srv.stats.batchedOps.Add(int64(len(run)))
 		b.t.enqueues.Add(int64(len(run)))
+	} else if pooled {
+		for _, v := range vals { // rejected (closed): the copies die here
+			putBuf(v)
+		}
 	}
+	s.vals = vals[:0] // EnqueueBatch copies the headers; the scratch is ours again
 	for k, f := range run {
 		status := StatusOK
 		if err != nil {
 			status = StatusClosed
 		}
-		if werr := srv.writeReply(s, b, f, decs[k], status, nil,
-			obs.OpEnqueue, 1, fabricStart, fabricEnd, bw); werr != nil {
+		if werr := srv.writeReply(s, b, f, decs[k], status, nil, nil,
+			obs.OpEnqueue, 1, fabricStart, fabricEnd, fw); werr != nil {
 			return werr
 		}
 	}
@@ -592,18 +649,19 @@ func (srv *Server) executeEnqueueRun(s *session, qid uint32, run []frame, decs [
 // delivered (the client cannot parse a truncated length-prefixed frame),
 // so its value and everything after it go back to the stash for teardown
 // to re-enqueue.
-func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, decs []decoded, bw *bufio.Writer) error {
+func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, decs []decoded, fw *frameWriter) error {
 	b, berr := s.bind(qid)
 	if berr != nil {
-		return srv.refuseRun(run, berr, bw)
+		return srv.refuseRun(run, berr, fw)
 	}
+	pooled := srv.opts.netPool
 	b.t.deqPolls.Add(int64(len(run)))
 	var fabricStart, fabricEnd int64
 	traced := runSampled(run, decs)
 	if traced {
 		fabricStart = time.Now().UnixNano()
 	}
-	vals, fromFabric := b.takeValues(len(run))
+	vals, fromFabric := b.takeValues(s.vals[:0], len(run))
 	if traced {
 		fabricEnd = time.Now().UnixNano()
 	}
@@ -613,10 +671,16 @@ func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, decs [
 	srv.stats.batchedOps.Add(int64(len(run)))
 	for i, f := range run {
 		if i < len(vals) {
-			if err := srv.writeReply(s, b, f, decs[i], StatusOK, vals[i],
-				obs.OpDequeue, 1, fabricStart, fabricEnd, bw); err != nil {
+			if err := srv.writeReply(s, b, f, decs[i], StatusOK, vals[i], nil,
+				obs.OpDequeue, 1, fabricStart, fabricEnd, fw); err != nil {
+				// Undelivered values go back to the stash, which owns its
+				// bytes until teardown re-enqueues them — never recycled.
 				b.stash = append(b.stash, vals[i:]...)
+				s.vals = vals[:0]
 				return err
+			}
+			if pooled {
+				putBuf(vals[i]) // reply bytes are in the egress scratch now
 			}
 			srv.stats.dequeues.Add(1)
 			b.t.dequeues.Add(1)
@@ -624,11 +688,13 @@ func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, decs [
 		}
 		srv.stats.emptyDeqs.Add(1)
 		b.t.emptyDeqs.Add(1)
-		if err := srv.writeReply(s, b, f, decs[i], StatusEmpty, nil,
-			obs.OpNullDequeue, 0, fabricStart, fabricEnd, bw); err != nil {
+		if err := srv.writeReply(s, b, f, decs[i], StatusEmpty, nil, nil,
+			obs.OpNullDequeue, 0, fabricStart, fabricEnd, fw); err != nil {
+			s.vals = vals[:0]
 			return err
 		}
 	}
+	s.vals = vals[:0]
 	if h := b.t.hists; h != nil {
 		now := time.Now().UnixNano()
 		for i, f := range run {
@@ -645,10 +711,12 @@ func (srv *Server) executeDequeueRun(s *session, qid uint32, run []frame, decs [
 	return nil
 }
 
-// takeValues returns up to n dequeued values — the binding's stash first
-// (values dequeued earlier that overflowed a reply), then one fabric batch
-// call for the remainder — and how many of them came from the fabric call.
-func (b *binding) takeValues(n int) (vals [][]byte, fromFabric int64) {
+// takeValues appends up to n dequeued values to dst — the binding's stash
+// first (values dequeued earlier that overflowed a reply), then one fabric
+// batch call for the remainder — and returns the result with how many
+// values came from the fabric call.
+func (b *binding) takeValues(dst [][]byte, n int) (vals [][]byte, fromFabric int64) {
+	vals = dst
 	if len(b.stash) > 0 {
 		k := min(n, len(b.stash))
 		vals = append(vals, b.stash[:k]...)
@@ -658,8 +726,8 @@ func (b *binding) takeValues(n int) (vals [][]byte, fromFabric int64) {
 		}
 	}
 	if len(vals) < n {
-		vs, got := b.h.DequeueBatch(n - len(vals))
-		vals = append(vals, vs...)
+		var got int
+		vals, got = b.h.DequeueBatchAppend(vals, n-len(vals))
 		fromFabric = int64(got)
 	}
 	return vals, fromFabric
@@ -682,47 +750,55 @@ func (srv *Server) noteFabricBatch(n int64) {
 // writes (but does not flush) the reply. Queue resolution failures —
 // unknown id, per-queue registry exhausted, bad name — are request-scoped
 // StatusErr replies, never connection failures.
-func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) error {
+func (srv *Server) execute(s *session, f frame, d decoded, fw *frameWriter) error {
 	if d.bad {
-		return writeFrame(bw, f.id, StatusErr,
+		return fw.frame(f.id, StatusErr,
 			[]byte(fmt.Sprintf("opcode 0x%02x payload %d bytes, too short for its trace/queue prefix",
 				f.kind, len(f.payload))))
 	}
+	pooled := srv.opts.netPool
 	switch d.op {
 	case StatusBusy: // BUSY marker injected by the read loop
-		return writeFrame(bw, f.id, StatusBusy, nil)
+		return fw.frame(f.id, StatusBusy)
 	case OpEnqueue:
 		if !srv.enqueueFits(d.rest) {
-			return writeFrame(bw, f.id, StatusErr,
+			return fw.frame(f.id, StatusErr,
 				[]byte(fmt.Sprintf("value of %d bytes cannot fit a reply within the %d-byte frame cap",
 					len(d.rest), srv.opts.maxFrame)))
 		}
 		b, err := s.bind(d.qid)
 		if err != nil {
-			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+			return fw.frame(f.id, StatusErr, []byte(err.Error()))
+		}
+		v := d.rest
+		if pooled {
+			v = copyBuf(d.rest) // admit-time copy; the frame body recycles
 		}
 		var fabricStart, fabricEnd int64
 		if sampled(f, d) {
 			fabricStart = time.Now().UnixNano()
 		}
-		enqErr := b.h.Enqueue(d.rest)
+		enqErr := b.h.Enqueue(v)
 		if sampled(f, d) {
 			fabricEnd = time.Now().UnixNano()
 		}
 		if enqErr != nil {
-			return writeFrame(bw, f.id, StatusClosed, nil)
+			if pooled {
+				putBuf(v) // rejected (closed): the copy dies here
+			}
+			return fw.frame(f.id, StatusClosed)
 		}
 		srv.stats.enqueues.Add(1)
 		srv.stats.batchedOps.Add(1)
 		b.t.enqueues.Add(1)
-		err = srv.writeReply(s, b, f, d, StatusOK, nil,
-			obs.OpEnqueue, 1, fabricStart, fabricEnd, bw)
+		err = srv.writeReply(s, b, f, d, StatusOK, nil, nil,
+			obs.OpEnqueue, 1, fabricStart, fabricEnd, fw)
 		recordOp(b, s.stripe, f, obs.OpEnqueue)
 		return err
 	case OpDequeue:
 		b, err := s.bind(d.qid)
 		if err != nil {
-			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+			return fw.frame(f.id, StatusErr, []byte(err.Error()))
 		}
 		var v []byte
 		ok := false
@@ -743,31 +819,51 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		if !ok {
 			srv.stats.emptyDeqs.Add(1)
 			b.t.emptyDeqs.Add(1)
-			err = srv.writeReply(s, b, f, d, StatusEmpty, nil,
-				obs.OpNullDequeue, 0, fabricStart, fabricEnd, bw)
+			err = srv.writeReply(s, b, f, d, StatusEmpty, nil, nil,
+				obs.OpNullDequeue, 0, fabricStart, fabricEnd, fw)
 			recordOp(b, s.stripe, f, obs.OpNullDequeue)
 			return err
 		}
-		if err := srv.writeReply(s, b, f, d, StatusOK, v,
-			obs.OpDequeue, 1, fabricStart, fabricEnd, bw); err != nil {
+		if err := srv.writeReply(s, b, f, d, StatusOK, v, nil,
+			obs.OpDequeue, 1, fabricStart, fabricEnd, fw); err != nil {
 			b.stash = append(b.stash, v) // undelivered: teardown re-enqueues
 			return err
+		}
+		if pooled {
+			putBuf(v) // reply bytes are in the egress scratch now
 		}
 		srv.stats.dequeues.Add(1)
 		b.t.dequeues.Add(1)
 		recordOp(b, s.stripe, f, obs.OpDequeue)
 		return nil
 	case OpEnqueueBatch:
-		vals, err := decodeBatch(d.rest)
+		var vals [][]byte
+		var err error
+		if pooled {
+			// Copy-at-decode: each value gets its own pooled buffer, so
+			// nothing the fabric holds aliases the recyclable frame body.
+			vals, err = decodeBatchPooled(d.rest, s.vals[:0])
+		} else {
+			vals, err = decodeBatch(d.rest)
+		}
 		if err != nil {
-			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+			return fw.frame(f.id, StatusErr, []byte(err.Error()))
 		}
 		if len(vals) == 0 {
-			return writeFrame(bw, f.id, StatusOK, nil)
+			return fw.frame(f.id, StatusOK)
 		}
-		b, err := s.bind(d.qid)
-		if err != nil {
-			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+		release := func() {
+			if pooled {
+				for _, v := range vals {
+					putBuf(v)
+				}
+				s.vals = vals[:0]
+			}
+		}
+		b, berr := s.bind(d.qid)
+		if berr != nil {
+			release()
+			return fw.frame(f.id, StatusErr, []byte(berr.Error()))
 		}
 		var fabricStart, fabricEnd int64
 		if sampled(f, d) {
@@ -778,19 +874,23 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 			fabricEnd = time.Now().UnixNano()
 		}
 		if enqErr != nil {
-			return writeFrame(bw, f.id, StatusClosed, nil)
+			release()
+			return fw.frame(f.id, StatusClosed)
+		}
+		if pooled {
+			s.vals = vals[:0] // fabric copied the headers and owns the values
 		}
 		srv.noteFabricBatch(int64(len(vals)))
 		srv.stats.enqueues.Add(int64(len(vals)))
 		srv.stats.batchedOps.Add(int64(len(vals)))
 		b.t.enqueues.Add(int64(len(vals)))
-		err = srv.writeReply(s, b, f, d, StatusOK, nil,
-			obs.OpBatch, len(vals), fabricStart, fabricEnd, bw)
+		err = srv.writeReply(s, b, f, d, StatusOK, nil, nil,
+			obs.OpBatch, len(vals), fabricStart, fabricEnd, fw)
 		recordOp(b, s.stripe, f, obs.OpBatch)
 		return err
 	case OpDequeueBatch:
 		if len(d.rest) != 4 {
-			return writeFrame(bw, f.id, StatusErr,
+			return fw.frame(f.id, StatusErr,
 				[]byte(fmt.Sprintf("dequeue batch payload %d bytes, want 4", len(d.rest))))
 		}
 		n := int(binary.BigEndian.Uint32(d.rest))
@@ -799,33 +899,33 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		}
 		b, err := s.bind(d.qid)
 		if err != nil {
-			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+			return fw.frame(f.id, StatusErr, []byte(err.Error()))
 		}
-		return srv.executeDequeueBatch(s, b, f, d, n, bw)
+		return srv.executeDequeueBatch(s, b, f, d, n, fw)
 	case OpLen:
 		t, ok := srv.ns.lookup(d.qid)
 		if !ok {
-			return writeFrame(bw, f.id, StatusErr,
+			return fw.frame(f.id, StatusErr,
 				[]byte(fmt.Sprintf("%s: id %d", ErrUnknownQueue.Error(), d.qid)))
 		}
 		var buf [8]byte
 		binary.BigEndian.PutUint64(buf[:], uint64(t.q.Len()))
-		return writeFrame(bw, f.id, StatusOK, buf[:])
+		return fw.frame(f.id, StatusOK, buf[:])
 	case OpStats:
 		data, err := json.Marshal(srv.Snapshot())
 		if err != nil {
-			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+			return fw.frame(f.id, StatusErr, []byte(err.Error()))
 		}
-		return writeFrame(bw, f.id, StatusOK, data)
+		return fw.frame(f.id, StatusOK, data)
 	case OpResize:
 		if len(d.rest) != 4 {
-			return writeFrame(bw, f.id, StatusErr,
+			return fw.frame(f.id, StatusErr,
 				[]byte(fmt.Sprintf("resize payload %d bytes, want 4", len(d.rest))))
 		}
 		k := int(binary.BigEndian.Uint32(d.rest))
 		t, ok := srv.ns.lookup(d.qid)
 		if !ok {
-			return writeFrame(bw, f.id, StatusErr,
+			return fw.frame(f.id, StatusErr,
 				[]byte(fmt.Sprintf("%s: id %d", ErrUnknownQueue.Error(), d.qid)))
 		}
 		// Manual resizes obey the same bounds as the autoscaler, so a
@@ -836,29 +936,29 @@ func (srv *Server) execute(s *session, f frame, d decoded, bw *bufio.Writer) err
 		k = min(max(k, srv.opts.minShards), srv.opts.maxShards)
 		from := t.q.Shards()
 		if err := t.q.Resize(k); err != nil {
-			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+			return fw.frame(f.id, StatusErr, []byte(err.Error()))
 		}
 		srv.stats.wireResizes.Add(1)
 		srv.trace.Add("wire_resize", t.name, map[string]any{
 			"from": from, "to": k, "epoch": t.q.ResizeStats().Epoch})
 		var buf [4]byte
 		binary.BigEndian.PutUint32(buf[:], uint32(k))
-		return writeFrame(bw, f.id, StatusOK, buf[:])
+		return fw.frame(f.id, StatusOK, buf[:])
 	case OpOpen:
 		t, err := srv.openQueue(s, string(d.rest))
 		if err != nil {
-			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+			return fw.frame(f.id, StatusErr, []byte(err.Error()))
 		}
 		var buf [queueIDLen]byte
 		binary.BigEndian.PutUint32(buf[:], t.id)
-		return writeFrame(bw, f.id, StatusOK, buf[:])
+		return fw.frame(f.id, StatusOK, buf[:])
 	case OpDelete:
 		if err := srv.ns.remove(string(d.rest)); err != nil {
-			return writeFrame(bw, f.id, StatusErr, []byte(err.Error()))
+			return fw.frame(f.id, StatusErr, []byte(err.Error()))
 		}
-		return writeFrame(bw, f.id, StatusOK, nil)
+		return fw.frame(f.id, StatusOK)
 	default:
-		return writeFrame(bw, f.id, StatusErr,
+		return fw.frame(f.id, StatusErr,
 			[]byte(fmt.Sprintf("unknown opcode 0x%02x", f.kind)))
 	}
 }
@@ -891,7 +991,8 @@ func (srv *Server) openQueue(s *session, name string) (*tenant, error) {
 // stash and are shipped by the next dequeue request instead — the frame
 // cap must bound every frame the server emits, not only the ones it
 // reads.
-func (srv *Server) executeDequeueBatch(s *session, b *binding, f frame, d decoded, n int, bw *bufio.Writer) error {
+func (srv *Server) executeDequeueBatch(s *session, b *binding, f frame, d decoded, n int, fw *frameWriter) error {
+	pooled := srv.opts.netPool
 	b.t.deqPolls.Add(1)
 	budget := srv.opts.maxFrame - frameHeader - 4 // payload bytes after the count word
 	if sampled(f, d) {
@@ -899,22 +1000,16 @@ func (srv *Server) executeDequeueBatch(s *session, b *binding, f frame, d decode
 		// the traced frame still fits the cap.
 		budget -= traceBlockLen
 	}
-	var out [][]byte
-	take := func(v []byte) bool {
-		if 4+len(v) > budget {
-			return false
-		}
-		budget -= 4 + len(v)
-		out = append(out, v)
-		return true
-	}
+	out := s.vals[:0]
 	var fabricStart, fabricEnd int64
 	if sampled(f, d) {
 		fabricStart = time.Now().UnixNano()
 	}
 	full := false
 	for len(b.stash) > 0 && len(out) < n && !full {
-		if take(b.stash[0]) {
+		if v := b.stash[0]; 4+len(v) <= budget {
+			budget -= 4 + len(v)
+			out = append(out, v)
 			b.popStash()
 		} else {
 			full = true
@@ -922,16 +1017,20 @@ func (srv *Server) executeDequeueBatch(s *session, b *binding, f frame, d decode
 	}
 	for !full && len(out) < n {
 		want := n - len(out)
-		vs, got := b.h.DequeueBatch(want)
+		base := len(out)
+		var got int
+		out, got = b.h.DequeueBatchAppend(out, want)
 		if got > 0 {
 			srv.noteFabricBatch(int64(got))
 		}
-		for i, v := range vs {
-			if take(v) {
+		for i := base; i < len(out); i++ {
+			if 4+len(out[i]) <= budget {
+				budget -= 4 + len(out[i])
 				continue
 			}
 			// Reply full: everything already pulled is owed to this session.
-			b.stash = append(b.stash, vs[i:]...)
+			b.stash = append(b.stash, out[i:]...)
+			out = out[:i]
 			full = true
 			break
 		}
@@ -943,22 +1042,30 @@ func (srv *Server) executeDequeueBatch(s *session, b *binding, f frame, d decode
 		fabricEnd = time.Now().UnixNano()
 	}
 	if len(out) == 0 {
+		s.vals = out
 		srv.stats.batchedOps.Add(1) // the empty reply still answers one op
 		srv.stats.emptyDeqs.Add(1)
 		b.t.emptyDeqs.Add(1)
-		err := srv.writeReply(s, b, f, d, StatusEmpty, nil,
-			obs.OpNullDequeue, 0, fabricStart, fabricEnd, bw)
+		err := srv.writeReply(s, b, f, d, StatusEmpty, nil, nil,
+			obs.OpNullDequeue, 0, fabricStart, fabricEnd, fw)
 		recordOp(b, s.stripe, f, obs.OpNullDequeue)
 		return err
 	}
 	srv.stats.batchedOps.Add(int64(len(out)))
-	if err := srv.writeReply(s, b, f, d, StatusOK, encodeBatch(out),
-		obs.OpBatch, len(out), fabricStart, fabricEnd, bw); err != nil {
+	if err := srv.writeReply(s, b, f, d, StatusOK, nil, out,
+		obs.OpBatch, len(out), fabricStart, fabricEnd, fw); err != nil {
 		// The reply never reached the client as a parseable frame; keep its
 		// values for teardown to re-enqueue.
 		b.stash = append(b.stash, out...)
+		s.vals = out[:0]
 		return err
 	}
+	if pooled {
+		for _, v := range out { // reply bytes are in the egress scratch now
+			putBuf(v)
+		}
+	}
+	s.vals = out[:0]
 	srv.stats.dequeues.Add(int64(len(out)))
 	b.t.dequeues.Add(int64(len(out)))
 	recordOp(b, s.stripe, f, obs.OpBatch)
@@ -998,15 +1105,20 @@ func runSampled(run []frame, decs []decoded) bool {
 // status|OpTraceFlag with a span-block payload prefix — when the request
 // was a live trace sample and the reply is a terminal success (OK or
 // Empty). The span itself is parked on the session until the window's
-// flush lands (completeSpans), which closes its last stage. ops is how
-// many values the frame moved; fabricStart/fabricEnd bound the queue
-// operation that served it (shared by every frame of a coalesced run). A
-// traced reply that would overflow the frame cap falls back to the plain
-// form — the span is still captured server-side.
+// flush lands (completeSpans), which closes its last stage. The reply body
+// is either payload (a single value or fixed-size answer) or bvals (a
+// batch reply, encoded straight into the egress scratch) — never both. ops
+// is how many values the frame moved; fabricStart/fabricEnd bound the
+// queue operation that served it (shared by every frame of a coalesced
+// run). A traced reply that would overflow the frame cap falls back to the
+// plain form — the span is still captured server-side.
 func (srv *Server) writeReply(s *session, b *binding, f frame, d decoded, status byte,
-	payload []byte, op obs.Op, ops int, fabricStart, fabricEnd int64, bw *bufio.Writer) error {
+	payload []byte, bvals [][]byte, op obs.Op, ops int, fabricStart, fabricEnd int64, fw *frameWriter) error {
 	if !sampled(f, d) || srv.spans == nil || (status != StatusOK && status != StatusEmpty) {
-		return writeFrame(bw, f.id, status, payload)
+		if bvals != nil {
+			return fw.batchFrame(f.id, status, nil, bvals)
+		}
+		return fw.frame(f.id, status, payload)
 	}
 	replyWrite := time.Now().UnixNano()
 	sp := &obs.Span{
@@ -1023,11 +1135,35 @@ func (srv *Server) writeReply(s *session, b *binding, f frame, d decoded, status
 		ReplyWrite:  replyWrite,
 	}
 	s.winSpans = append(s.winSpans, sp)
-	if frameHeader+traceBlockLen+len(payload) > srv.opts.maxFrame {
-		return writeFrame(bw, f.id, status, payload)
+	bodyLen := len(payload)
+	if bvals != nil {
+		bodyLen = encodedBatchSize(bvals)
 	}
-	block := putSpanBlock(f.at, s.admitNs, fabricStart, fabricEnd, replyWrite, payload)
-	return writeFrame(bw, f.id, status|OpTraceFlag, block)
+	if frameHeader+traceBlockLen+bodyLen > srv.opts.maxFrame {
+		if bvals != nil {
+			return fw.batchFrame(f.id, status, nil, bvals)
+		}
+		return fw.frame(f.id, status, payload)
+	}
+	if !fw.pooled {
+		// Legacy-arm fidelity: materialize the span block (and a batch
+		// payload) through the allocating helpers, as the pre-pooling
+		// encoder did.
+		body := payload
+		if bvals != nil {
+			body = encodeBatch(bvals)
+		}
+		return fw.frame(f.id, status|OpTraceFlag,
+			putSpanBlock(f.at, s.admitNs, fabricStart, fabricEnd, replyWrite, body))
+	}
+	var block [traceBlockLen]byte
+	for i, ns := range [5]int64{f.at, s.admitNs, fabricStart, fabricEnd, replyWrite} {
+		binary.BigEndian.PutUint64(block[i*8:], uint64(ns))
+	}
+	if bvals != nil {
+		return fw.batchFrame(f.id, status|OpTraceFlag, block[:], bvals)
+	}
+	return fw.frame(f.id, status|OpTraceFlag, block[:], payload)
 }
 
 // completeSpans closes the window's parked spans with the flush timestamp

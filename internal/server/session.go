@@ -43,6 +43,14 @@ type session struct {
 	// queue addressing, reused across passes.
 	decs []decoded
 
+	// vals is the batch worker's value-header scratch, reused across the
+	// coalesced-run, batch-decode, and batch-dequeue paths (they execute
+	// strictly one after another within a window pass). Only slice headers
+	// live here — the value bytes are pooled buffers (or, unpooled, frame
+	// bodies) whose ownership moves to the fabric, the egress scratch, or
+	// the binding's stash before the scratch is reused. Worker-owned.
+	vals [][]byte
+
 	// admitNs is the batch worker's admit stamp for the current window,
 	// taken once per pass and only when the window carries a sampled traced
 	// frame; every span the pass produces shares it. Worker-owned.

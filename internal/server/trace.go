@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"time"
 )
 
@@ -64,12 +65,20 @@ func traceStagesFrom(op string, sendNs, recvNs int64, stamps [5]int64, sampledBy
 // reply is normalized back to its plain form with the closed stages
 // alongside.
 func (c *Client) tracedRoundTrip(baseOp byte, opName string, qid uint32, payload []byte) (frame, TraceStages, error) {
-	op := baseOp
-	if qid != 0 {
-		op, payload = op|OpQueueFlag, qualify(qid, payload)
-	}
+	// The trace stamp leads, then the queue id — matching decodeOp's
+	// stripping order — in one stack prefix array, so a traced qualified
+	// frame costs no more encode allocations than a plain one.
+	op := baseOp | OpTraceFlag
+	var prefix [traceStampLen + queueIDLen]byte
 	sendNs := time.Now().UnixNano()
-	cl, err := c.start(op|OpTraceFlag, tracePrefix(sendNs, payload), nil, nil)
+	binary.BigEndian.PutUint64(prefix[:traceStampLen], uint64(sendNs))
+	pre := prefix[:traceStampLen]
+	if qid != 0 {
+		op |= OpQueueFlag
+		binary.BigEndian.PutUint32(prefix[traceStampLen:], qid)
+		pre = prefix[:]
+	}
+	cl, err := c.startParts(op, nil, nil, pre, payload)
 	if err != nil {
 		return frame{}, TraceStages{}, err
 	}
@@ -77,14 +86,15 @@ func (c *Client) tracedRoundTrip(baseOp byte, opName string, qid uint32, payload
 		return frame{}, TraceStages{}, err
 	}
 	<-cl.done
-	if cl.err != nil {
-		return frame{}, TraceStages{}, cl.err
+	rf, cerr, recvNs := cl.f, cl.err, cl.recvNs
+	putCall(cl)
+	if cerr != nil {
+		return frame{}, TraceStages{}, cerr
 	}
-	recvNs := cl.recvNs
 	if recvNs == 0 {
 		recvNs = time.Now().UnixNano() // plain reply: the read loop didn't stamp
 	}
-	f, stamps, sampledByServer, err := splitTracedReply(cl.f)
+	f, stamps, sampledByServer, err := splitTracedReply(rf)
 	if err != nil {
 		return frame{}, TraceStages{}, err
 	}

@@ -188,6 +188,34 @@ type frame struct {
 	at      int64
 }
 
+// appendFrame appends one encoded frame — length prefix, id, kind, then
+// the payload parts in order — to dst and returns the extended slice. It
+// is the single frame encoder behind both sides' write paths: the parts
+// are copied, so callers may reuse their buffers (stack prefix arrays,
+// value scratch) the moment it returns.
+func appendFrame(dst []byte, id uint64, kind byte, parts ...[]byte) []byte {
+	n := frameHeader
+	for _, p := range parts {
+		n += len(p)
+	}
+	var hdr [4 + frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
+	binary.BigEndian.PutUint64(hdr[4:12], id)
+	hdr[12] = kind
+	dst = append(dst, hdr[:]...)
+	for _, p := range parts {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// AppendWireFrame is appendFrame for callers outside the package that
+// speak the raw wire format — the benchmark harness's zero-allocation
+// drivers preencode request bursts with it.
+func AppendWireFrame(dst []byte, id uint64, kind byte, parts ...[]byte) []byte {
+	return appendFrame(dst, id, kind, parts...)
+}
+
 // writeFrame appends one frame to w. The caller owns flushing: the batcher
 // writes a whole batch of replies and flushes once.
 func writeFrame(w *bufio.Writer, id uint64, kind byte, payload []byte) error {
@@ -202,31 +230,165 @@ func writeFrame(w *bufio.Writer, id uint64, kind byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame from r. The returned payload is freshly
-// allocated — frames outlive the read loop (enqueue payloads go into the
-// fabric), so the buffer cannot be reused.
+// frameWriter is the server's reply egress: replies append into one
+// per-session scratch buffer and the batch worker pushes the whole
+// window's bytes with a single sized socket write, so frames-per-syscall
+// scales with the drained window. With pooled false it emulates the
+// pre-pooling egress for the T18 before-arm: per-reply payloads are
+// materialized with fresh allocations (encodeBatch, putSpanBlock) exactly
+// as the old encode helpers did, and the scratch is released after every
+// flush instead of being retained.
+type frameWriter struct {
+	w      io.Writer
+	buf    []byte
+	pooled bool
+}
+
+const (
+	// fwSpill bounds the scratch mid-window: a window whose replies
+	// outgrow it is written out in more than one syscall rather than
+	// buffering without bound (batch dequeue replies can reach the frame
+	// cap each).
+	fwSpill = 32 << 10
+	// fwRetain caps the capacity kept across flushes; a rare giant window
+	// must not pin its scratch forever.
+	fwRetain = 64 << 10
+)
+
+func newFrameWriter(w io.Writer, pooled bool) *frameWriter {
+	return &frameWriter{w: w, pooled: pooled}
+}
+
+// spill writes the buffered bytes out early when the scratch has outgrown
+// its bound. A failed spill poisons the connection exactly like a failed
+// flush — the caller's reply is reported undelivered.
+func (fw *frameWriter) spill() error {
+	if len(fw.buf) < fwSpill {
+		return nil
+	}
+	return fw.flush()
+}
+
+// frame appends one reply frame built from parts (see appendFrame).
+func (fw *frameWriter) frame(id uint64, kind byte, parts ...[]byte) error {
+	if err := fw.spill(); err != nil {
+		return err
+	}
+	fw.buf = appendFrame(fw.buf, id, kind, parts...)
+	return nil
+}
+
+// batchFrame appends one batch-reply frame: an optional span-block prefix,
+// the count word, then each value length-prefixed — encoded directly into
+// the scratch, no intermediate payload buffer. In the unpooled arm it
+// materializes the payload through the allocating helpers instead,
+// reproducing the pre-pooling cost model.
+func (fw *frameWriter) batchFrame(id uint64, kind byte, span []byte, vals [][]byte) error {
+	if !fw.pooled {
+		payload := encodeBatch(vals)
+		if span != nil {
+			payload = append(append(make([]byte, 0, len(span)+len(payload)), span...), payload...)
+		}
+		return fw.frame(id, kind, payload)
+	}
+	if err := fw.spill(); err != nil {
+		return err
+	}
+	n := frameHeader + len(span) + encodedBatchSize(vals)
+	var hdr [4 + frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
+	binary.BigEndian.PutUint64(hdr[4:12], id)
+	hdr[12] = kind
+	fw.buf = append(fw.buf, hdr[:]...)
+	fw.buf = append(fw.buf, span...)
+	var word [4]byte
+	binary.BigEndian.PutUint32(word[:], uint32(len(vals)))
+	fw.buf = append(fw.buf, word[:]...)
+	for _, v := range vals {
+		binary.BigEndian.PutUint32(word[:], uint32(len(v)))
+		fw.buf = append(fw.buf, word[:]...)
+		fw.buf = append(fw.buf, v...)
+	}
+	return nil
+}
+
+// flush writes the buffered reply bytes in one socket write and resets the
+// scratch, retaining up to fwRetain of capacity (none in the unpooled
+// arm).
+func (fw *frameWriter) flush() error {
+	if len(fw.buf) == 0 {
+		return nil
+	}
+	_, err := fw.w.Write(fw.buf)
+	switch {
+	case !fw.pooled:
+		fw.buf = nil
+	case cap(fw.buf) > fwRetain:
+		fw.buf = make([]byte, 0, fwRetain)
+	default:
+		fw.buf = fw.buf[:0]
+	}
+	return err
+}
+
+// readFrame reads one frame from r. The header lands in a stack array —
+// only the payload is heap-allocated, so payload-free frames (acks, polls)
+// cost nothing. The payload is freshly allocated and escapes to the
+// caller; the server's pooled ingress is readFrameBuf.
 func readFrame(r *bufio.Reader, maxFrame int) (frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	return readFrameAlloc(r, maxFrame, false)
+}
+
+// readFrameBuf is the server ingress: the payload is decoded into a pooled
+// buffer, which the batch worker recycles (putBuf(f.payload)) once the
+// frame's window is processed — by then every enqueue payload has been
+// copied out at admit time and every reply byte copied into the egress
+// scratch, so the body is dead. With pooled false each payload is a fresh
+// allocation and recycling is a no-op, reproducing the pre-pooling read
+// path.
+func readFrameBuf(r *bufio.Reader, maxFrame int, pooled bool) (frame, error) {
+	return readFrameAlloc(r, maxFrame, pooled)
+}
+
+func readFrameAlloc(r *bufio.Reader, maxFrame int, pooled bool) (frame, error) {
+	// The header is parsed in place from the bufio window (Peek/Discard)
+	// rather than copied into a local array: a local passed to io.ReadFull
+	// escapes through the io.Reader interface, costing one heap allocation
+	// per frame — on the hot path, for 13 bytes.
+	hdr, err := r.Peek(4)
+	if err != nil {
 		return frame{}, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n < frameHeader {
 		return frame{}, fmt.Errorf("%w: length %d below header size", ErrBadFrame, n)
 	}
 	if int(n) > maxFrame {
 		return frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	r.Discard(4)
+	if hdr, err = r.Peek(frameHeader); err != nil {
 		return frame{}, err
 	}
 	f := frame{
-		id:   binary.BigEndian.Uint64(body[0:8]),
-		kind: body[8],
+		id:   binary.BigEndian.Uint64(hdr[:8]),
+		kind: hdr[8],
 	}
-	if n > frameHeader {
-		f.payload = body[frameHeader:]
+	r.Discard(frameHeader)
+	if m := int(n) - frameHeader; m > 0 {
+		// The payload buffer is heap storage either way, so io.ReadFull's
+		// escape costs nothing extra here.
+		if pooled {
+			f.payload = getBuf(m)
+		} else {
+			f.payload = make([]byte, m)
+		}
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			if pooled {
+				putBuf(f.payload)
+			}
+			return frame{}, err
+		}
 	}
 	return f, nil
 }
@@ -370,8 +532,9 @@ func encodeBatch(vals [][]byte) []byte {
 }
 
 // decodeBatch parses a count-prefixed batch payload. The returned values
-// alias payload (each frame body is freshly allocated, so the aliasing is
-// safe for values that outlive the read loop).
+// alias payload — callers that outlive the payload's buffer (the server's
+// pooled ingress) must use decodeBatchPooled instead; the client decodes
+// replies it consumes before the next read, where aliasing is safe.
 func decodeBatch(payload []byte) ([][]byte, error) {
 	if len(payload) < 4 {
 		return nil, fmt.Errorf("%w: batch payload %d bytes", ErrBadFrame, len(payload))
@@ -400,4 +563,50 @@ func decodeBatch(payload []byte) ([][]byte, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrBadFrame, len(payload))
 	}
 	return vals, nil
+}
+
+// decodeBatchPooled parses a count-prefixed batch payload, copying every
+// value into its own pooled buffer and appending them to dst. Unlike
+// decodeBatch, nothing in the result aliases payload — the frame body can
+// be recycled the moment the window is processed, and each value's storage
+// recycles independently when its dequeue reply ships. On a parse error
+// the copies already made are returned to the pool and the original dst is
+// handed back unchanged.
+func decodeBatchPooled(payload []byte, dst [][]byte) ([][]byte, error) {
+	base := len(dst)
+	fail := func(err error) ([][]byte, error) {
+		for _, v := range dst[base:] {
+			putBuf(v)
+		}
+		return dst[:base], err
+	}
+	if len(payload) < 4 {
+		return fail(fmt.Errorf("%w: batch payload %d bytes", ErrBadFrame, len(payload)))
+	}
+	count := binary.BigEndian.Uint32(payload[:4])
+	payload = payload[4:]
+	if count > uint32(len(payload)/4) {
+		return fail(fmt.Errorf("%w: batch count %d exceeds payload", ErrBadFrame, count))
+	}
+	if need := base + int(count); cap(dst) < need {
+		grown := make([][]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(payload) < 4 {
+			return fail(fmt.Errorf("%w: truncated batch entry %d", ErrBadFrame, i))
+		}
+		n := binary.BigEndian.Uint32(payload[:4])
+		payload = payload[4:]
+		if uint64(n) > uint64(len(payload)) {
+			return fail(fmt.Errorf("%w: batch entry %d length %d exceeds payload", ErrBadFrame, i, n))
+		}
+		dst = append(dst, copyBuf(payload[:n]))
+		payload = payload[n:]
+	}
+	if len(payload) != 0 {
+		return fail(fmt.Errorf("%w: %d trailing bytes after batch", ErrBadFrame, len(payload)))
+	}
+	return dst, nil
 }

@@ -344,25 +344,37 @@ func (h *Handle[T]) dequeueSweep(t *topology[T]) (T, bool) {
 // like Dequeue, the certification waits out any in-flight shrink migration
 // rather than overlooking elements still being drained.
 func (h *Handle[T]) DequeueBatch(n int) ([]T, int) {
+	return h.DequeueBatchAppend(nil, n)
+}
+
+// DequeueBatchAppend is DequeueBatch appending into dst: up to n dequeued
+// elements are appended and the (possibly grown) slice is returned with
+// the count actually pulled. Callers that dequeue in a loop (the server's
+// reply path) reuse one scratch slice across calls instead of paying a
+// fresh result allocation per batch. The appended elements are the
+// caller's; certification semantics match DequeueBatch exactly.
+func (h *Handle[T]) DequeueBatchAppend(dst []T, n int) ([]T, int) {
 	h.check()
 	if n <= 0 {
-		return nil, 0
+		return dst, 0
 	}
-	var out []T
+	base := len(dst)
+	target := base + n
+	out := dst
 	for {
 		t := h.enter()
 		migrating := t.retired.Load() != nil // sampled pre-sweep, as in Dequeue
-		out = h.batchSweep(t, n, out)
+		out = h.batchSweep(t, target, out)
 		h.exit()
-		if len(out) >= n || !migrating {
-			return out, len(out)
+		if len(out) >= target || !migrating {
+			return out, len(out) - base
 		}
 		<-t.migrationsDone
 	}
 }
 
 // batchSweep runs DequeueBatch's three phases against one topology
-// snapshot, appending to out.
+// snapshot, appending to out until len(out) reaches the absolute target n.
 func (h *Handle[T]) batchSweep(t *topology[T], n int, out []T) []T {
 	home := h.q.effHome(h.slot, t)
 	if t.bitmap.isSet(home) {
@@ -392,10 +404,9 @@ func (h *Handle[T]) batchSweep(t *topology[T], n int, out []T) []T {
 // empty mid-batch) triggers the clear-then-recheck.
 func (h *Handle[T]) batchFrom(t *topology[T], j, n int, out []T) []T {
 	want := n - len(out)
-	vs, got := h.sub[j].DequeueBatch(want)
+	out, got := h.sub[j].DequeueBatchAppend(out, want)
 	if got > 0 {
 		h.deqs[j] += int64(got)
-		out = append(out, vs...)
 	}
 	if got < want {
 		// Top up from parked hand-offs before certifying the shard empty;

@@ -98,6 +98,7 @@ type subHandle[T any] interface {
 	EnqueueBatch(vs []T)
 	Dequeue() (T, bool)
 	DequeueBatch(n int) ([]T, int)
+	DequeueBatchAppend(dst []T, n int) ([]T, int)
 	SetCounter(c *metrics.Counter)
 }
 

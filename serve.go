@@ -106,6 +106,16 @@ func WithShardBounds(min, max int) ServeOption { return server.WithShardBounds(m
 // pre-observability JSON shape and traced frames are answered plain.
 func WithObservability(on bool) ServeOption { return server.WithObservability(on) }
 
+// WithServeNetPooling toggles the server's network memory system
+// (default on): size-classed pooled ingress buffers recycled once each
+// frame's batch pass completes, enqueue payloads copied out of the wire
+// buffer at admit time, per-session reusable reply-encode scratch, and
+// one sized socket write per coalesced reply window. Off, the server
+// reverts to the pre-overhaul cost model — a fresh buffer per frame and
+// allocating reply encoders — which exists for A/B measurement
+// (experiment T18) and as an escape hatch; correctness is identical.
+func WithServeNetPooling(on bool) ServeOption { return server.WithNetPooling(on) }
+
 // ServerObsStats is the server-wide observability block of a
 // ServerSnapshot: trace-ring occupancy plus aggregate latency summaries
 // per operation class and per traced-request stage. Present only when the
